@@ -1,0 +1,99 @@
+// Ablation E7: state-transfer cost for a joining head node.
+//
+// Replay mode (what JOSHUA v0.1 shipped) re-executes the compacted user
+// command log through the PBS service interface -- cost grows with live
+// queue depth, and hold/release are unsupported. Snapshot mode (the
+// paper's future-work "unified state description") installs the PBS state
+// directly -- near-constant apply time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+/// Time from the joiner starting until its PBS server holds the full
+/// queue.
+double join_transfer_seconds(joshua::TransferMode mode, int queue_depth,
+                             uint64_t seed) {
+  joshua::ClusterOptions options;
+  options.head_count = 2;
+  options.compute_count = 1;
+  options.transfer = mode;
+  options.seed = seed;
+  joshua::Cluster cluster(options);
+  cluster.joshua_server(0).start();
+  benchutil::spin(cluster.sim(),
+                  [&] { return cluster.joshua_server(0).in_service(); });
+
+  joshua::Client& client = cluster.make_jclient();
+  int submitted = 0;
+  pbs::JobSpec spec;
+  spec.run_time = sim::hours(10);
+  std::function<void()> next = [&] {
+    client.jsub(spec, [&](std::optional<pbs::SubmitResponse>) {
+      if (++submitted < queue_depth) next();
+    });
+  };
+  if (queue_depth > 0) next();
+  benchutil::spin(cluster.sim(), [&] { return submitted >= queue_depth; },
+                  sim::seconds(2L * queue_depth + 30));
+
+  sim::Time start = cluster.sim().now();
+  cluster.joshua_server(1).start();
+  bool ok = benchutil::spin(
+      cluster.sim(),
+      [&] {
+        return cluster.joshua_server(1).in_service() &&
+               cluster.pbs_server(1).jobs().size() >=
+                   static_cast<size_t>(queue_depth);
+      },
+      sim::seconds(30L * queue_depth + 60));
+  if (!ok) return -1;
+  return (cluster.sim().now() - start).seconds();
+}
+
+void print_table() {
+  benchutil::print_header(
+      "E7: Joining-head state transfer, replay (JOSHUA v0.1) vs snapshot "
+      "(future work)");
+  std::printf("%-12s %14s %14s\n", "queue depth", "replay", "snapshot");
+  for (int depth : {0, 10, 50, 100, 250}) {
+    double replay =
+        join_transfer_seconds(joshua::TransferMode::kReplay, depth, 1);
+    double snapshot =
+        join_transfer_seconds(joshua::TransferMode::kSnapshot, depth, 1);
+    std::printf("%-12d %12.2fs %12.2fs\n", depth, replay, snapshot);
+  }
+  std::printf(
+      "\nShape checks: replay grows linearly with the live queue (one PBS\n"
+      "submit per replayed command on the 450 MHz head); snapshot stays\n"
+      "near-flat. This is why the paper flags a unified state description\n"
+      "as future work.\n");
+}
+
+void BM_JoinTransfer(benchmark::State& state) {
+  auto mode = state.range(0) == 0 ? joshua::TransferMode::kReplay
+                                  : joshua::TransferMode::kSnapshot;
+  int depth = static_cast<int>(state.range(1));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    double secs = join_transfer_seconds(mode, depth, seed++);
+    state.SetIterationTime(secs < 0 ? 1e3 : secs);
+  }
+}
+BENCHMARK(BM_JoinTransfer)
+    ->ArgsProduct({{0, 1}, {0, 10, 50, 100}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 10 reproduction: job submission latency, single vs multiple head
+// nodes.
+//
+//   Paper (Section 5):   TORQUE        1 head   98 ms
+//                        JOSHUA/TORQUE 1 head  134 ms (+ 36 ms /  37 %)
+//                        JOSHUA/TORQUE 2 heads 265 ms (+158 ms / 161 %)
+//                        JOSHUA/TORQUE 3 heads 304 ms (+206 ms / 210 %)
+//                        JOSHUA/TORQUE 4 heads 349 ms (+251 ms / 256 %)
+//
+// The google-benchmark rows report SIMULATED milliseconds (manual time).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+const double kPaperTorque = 98.0;
+const double kPaperJoshua[] = {134.0, 265.0, 304.0, 349.0};
+
+void print_figure10() {
+  benchutil::print_header(
+      "Figure 10: Job Submission Latency (simulated testbed vs paper)");
+  std::printf("%-22s %5s  %12s %12s  %s\n", "System", "#", "measured",
+              "paper", "overhead (measured)");
+  benchutil::LatencyStats torque = benchutil::submission_latency(1, false);
+  std::printf("%-22s %5d  %9.0f ms %9.0f ms  %s\n", "TORQUE", 1,
+              torque.mean_ms, kPaperTorque, "-");
+  for (int heads = 1; heads <= 4; ++heads) {
+    benchutil::LatencyStats joshua =
+        benchutil::submission_latency(heads, true);
+    double overhead = joshua.mean_ms - torque.mean_ms;
+    std::printf("%-22s %5d  %9.0f ms %9.0f ms  %+5.0f ms / %3.0f%%\n",
+                "JOSHUA/TORQUE", heads, joshua.mean_ms,
+                kPaperJoshua[heads - 1], overhead,
+                overhead / torque.mean_ms * 100.0);
+  }
+  std::printf(
+      "\nShape checks: JOSHUA x1 adds a same-node hop; the 1->2 jump is\n"
+      "off-node group communication; each further head adds roughly one\n"
+      "more ack to process on the origin head's CPU.\n");
+}
+
+void BM_TorqueSubmit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchutil::LatencyStats s = benchutil::submission_latency(
+        1, false, 5, static_cast<uint64_t>(state.iterations() + 1));
+    state.SetIterationTime(s.mean_ms / 1000.0);
+  }
+}
+BENCHMARK(BM_TorqueSubmit)->UseManualTime()->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_JoshuaSubmit(benchmark::State& state) {
+  int heads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchutil::LatencyStats s = benchutil::submission_latency(
+        heads, true, 5, static_cast<uint64_t>(state.iterations() + 1));
+    state.SetIterationTime(s.mean_ms / 1000.0);
+  }
+}
+BENCHMARK(BM_JoshuaSubmit)->DenseRange(1, 4)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

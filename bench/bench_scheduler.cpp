@@ -1,0 +1,142 @@
+// Ablation: the Maui-style scheduling policies (DESIGN.md §5).
+//
+// The paper pins Maui to FIFO + exclusive cluster access purely for
+// determinism ("this restriction may be lifted in the future if
+// deterministic allocation behavior can be assured"). Our EASY-backfill
+// policy is deterministic too -- this bench quantifies what the
+// restriction costs: makespan and node utilization for a mixed workload,
+// FIFO vs backfill vs the paper's exclusive mode.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pbs/client.h"
+#include "pbs/mom.h"
+#include "pbs/server.h"
+#include "sim/calibration.h"
+#include "util/rng.h"
+
+namespace {
+
+struct WorkloadResult {
+  double makespan_s = 0;
+  double utilization = 0;  ///< busy-node-seconds / (nodes * makespan)
+};
+
+/// Run a fixed synthetic workload (seeded mix of 1-4 node jobs, 30-300 s)
+/// through one PBS server with the given policy on an 8-node cluster.
+WorkloadResult run_workload(pbs::SchedulerConfig sched, int jobs,
+                            uint64_t seed) {
+  sim::Simulation simulation(seed);
+  sim::Network net(simulation, sim::fast_calibration().network);
+  sim::HostId head = net.add_host("head").id();
+  std::vector<sim::HostId> computes;
+  const int kNodes = 8;
+  for (int i = 0; i < kNodes; ++i)
+    computes.push_back(net.add_host("n" + std::to_string(i)).id());
+  sim::HostId login = net.add_host("login").id();
+
+  pbs::ServerConfig cfg = pbs::server_config_from(sim::fast_calibration());
+  cfg.port = 15001;
+  cfg.sched = sched;
+  cfg.sched_interval = sim::msec(200);
+  for (sim::HostId h : computes) cfg.moms.push_back({h, 15002});
+  pbs::Server server(net, head, cfg);
+  std::vector<std::unique_ptr<pbs::Mom>> moms;
+  for (sim::HostId h : computes) {
+    pbs::MomConfig mcfg = pbs::mom_config_from(sim::fast_calibration());
+    mcfg.port = 15002;
+    moms.push_back(std::make_unique<pbs::Mom>(net, h, mcfg));
+  }
+  pbs::ClientConfig ccfg = pbs::client_config_from(
+      sim::fast_calibration(), sim::Endpoint{head, 15001});
+  pbs::Client client(net, login, 20000, ccfg);
+
+  // Deterministic workload mix.
+  jutil::Rng rng(seed * 1000 + 7);
+  int submitted = 0;
+  std::function<void()> next = [&] {
+    pbs::JobSpec spec;
+    spec.name = "w" + std::to_string(submitted);
+    spec.nodes = static_cast<uint32_t>(1 + rng.next_u64(4));
+    int64_t secs = 30 + static_cast<int64_t>(rng.next_u64(270));
+    spec.run_time = sim::seconds(secs);
+    spec.walltime = sim::seconds(secs + 30);  // decent estimate
+    client.qsub(spec, [&](std::optional<pbs::SubmitResponse>) {
+      if (++submitted < jobs) next();
+    });
+  };
+  next();
+
+  sim::Time start = simulation.now();
+  sim::Time deadline = start + sim::hours(24);
+  while (simulation.now() < deadline &&
+         server.count_in_state(pbs::JobState::kComplete) <
+             static_cast<size_t>(jobs)) {
+    simulation.run_for(sim::seconds(1));
+  }
+  WorkloadResult result;
+  result.makespan_s = (simulation.now() - start).seconds();
+  double busy_node_seconds = 0;
+  for (const auto& [id, job] : server.jobs()) {
+    (void)id;
+    if (job.terminal() && !job.cancelled)
+      busy_node_seconds +=
+          (job.end_time - job.start_time).seconds() * job.spec.nodes;
+  }
+  result.utilization =
+      busy_node_seconds / (kNodes * std::max(result.makespan_s, 1.0));
+  return result;
+}
+
+void print_table() {
+  std::printf(
+      "\n==============================================================\n"
+      "Scheduler ablation: FIFO exclusive (paper) vs FIFO vs EASY backfill\n"
+      "(40 mixed jobs, 8 nodes)\n"
+      "==============================================================\n");
+  std::printf("%-26s %12s %12s\n", "policy", "makespan", "utilization");
+  struct Row {
+    const char* name;
+    pbs::SchedulerConfig cfg;
+  } rows[] = {
+      {"FIFO + exclusive (paper)", {pbs::SchedPolicy::kFifo, true}},
+      {"FIFO shared nodes", {pbs::SchedPolicy::kFifo, false}},
+      {"EASY backfill", {pbs::SchedPolicy::kFifoBackfill, false}},
+  };
+  for (const Row& row : rows) {
+    WorkloadResult r = run_workload(row.cfg, 40, 3);
+    std::printf("%-26s %10.0f s %11.0f%%\n", row.name, r.makespan_s,
+                r.utilization * 100);
+  }
+  std::printf(
+      "\nShape checks: exclusive mode (determinism at any cost) wastes the\n"
+      "most; backfill >= plain FIFO utilization -- and both remain\n"
+      "deterministic, supporting the paper's 'restriction may be lifted'\n"
+      "note.\n");
+}
+
+void BM_Workload(benchmark::State& state) {
+  pbs::SchedulerConfig cfg;
+  switch (state.range(0)) {
+    case 0: cfg = {pbs::SchedPolicy::kFifo, true}; break;
+    case 1: cfg = {pbs::SchedPolicy::kFifo, false}; break;
+    default: cfg = {pbs::SchedPolicy::kFifoBackfill, false}; break;
+  }
+  for (auto _ : state) {
+    WorkloadResult r = run_workload(cfg, 30, 3);
+    state.SetIterationTime(r.makespan_s);
+    state.counters["utilization"] = r.utilization;
+  }
+}
+BENCHMARK(BM_Workload)->DenseRange(0, 2)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

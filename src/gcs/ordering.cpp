@@ -1,0 +1,261 @@
+#include "gcs/ordering.h"
+
+#include <algorithm>
+
+namespace gcs {
+
+void OrderingBuffer::reset(const View& view, MemberId self) {
+  view_ = view;
+  self_ = self;
+  pending_.clear();
+  out_of_order_.clear();
+  // received/delivered counters persist across views: sequence numbers are
+  // global per sender, and a new view's first message continues the stream.
+  for (MemberId m : view_.members) {
+    received_upto_.try_emplace(m, 0);
+    delivered_.try_emplace(m, 0);
+    peers_.try_emplace(m, PeerState{});
+  }
+  // Forget peers no longer in the view so their silence cannot block
+  // delivery conditions.
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (!view_.contains(it->first)) {
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool OrderingBuffer::insert(const DataMsg& m) {
+  uint64_t& upto = received_upto_[m.id.sender];
+  if (m.id.seq <= upto) return false;  // duplicate of something contiguous
+  if (out_of_order_.count(m.id)) return false;
+  for (const auto& [key, held] : pending_) {
+    (void)key;
+    if (held.id == m.id) return false;
+  }
+  if (m.id.seq == upto + 1) {
+    upto = m.id.seq;
+    pending_.emplace(order_key(m), m);
+    promote_out_of_order(m.id.sender);
+  } else {
+    out_of_order_.emplace(m.id, m);
+  }
+  return true;
+}
+
+void OrderingBuffer::promote_out_of_order(MemberId sender) {
+  uint64_t& upto = received_upto_[sender];
+  while (true) {
+    auto it = out_of_order_.find(MsgId{sender, upto + 1});
+    if (it == out_of_order_.end()) return;
+    upto = it->first.seq;
+    pending_.emplace(order_key(it->second), std::move(it->second));
+    out_of_order_.erase(it);
+  }
+}
+
+void OrderingBuffer::observe(MemberId p, uint64_t lamport, uint64_t sent_upto,
+                             const std::map<MemberId, uint64_t>& received) {
+  PeerState& state = peers_[p];
+  state.heard_lamport = std::max(state.heard_lamport, lamport);
+  state.sent_upto = std::max(state.sent_upto, sent_upto);
+  for (const auto& [sender, seq] : received) {
+    uint64_t& have = state.received[sender];
+    have = std::max(have, seq);
+  }
+}
+
+bool OrderingBuffer::agreed_condition(const DataMsg& m) const {
+  for (MemberId q : view_.members) {
+    // Our own clock is ahead of everything we buffered, and our own
+    // messages are inserted synchronously -- nothing of ours is in flight
+    // towards ourselves.
+    if (q == self_) continue;
+    auto it = peers_.find(q);
+    if (it == peers_.end()) return false;
+    const PeerState& s = it->second;
+    // The sender's own timestamp on m proves it will never send anything
+    // ordered before m; every other member must have been heard past m.
+    if (s.heard_lamport <= m.lamport && q != m.id.sender) return false;
+    // No earlier-ordered message from q may still be missing.
+    auto rit = received_upto_.find(q);
+    uint64_t have = rit == received_upto_.end() ? 0 : rit->second;
+    if (have < s.sent_upto) return false;
+  }
+  return true;
+}
+
+bool OrderingBuffer::safe_condition(const DataMsg& m) const {
+  if (!agreed_condition(m)) return false;
+  for (MemberId q : view_.members) {
+    if (q == self_) continue;  // we obviously hold m
+    auto it = peers_.find(q);
+    if (it == peers_.end()) return false;
+    const auto& received = it->second.received;
+    auto rit = received.find(m.id.sender);
+    if (rit == received.end() || rit->second < m.id.seq) return false;
+  }
+  return true;
+}
+
+bool OrderingBuffer::causal_condition(const DataMsg& m) const {
+  for (const auto& [q, count] : m.vclock) {
+    if (q == m.id.sender) continue;  // FIFO from the sender is the gate
+    auto it = delivered_.find(q);
+    uint64_t have = it == delivered_.end() ? 0 : it->second;
+    if (have < count) return false;
+  }
+  return true;
+}
+
+std::vector<DataMsg> OrderingBuffer::drain() {
+  std::vector<DataMsg> out;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // FIFO/CAUSAL messages deliver independently of the total order.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const DataMsg& m = it->second;
+      bool ready = false;
+      if (m.level == Delivery::kFifo) {
+        ready = true;
+      } else if (m.level == Delivery::kCausal) {
+        ready = causal_condition(m);
+      }
+      if (ready) {
+        ++delivered_[m.id.sender];
+        out.push_back(m);
+        it = pending_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    // AGREED/SAFE deliver strictly in OrderKey order: only the lowest
+    // remaining totally-ordered message may go.
+    auto first_total = pending_.end();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second.level == Delivery::kAgreed ||
+          it->second.level == Delivery::kSafe) {
+        first_total = it;
+        break;
+      }
+    }
+    if (first_total != pending_.end()) {
+      const DataMsg& m = first_total->second;
+      bool ready = m.level == Delivery::kAgreed ? agreed_condition(m)
+                                                : safe_condition(m);
+      if (ready) {
+        ++delivered_[m.id.sender];
+        out.push_back(m);
+        pending_.erase(first_total);
+        progress = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DataMsg> OrderingBuffer::flush_all() {
+  std::vector<DataMsg> out;
+  out.reserve(pending_.size());
+  for (auto& [key, m] : pending_) {
+    (void)key;
+    ++delivered_[m.id.sender];
+    out.push_back(std::move(m));
+  }
+  pending_.clear();
+  out_of_order_.clear();  // unfillable remnants, dropped identically everywhere
+  return out;
+}
+
+std::vector<DataMsg> OrderingBuffer::held_messages() const {
+  std::vector<DataMsg> out;
+  out.reserve(pending_.size() + out_of_order_.size());
+  for (const auto& [key, m] : pending_) {
+    (void)key;
+    out.push_back(m);
+  }
+  for (const auto& [id, m] : out_of_order_) {
+    (void)id;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::map<MemberId, uint64_t> OrderingBuffer::received_vector() const {
+  return received_upto_;
+}
+
+uint64_t OrderingBuffer::received_upto(MemberId sender) const {
+  auto it = received_upto_.find(sender);
+  return it == received_upto_.end() ? 0 : it->second;
+}
+
+std::map<MemberId, uint64_t> OrderingBuffer::delivered_vector() const {
+  return delivered_;
+}
+
+uint64_t OrderingBuffer::delivered_count(MemberId sender) const {
+  auto it = delivered_.find(sender);
+  return it == delivered_.end() ? 0 : it->second;
+}
+
+std::vector<MsgId> OrderingBuffer::gaps() const {
+  std::vector<MsgId> out;
+  for (const auto& [peer, state] : peers_) {
+    uint64_t have = received_upto(peer);
+    uint64_t claimed = state.sent_upto;
+    for (uint64_t seq = have + 1; seq <= claimed; ++seq) {
+      if (!out_of_order_.count(MsgId{peer, seq})) out.push_back({peer, seq});
+    }
+  }
+  return out;
+}
+
+void OrderingBuffer::set_stream_position(MemberId sender, uint64_t seq) {
+  received_upto_[sender] = seq;
+  delivered_[sender] = seq;
+  // Drop anything buffered at or below the new position; promote the rest.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.id.sender == sender && it->second.id.seq <= seq) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
+    if (it->first.sender == sender && it->first.seq <= seq) {
+      it = out_of_order_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  promote_out_of_order(sender);
+}
+
+void OrderingBuffer::clear_all() {
+  view_ = View{};
+  pending_.clear();
+  out_of_order_.clear();
+  received_upto_.clear();
+  delivered_.clear();
+  peers_.clear();
+}
+
+uint64_t OrderingBuffer::stable_upto(MemberId sender) const {
+  uint64_t lo = received_upto(sender);
+  for (MemberId q : view_.members) {
+    if (q == self_) continue;
+    auto it = peers_.find(q);
+    if (it == peers_.end()) return 0;
+    auto rit = it->second.received.find(sender);
+    uint64_t have = rit == it->second.received.end() ? 0 : rit->second;
+    lo = std::min(lo, have);
+  }
+  return lo;
+}
+
+}  // namespace gcs

@@ -1,0 +1,114 @@
+// Ordering buffer: the delivery-condition core of the group communication
+// protocol, independent of networking so it can be unit- and property-tested
+// in isolation.
+//
+// The total order is the classic Lamport (timestamp, sender-id) order with
+// an *all-ack* stability rule (Transis ToTo style): a buffered message m is
+// AGREED-deliverable once, for every view member q,
+//
+//   (a) we have heard any traffic from q with lamport clock > m.lamport
+//       (q can never again send a message ordered before m), and
+//   (b) we hold every message q claims to have sent (no known gaps), so no
+//       earlier-ordered message from q is still in flight.
+//
+// SAFE additionally requires every member's cut (received vector) to cover m
+// -- i.e. m is stable everywhere -- before delivery.
+//
+// FIFO delivers on per-sender contiguity alone; CAUSAL additionally waits
+// for the sender's causal past (per-sender delivered counts) to be delivered
+// locally.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gcs/types.h"
+
+namespace gcs {
+
+class OrderingBuffer {
+ public:
+  /// Start (or restart) buffering for a view. Own lamport/delivered history
+  /// is external; the buffer only tracks per-view delivery state.
+  void reset(const View& view, MemberId self);
+
+  const View& view() const { return view_; }
+
+  /// Insert a data message (own messages included). Duplicates are ignored.
+  /// Returns true if the message was new.
+  bool insert(const DataMsg& m);
+
+  /// Record protocol metadata heard from member `p`: its lamport clock, the
+  /// highest sequence number it claims to have sent, and its received
+  /// vector (per-sender contiguous seq it holds). Data messages, cuts and
+  /// heartbeats all feed this.
+  void observe(MemberId p, uint64_t lamport, uint64_t sent_upto,
+               const std::map<MemberId, uint64_t>& received);
+
+  /// Pop every message whose delivery condition now holds, in delivery
+  /// order (AGREED/SAFE messages in total order relative to each other).
+  std::vector<DataMsg> drain();
+
+  /// View change: deliver every contiguously-held message in total order
+  /// regardless of stability (flush agreement already guaranteed everyone
+  /// holds the same set). Out-of-order remnants past a permanent gap are
+  /// discarded (identically at every member, since all flush from the same
+  /// union).
+  std::vector<DataMsg> flush_all();
+
+  /// Everything currently held and undelivered (for the flush exchange).
+  std::vector<DataMsg> held_messages() const;
+
+  /// Per-sender contiguous received sequence (our cut / ack vector).
+  std::map<MemberId, uint64_t> received_vector() const;
+
+  /// Highest contiguous seq received from one sender.
+  uint64_t received_upto(MemberId sender) const;
+
+  /// Per-sender count of delivered messages (causal send vector).
+  std::map<MemberId, uint64_t> delivered_vector() const;
+  uint64_t delivered_count(MemberId sender) const;
+
+  /// Known gaps: message ids we should NACK (claimed sent but not held).
+  std::vector<MsgId> gaps() const;
+
+  /// Lowest receive point of `sender`'s stream across all view members'
+  /// cuts: messages at or below it are stable and may be garbage-collected
+  /// by the retention log.
+  uint64_t stable_upto(MemberId sender) const;
+
+  size_t pending_count() const { return pending_.size() + out_of_order_.size(); }
+
+  /// Force the received/delivered counters of `sender`'s stream to `seq`.
+  /// Used at view install: joiners align to the old view's baseline, and a
+  /// fresh (restarted) member's stream is reset to zero everywhere.
+  void set_stream_position(MemberId sender, uint64_t seq);
+
+  /// Drop all per-member counters and state (member rejoin from scratch).
+  void clear_all();
+
+ private:
+  struct PeerState {
+    uint64_t heard_lamport = 0;  ///< highest lamport heard from this peer
+    uint64_t sent_upto = 0;      ///< highest seq the peer claims to have sent
+    std::map<MemberId, uint64_t> received;  ///< the peer's cut vector
+  };
+
+  bool agreed_condition(const DataMsg& m) const;
+  bool safe_condition(const DataMsg& m) const;
+  bool causal_condition(const DataMsg& m) const;
+  void promote_out_of_order(MemberId sender);
+
+  View view_;
+  MemberId self_ = sim::kInvalidHost;
+  /// Contiguously received, undelivered messages, in total order.
+  std::map<OrderKey, DataMsg> pending_;
+  /// Received above a gap, staged until contiguity catches up.
+  std::map<MsgId, DataMsg> out_of_order_;
+  std::map<MemberId, uint64_t> received_upto_;
+  std::map<MemberId, uint64_t> delivered_;
+  std::map<MemberId, PeerState> peers_;
+};
+
+}  // namespace gcs

@@ -1,0 +1,104 @@
+// Core types of the group communication system (the project's
+// Transis-equivalent; see DESIGN.md section 2).
+//
+// Identity model: a member is identified by the host it runs on (one gcs
+// daemon per head node, exactly like one Transis daemon per node). Views are
+// identified by a monotonically growing epoch plus the proposing
+// coordinator, ordered lexicographically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "sim/network.h"
+
+namespace gcs {
+
+using MemberId = sim::HostId;
+
+/// Message delivery guarantees, weakest to strongest (Transis service
+/// levels). JOSHUA uses kAgreed for command replication.
+enum class Delivery : uint8_t {
+  kFifo = 0,    ///< per-sender order
+  kCausal = 1,  ///< causal order (vector-clock happened-before)
+  kAgreed = 2,  ///< total order, identical at all members
+  kSafe = 3,    ///< total order + delivered only when stable at all members
+};
+
+std::string_view to_string(Delivery level);
+
+struct ViewId {
+  uint64_t epoch = 0;
+  MemberId coordinator = sim::kInvalidHost;
+  auto operator<=>(const ViewId&) const = default;
+};
+
+struct View {
+  ViewId id;
+  std::vector<MemberId> members;  ///< sorted ascending
+
+  bool contains(MemberId m) const {
+    return std::binary_search(members.begin(), members.end(), m);
+  }
+  size_t size() const { return members.size(); }
+  /// Lowest member id; used for coordinator election.
+  MemberId lowest() const { return members.empty() ? sim::kInvalidHost : members.front(); }
+};
+
+/// Unique id of a data message: the sender plus its per-sender sequence
+/// number (sequence numbers never reset, so ids are stable across views).
+struct MsgId {
+  MemberId sender = sim::kInvalidHost;
+  uint64_t seq = 0;
+  auto operator<=>(const MsgId&) const = default;
+};
+
+/// A replicated data message as held in ordering buffers and send logs.
+struct DataMsg {
+  MsgId id;
+  uint64_t lamport = 0;  ///< logical send timestamp (total-order key)
+  Delivery level = Delivery::kAgreed;
+  /// Vector clock at send time: per-member count of messages the sender had
+  /// delivered. Used for kCausal delivery.
+  std::map<MemberId, uint64_t> vclock;
+  sim::Payload payload;
+};
+
+/// Total-order key: (lamport timestamp, sender id) -- the classic Lamport
+/// tie-break gives one global sequence all members agree on.
+struct OrderKey {
+  uint64_t lamport = 0;
+  MemberId sender = sim::kInvalidHost;
+  uint64_t seq = 0;  // disambiguates (cannot differ for same lamport+sender,
+                     // but keeps the key strictly unique)
+  auto operator<=>(const OrderKey&) const = default;
+};
+
+inline OrderKey order_key(const DataMsg& m) {
+  return OrderKey{m.lamport, m.id.sender, m.id.seq};
+}
+
+/// What the application receives.
+struct Delivered {
+  MemberId sender = sim::kInvalidHost;
+  uint64_t seq = 0;
+  Delivery level = Delivery::kAgreed;
+  sim::Payload payload;
+};
+
+// -- wire helpers -------------------------------------------------------------
+
+void encode_view(net::Writer& w, const View& view);
+View decode_view(net::Reader& r);
+
+void encode_data_msg(net::Writer& w, const DataMsg& m);
+DataMsg decode_data_msg(net::Reader& r);
+
+void encode_u64_map(net::Writer& w, const std::map<MemberId, uint64_t>& m);
+std::map<MemberId, uint64_t> decode_u64_map(net::Reader& r);
+
+}  // namespace gcs

@@ -1,0 +1,134 @@
+#include "ha/active_standby.h"
+
+#include "util/logging.h"
+
+namespace ha {
+
+namespace {
+constexpr sim::Port kManagerPort = 18000;
+constexpr sim::Port kPbsPort = 15001;
+constexpr sim::Port kMomPort = 15002;
+}  // namespace
+
+FailoverManager::FailoverManager(sim::Network& net, sim::HostId standby_host,
+                                 sim::Endpoint primary,
+                                 std::function<void()> do_failover,
+                                 sim::Duration heartbeat_interval,
+                                 sim::Duration detect_timeout)
+    : sim::Process(net, standby_host, kManagerPort, "ha_manager"),
+      primary_(primary),
+      do_failover_(std::move(do_failover)),
+      heartbeat_interval_(heartbeat_interval),
+      detect_timeout_(detect_timeout) {
+  last_heard_ = sim().now();
+  set_timer(heartbeat_interval_, [this] { tick(); });
+}
+
+void FailoverManager::tick() {
+  if (failed_over_) return;
+  if (sim().now() - last_heard_ > detect_timeout_) {
+    failed_over_ = true;
+    failover_time_ = sim().now();
+    JLOG(kInfo, "ha") << "primary silent for "
+                      << (sim().now() - last_heard_).millis()
+                      << " ms; failing over";
+    do_failover_();
+    return;
+  }
+  // Ping: any response refreshes last_heard_.
+  send(primary_, sim::Payload{0x1});
+  set_timer(heartbeat_interval_, [this] { tick(); });
+}
+
+void FailoverManager::on_packet(sim::Packet packet) {
+  (void)packet;
+  last_heard_ = sim().now();
+}
+
+/// The primary answers manager pings on a dedicated port.
+class PingResponder : public sim::Process {
+ public:
+  PingResponder(sim::Network& net, sim::HostId host)
+      : sim::Process(net, host, kManagerPort, "ha_ping") {}
+  void on_packet(sim::Packet packet) override {
+    send(packet.src, sim::Payload{0x2});
+  }
+};
+
+ActiveStandbyCluster::ActiveStandbyCluster(ActiveStandbyOptions options)
+    : options_(std::move(options)),
+      sim_(options_.seed),
+      net_(sim_, options_.cal.network),
+      faults_(net_),
+      shared_storage_(std::make_shared<std::map<std::string, std::string>>()) {
+  primary_host_ = net_.add_host("primary").id();
+  standby_host_ = net_.add_host("standby").id();
+  for (int i = 0; i < options_.compute_count; ++i)
+    compute_hosts_.push_back(net_.add_host("node" + std::to_string(i)).id());
+  login_host_ = net_.add_host("login").id();
+
+  std::vector<sim::Endpoint> mom_endpoints;
+  for (sim::HostId h : compute_hosts_) mom_endpoints.push_back({h, kMomPort});
+
+  pbs::ServerConfig cfg = pbs::server_config_from(options_.cal);
+  cfg.port = kPbsPort;
+  cfg.moms = mom_endpoints;
+  cfg.sched = options_.sched;
+  cfg.shared_storage = shared_storage_;
+  cfg.checkpoint_interval = options_.checkpoint_interval;
+  primary_ = std::make_unique<pbs::Server>(net_, primary_host_, cfg);
+
+  for (sim::HostId h : compute_hosts_) {
+    pbs::MomConfig mom_cfg = pbs::mom_config_from(options_.cal);
+    mom_cfg.port = kMomPort;
+    mom_cfg.server_port = kPbsPort;
+    moms_.push_back(std::make_unique<pbs::Mom>(net_, h, mom_cfg));
+  }
+
+  // The ping responder lives (and dies) with the primary host.
+  ping_responder_ = std::make_unique<PingResponder>(net_, primary_host_);
+  manager_ = std::make_unique<FailoverManager>(
+      net_, standby_host_, sim::Endpoint{primary_host_, kManagerPort},
+      [this] { do_failover(); }, options_.heartbeat_interval,
+      options_.detect_timeout);
+}
+
+ActiveStandbyCluster::~ActiveStandbyCluster() = default;
+
+void ActiveStandbyCluster::do_failover() {
+  // Warm standby: the service restart takes restart_delay, then the standby
+  // server recovers from the last checkpoint on shared storage.
+  sim_.schedule(options_.restart_delay, [this] {
+    pbs::ServerConfig cfg = pbs::server_config_from(options_.cal);
+    cfg.port = kPbsPort;
+    std::vector<sim::Endpoint> mom_endpoints;
+    for (sim::HostId h : compute_hosts_) mom_endpoints.push_back({h, kMomPort});
+    cfg.moms = mom_endpoints;
+    cfg.sched = options_.sched;
+    cfg.shared_storage = shared_storage_;
+    cfg.checkpoint_interval = options_.checkpoint_interval;
+    standby_ = std::make_unique<pbs::Server>(net_, standby_host_, cfg);
+    JLOG(kInfo, "ha") << "standby PBS server up with "
+                      << standby_->jobs().size() << " recovered jobs";
+  });
+}
+
+pbs::Server& ActiveStandbyCluster::active_server() {
+  if (standby_) return *standby_;
+  return *primary_;
+}
+
+sim::Endpoint ActiveStandbyCluster::active_endpoint() const {
+  if (standby_) return {standby_host_, kPbsPort};
+  return {primary_host_, kPbsPort};
+}
+
+pbs::Client& ActiveStandbyCluster::make_client() {
+  pbs::ClientConfig cfg = pbs::client_config_from(
+      options_.cal, sim::Endpoint{primary_host_, kPbsPort});
+  clients_.push_back(std::make_unique<pbs::Client>(
+      net_, login_host_, next_client_port_++, cfg));
+  return *clients_.back();
+}
+
+}  // namespace ha

@@ -1,0 +1,105 @@
+// Active/standby baseline (Section 2, Figure 2): the HA model JOSHUA
+// improves on.
+//
+// A primary head runs the PBS server and checkpoints its state to shared
+// stable storage. A failover manager on the standby heartbeats the primary;
+// after `detect_timeout` of silence it starts a PBS server on the standby
+// from the last checkpoint (warm standby, HA-OSCAR style: 3-5 s failover,
+// running jobs restart, and a stale checkpoint rolls submissions back).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "pbs/client.h"
+#include "pbs/mom.h"
+#include "pbs/server.h"
+#include "sim/calibration.h"
+#include "sim/failure.h"
+#include "sim/process.h"
+
+namespace ha {
+
+struct ActiveStandbyOptions {
+  int compute_count = 2;
+  sim::Calibration cal = sim::paper_testbed();
+  /// 0 = persist on every mutation (hot checkpoint); > 0 = periodic
+  /// checkpoints with rollback exposure.
+  sim::Duration checkpoint_interval = sim::kDurationZero;
+  sim::Duration heartbeat_interval = sim::msec(500);
+  sim::Duration detect_timeout = sim::msec(1500);
+  /// Service restart cost on the standby (the related work's 3-5 s).
+  sim::Duration restart_delay = sim::seconds(3);
+  pbs::SchedulerConfig sched{};
+  uint64_t seed = 1;
+};
+
+/// Watches the primary and brings up the standby server on failure.
+class FailoverManager : public sim::Process {
+ public:
+  FailoverManager(sim::Network& net, sim::HostId standby_host,
+                  sim::Endpoint primary, std::function<void()> do_failover,
+                  sim::Duration heartbeat_interval,
+                  sim::Duration detect_timeout);
+
+  bool failed_over() const { return failed_over_; }
+  sim::Time failover_time() const { return failover_time_; }
+
+  void on_packet(sim::Packet packet) override;
+
+ private:
+  void tick();
+
+  sim::Endpoint primary_;
+  std::function<void()> do_failover_;
+  sim::Duration heartbeat_interval_;
+  sim::Duration detect_timeout_;
+  sim::Time last_heard_{0};
+  bool failed_over_ = false;
+  sim::Time failover_time_{0};
+};
+
+class ActiveStandbyCluster {
+ public:
+  explicit ActiveStandbyCluster(ActiveStandbyOptions options);
+  ~ActiveStandbyCluster();
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  sim::FailureInjector& faults() { return faults_; }
+
+  sim::HostId primary_host() const { return primary_host_; }
+  sim::HostId standby_host() const { return standby_host_; }
+
+  /// The currently active PBS server (primary before failover, standby
+  /// after).
+  pbs::Server& active_server();
+  sim::Endpoint active_endpoint() const;
+  bool failed_over() const { return manager_->failed_over(); }
+  sim::Time failover_time() const { return manager_->failover_time(); }
+
+  /// Client that retries the standby endpoint after the primary dies.
+  pbs::Client& make_client();
+
+ private:
+  void do_failover();
+
+  ActiveStandbyOptions options_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::FailureInjector faults_;
+  std::shared_ptr<std::map<std::string, std::string>> shared_storage_;
+  sim::HostId primary_host_ = sim::kInvalidHost;
+  sim::HostId standby_host_ = sim::kInvalidHost;
+  sim::HostId login_host_ = sim::kInvalidHost;
+  std::vector<sim::HostId> compute_hosts_;
+  std::unique_ptr<pbs::Server> primary_;
+  std::unique_ptr<pbs::Server> standby_;  ///< created at failover
+  std::unique_ptr<sim::Process> ping_responder_;
+  std::vector<std::unique_ptr<pbs::Mom>> moms_;
+  std::unique_ptr<FailoverManager> manager_;
+  std::vector<std::unique_ptr<pbs::Client>> clients_;
+  sim::Port next_client_port_ = 21000;
+};
+
+}  // namespace ha

@@ -1,0 +1,65 @@
+#include "ha/asymmetric.h"
+
+namespace ha {
+
+namespace {
+constexpr sim::Port kPbsPort = 15001;
+constexpr sim::Port kMomPort = 15002;
+}  // namespace
+
+AsymmetricCluster::AsymmetricCluster(AsymmetricOptions options)
+    : options_(std::move(options)),
+      sim_(options_.seed),
+      net_(sim_, options_.cal.network),
+      faults_(net_) {
+  for (int i = 0; i < options_.head_count; ++i)
+    head_hosts_.push_back(net_.add_host("head" + std::to_string(i)).id());
+  for (int i = 0; i < options_.compute_count; ++i)
+    compute_hosts_.push_back(net_.add_host("node" + std::to_string(i)).id());
+  login_host_ = net_.add_host("login").id();
+
+  for (size_t h = 0; h < head_hosts_.size(); ++h) {
+    pbs::ServerConfig cfg = pbs::server_config_from(options_.cal);
+    cfg.port = kPbsPort;
+    cfg.sched = options_.sched;
+    // Partition the compute nodes round-robin among the heads.
+    for (size_t c = h; c < compute_hosts_.size(); c += head_hosts_.size())
+      cfg.moms.push_back({compute_hosts_[c], kMomPort});
+    servers_.push_back(
+        std::make_unique<pbs::Server>(net_, head_hosts_[h], cfg));
+  }
+  for (sim::HostId h : compute_hosts_) {
+    pbs::MomConfig cfg = pbs::mom_config_from(options_.cal);
+    cfg.port = kMomPort;
+    cfg.server_port = kPbsPort;
+    moms_.push_back(std::make_unique<pbs::Mom>(net_, h, cfg));
+  }
+}
+
+AsymmetricCluster::~AsymmetricCluster() = default;
+
+sim::Endpoint AsymmetricCluster::endpoint(size_t head) const {
+  return {head_hosts_.at(head), kPbsPort};
+}
+
+pbs::Client& AsymmetricCluster::make_client(size_t head) {
+  pbs::ClientConfig cfg =
+      pbs::client_config_from(options_.cal, endpoint(head));
+  clients_.push_back(std::make_unique<pbs::Client>(
+      net_, login_host_, next_client_port_++, cfg));
+  return *clients_.back();
+}
+
+size_t AsymmetricCluster::stranded_jobs() const {
+  size_t stranded = 0;
+  for (size_t h = 0; h < servers_.size(); ++h) {
+    if (net_.host(head_hosts_[h]).up()) continue;
+    for (const auto& [id, job] : servers_[h]->jobs()) {
+      (void)id;
+      if (!job.terminal()) ++stranded;
+    }
+  }
+  return stranded;
+}
+
+}  // namespace ha

@@ -1,0 +1,64 @@
+// Asymmetric active/active baseline (Section 2, Figure 3).
+//
+// Two or more active heads "offer the same capabilities at tandem without
+// coordination". For a stateful service like job management this buys
+// submission throughput (users spread across heads) but NOT symmetric HA:
+// each head owns its own queue, so a head failure strands that head's jobs
+// until a standby recovers them. The harness partitions the compute nodes
+// among the heads so their uncoordinated schedulers cannot double-allocate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pbs/client.h"
+#include "pbs/mom.h"
+#include "pbs/server.h"
+#include "sim/calibration.h"
+#include "sim/failure.h"
+
+namespace ha {
+
+struct AsymmetricOptions {
+  int head_count = 2;
+  int compute_count = 2;
+  sim::Calibration cal = sim::paper_testbed();
+  pbs::SchedulerConfig sched{};
+  uint64_t seed = 1;
+};
+
+class AsymmetricCluster {
+ public:
+  explicit AsymmetricCluster(AsymmetricOptions options);
+  ~AsymmetricCluster();
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  sim::FailureInjector& faults() { return faults_; }
+
+  size_t head_count() const { return servers_.size(); }
+  pbs::Server& server(size_t head) { return *servers_.at(head); }
+  sim::HostId head_host(size_t head) const { return head_hosts_.at(head); }
+  sim::Endpoint endpoint(size_t head) const;
+
+  /// Client pinned to one head (the user picked a head at login).
+  pbs::Client& make_client(size_t head);
+
+  /// Jobs stranded on dead heads (queued or running there at crash time).
+  size_t stranded_jobs() const;
+
+ private:
+  AsymmetricOptions options_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::FailureInjector faults_;
+  std::vector<sim::HostId> head_hosts_;
+  std::vector<sim::HostId> compute_hosts_;
+  sim::HostId login_host_ = sim::kInvalidHost;
+  std::vector<std::unique_ptr<pbs::Server>> servers_;
+  std::vector<std::unique_ptr<pbs::Mom>> moms_;
+  std::vector<std::unique_ptr<pbs::Client>> clients_;
+  sim::Port next_client_port_ = 22000;
+};
+
+}  // namespace ha

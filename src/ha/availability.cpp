@@ -1,0 +1,72 @@
+#include "ha/availability.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/timefmt.h"
+
+namespace ha {
+
+double node_availability(double mttf_hours, double mttr_hours) {
+  if (mttf_hours <= 0.0 || mttr_hours < 0.0)
+    throw std::invalid_argument("node_availability: bad MTTF/MTTR");
+  return mttf_hours / (mttf_hours + mttr_hours);
+}
+
+double service_availability(double node_availability, int nodes) {
+  if (nodes < 1) throw std::invalid_argument("service_availability: nodes < 1");
+  if (node_availability < 0.0 || node_availability > 1.0)
+    throw std::invalid_argument("service_availability: A outside [0,1]");
+  return 1.0 - std::pow(1.0 - node_availability, nodes);
+}
+
+double downtime_seconds_per_year(double service_availability) {
+  return 8760.0 * 3600.0 * (1.0 - service_availability);
+}
+
+double service_availability_correlated(double node_availability, int nodes,
+                                       double beta) {
+  if (beta < 0.0 || beta > 1.0)
+    throw std::invalid_argument("correlated: beta outside [0,1]");
+  double u = 1.0 - node_availability;  // node unavailability
+  double common = 1.0 - beta * u;      // shared-cause survival
+  double independent = 1.0 - std::pow((1.0 - beta) * u, nodes);
+  return common * independent;
+}
+
+AvailabilityRow figure12_row(int nodes, double mttf_hours, double mttr_hours) {
+  AvailabilityRow row;
+  row.nodes = nodes;
+  double a_node = node_availability(mttf_hours, mttr_hours);
+  row.availability = service_availability(a_node, nodes);
+  row.nines = jutil::count_nines(row.availability);
+  row.downtime_seconds = downtime_seconds_per_year(row.availability);
+  row.availability_str = jutil::format_availability(row.availability);
+  row.downtime_str = jutil::format_duration_coarse(row.downtime_seconds);
+  return row;
+}
+
+std::vector<AvailabilityRow> figure12_table(int max_nodes, double mttf_hours,
+                                            double mttr_hours) {
+  std::vector<AvailabilityRow> rows;
+  for (int n = 1; n <= max_nodes; ++n)
+    rows.push_back(figure12_row(n, mttf_hours, mttr_hours));
+  return rows;
+}
+
+std::string render_figure12(const std::vector<AvailabilityRow>& rows) {
+  std::string out =
+      "#  Availability     Nines  Downtime/Year\n"
+      "-- ---------------- -----  -------------\n";
+  char buf[128];
+  for (const AvailabilityRow& row : rows) {
+    std::snprintf(buf, sizeof buf, "%-2d %-16s %-6d %s\n", row.nodes,
+                  row.availability_str.c_str(), row.nines,
+                  row.downtime_str.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ha

@@ -1,0 +1,53 @@
+// Availability analysis: Equations (1)-(3) and the Figure 12 table.
+//
+//   A_node     = MTTF / (MTTF + MTTR)                                   (1)
+//   A_service  = 1 - (1 - A_node)^n        (parallel redundancy)        (2)
+//   t_downtime = 8760h * (1 - A_service)   (per year)                   (3)
+//
+// The paper evaluates MTTF = 5000 h, MTTR = 72 h for n = 1..4 head nodes.
+// An extension covers correlated failures (Section 5's caveat): a
+// common-mode factor caps the availability any amount of redundancy can
+// reach.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ha {
+
+/// Equation (1).
+double node_availability(double mttf_hours, double mttr_hours);
+
+/// Equation (2).
+double service_availability(double node_availability, int nodes);
+
+/// Equation (3), in seconds per year (8760 h year, as the paper uses).
+double downtime_seconds_per_year(double service_availability);
+
+/// Correlated-failure extension: a fraction `beta` of outages hits every
+/// head at once (shared rack/room). The common-mode term is not reduced by
+/// redundancy:  A = (1 - beta*(1-A_node)) * (1 - ((1-beta)*(1-A_node))^n).
+double service_availability_correlated(double node_availability, int nodes,
+                                       double beta);
+
+struct AvailabilityRow {
+  int nodes = 1;
+  double availability = 0.0;
+  int nines = 0;
+  double downtime_seconds = 0.0;
+  std::string availability_str;  ///< "99.98%"
+  std::string downtime_str;      ///< "1h 45min"
+};
+
+/// One Figure 12 row.
+AvailabilityRow figure12_row(int nodes, double mttf_hours, double mttr_hours);
+
+/// The whole Figure 12 table (n = 1..max_nodes).
+std::vector<AvailabilityRow> figure12_table(int max_nodes = 4,
+                                            double mttf_hours = 5000.0,
+                                            double mttr_hours = 72.0);
+
+/// Render the table the way the paper prints it.
+std::string render_figure12(const std::vector<AvailabilityRow>& rows);
+
+}  // namespace ha

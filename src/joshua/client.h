@@ -1,0 +1,78 @@
+// JOSHUA control commands: jsub, jstat, jdel (+ jhold/jrls in snapshot
+// transfer mode).
+//
+// "The JOSHUA control commands may be invoked on any of the active head
+// nodes or from a separate login node as they contact the JOSHUA server
+// group via the network" (Section 4). The client therefore holds the whole
+// head list and fails over to the next head when one does not answer --
+// this is what makes the service continuously available to users across
+// head-node failures. Aliasing qsub=jsub gives 100% PBS interface
+// compliance, which these wrappers mirror by speaking the PBS wire ops.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/rpc.h"
+#include "pbs/protocol.h"
+
+namespace sim {
+struct Calibration;
+}
+
+namespace joshua {
+
+struct ClientConfig {
+  std::vector<sim::Endpoint> heads;  ///< joshua servers, any order
+  sim::Duration cmd_startup = sim::msec(14);
+  sim::Duration cmd_teardown = sim::msec(4);
+  /// Per-head timeout; total worst case = timeout * heads.
+  sim::Duration timeout = sim::seconds(8);
+};
+
+ClientConfig joshua_client_config_from(const sim::Calibration& cal,
+                                       std::vector<sim::Endpoint> heads);
+
+class Client : public net::RpcNode {
+ public:
+  Client(sim::Network& net, sim::HostId host, sim::Port port,
+         ClientConfig config);
+
+  const ClientConfig& config() const { return config_; }
+  /// Adjust the per-head timeout (deployment knob: how fast commands fail
+  /// over to the next head).
+  void set_timeout(sim::Duration timeout) { config_.timeout = timeout; }
+  /// Index of the head the last successful command used.
+  size_t current_head() const { return current_head_; }
+  uint64_t failovers() const { return failovers_; }
+
+  void jsub(pbs::JobSpec spec,
+            std::function<void(std::optional<pbs::SubmitResponse>)> done);
+  void jstat(pbs::StatRequest req,
+             std::function<void(std::optional<pbs::StatResponse>)> done);
+  void jdel(pbs::JobId id,
+            std::function<void(std::optional<pbs::SimpleResponse>)> done);
+  void jhold(pbs::JobId id,
+             std::function<void(std::optional<pbs::SimpleResponse>)> done);
+  void jrls(pbs::JobId id,
+            std::function<void(std::optional<pbs::SimpleResponse>)> done);
+
+ protected:
+  void on_request(sim::Payload, sim::Endpoint, uint64_t) override {}
+
+ private:
+  template <typename Response, typename Decode>
+  void run_command(sim::Payload request, Decode decode,
+                   std::function<void(std::optional<Response>)> done);
+  template <typename Response, typename Decode>
+  void attempt(sim::Payload request, Decode decode,
+               std::function<void(std::optional<Response>)> done,
+               size_t tries_left);
+
+  ClientConfig config_;
+  size_t current_head_ = 0;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace joshua

@@ -1,0 +1,129 @@
+#include "joshua/cluster.h"
+
+namespace joshua {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      sim_(options_.seed),
+      net_(sim_, options_.cal.network),
+      faults_(net_) {
+  // Hosts: heads, computes, login.
+  for (int i = 0; i < options_.head_count; ++i) {
+    head_hosts_.push_back(net_.add_host("head" + std::to_string(i)).id());
+  }
+  for (int i = 0; i < options_.compute_count; ++i) {
+    compute_hosts_.push_back(net_.add_host("node" + std::to_string(i)).id());
+  }
+  login_host_ = net_.add_host("login").id();
+
+  // Mom endpoints shared by every head's PBS server config.
+  std::vector<sim::Endpoint> mom_endpoints;
+  for (sim::HostId h : compute_hosts_)
+    mom_endpoints.push_back({h, Ports::kMom});
+
+  // PBS servers on every head.
+  for (sim::HostId h : head_hosts_) {
+    pbs::ServerConfig cfg = pbs::server_config_from(options_.cal);
+    cfg.port = Ports::kPbsServer;
+    cfg.moms = mom_endpoints;
+    cfg.sched = options_.sched;
+    pbs_servers_.push_back(std::make_unique<pbs::Server>(net_, h, cfg));
+  }
+
+  // Moms on every compute node.
+  for (sim::HostId h : compute_hosts_) {
+    pbs::MomConfig cfg = pbs::mom_config_from(options_.cal);
+    cfg.port = Ports::kMom;
+    cfg.server_port = Ports::kPbsServer;
+    cfg.quirk_hold_on_head_failure = options_.quirk_mom;
+    moms_.push_back(std::make_unique<pbs::Mom>(net_, h, cfg));
+  }
+
+  if (!options_.with_joshua) return;
+
+  // JOSHUA servers on every head.
+  for (size_t i = 0; i < head_hosts_.size(); ++i) {
+    JoshuaConfig cfg = joshua_config_from(options_.cal, head_hosts_);
+    cfg.client_port = Ports::kJoshua;
+    cfg.pbs_port = Ports::kPbsServer;
+    cfg.group.port = Ports::kGcs;
+    cfg.group.require_majority = options_.require_majority;
+    if (options_.gcs_heartbeat.us > 0)
+      cfg.group.heartbeat_interval = options_.gcs_heartbeat;
+    if (options_.gcs_suspect.us > 0)
+      cfg.group.suspect_timeout = options_.gcs_suspect;
+    if (options_.gcs_flush.us > 0)
+      cfg.group.flush_timeout = options_.gcs_flush;
+    cfg.transfer = options_.transfer;
+    cfg.auto_rejoin = options_.auto_rejoin;
+    joshua_servers_.push_back(std::make_unique<Server>(
+        net_, head_hosts_[i], cfg, pbs_servers_[i].get()));
+  }
+
+  // Mom plugins (jmutex/jdone) on every compute node.
+  for (size_t i = 0; i < compute_hosts_.size(); ++i) {
+    MomPluginConfig cfg;
+    cfg.port = Ports::kMomPlugin;
+    cfg.heads = head_hosts_;
+    cfg.joshua_port = Ports::kJoshua;
+    plugins_.push_back(
+        std::make_unique<MomPlugin>(net_, compute_hosts_[i], cfg));
+    plugins_.back()->attach(*moms_[i]);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::start() {
+  for (auto& server : joshua_servers_) server->start();
+}
+
+bool Cluster::converged(size_t expected_members) const {
+  const gcs::View* reference = nullptr;
+  size_t live = 0;
+  for (size_t i = 0; i < joshua_servers_.size(); ++i) {
+    if (!net_.host(head_hosts_[i]).up()) continue;
+    const auto& member = joshua_servers_[i]->group();
+    if (member.state() != gcs::GroupMember::State::kMember) return false;
+    ++live;
+    if (reference == nullptr) {
+      reference = &member.view();
+    } else if (member.view().id != reference->id) {
+      return false;
+    }
+  }
+  return reference != nullptr && reference->size() == expected_members &&
+         live == expected_members;
+}
+
+bool Cluster::run_until_converged(sim::Duration deadline) {
+  sim::Time limit = sim_.now() + deadline;
+  size_t live_heads = 0;
+  for (sim::HostId h : head_hosts_)
+    if (net_.host(h).up()) ++live_heads;
+  while (sim_.now() < limit) {
+    if (converged(live_heads)) return true;
+    sim_.run_for(sim::msec(50));
+  }
+  return converged(live_heads);
+}
+
+Client& Cluster::make_jclient() {
+  std::vector<sim::Endpoint> heads;
+  for (size_t i = 0; i < head_hosts_.size(); ++i)
+    heads.push_back(joshua_endpoint(i));
+  ClientConfig cfg = joshua_client_config_from(options_.cal, std::move(heads));
+  jclients_.push_back(
+      std::make_unique<Client>(net_, login_host_, next_client_port_++, cfg));
+  return *jclients_.back();
+}
+
+pbs::Client& Cluster::make_pbs_client(size_t head) {
+  pbs::ClientConfig cfg =
+      pbs::client_config_from(options_.cal, pbs_endpoint(head));
+  pbs_clients_.push_back(std::make_unique<pbs::Client>(
+      net_, login_host_, next_client_port_++, cfg));
+  return *pbs_clients_.back();
+}
+
+}  // namespace joshua

@@ -1,0 +1,122 @@
+// Test-cluster harness: assembles the paper's testbed in one object.
+//
+// "up to 4 head nodes and 2 compute nodes in various combinations"
+// (Section 5): N head nodes each running a PBS server + JOSHUA server, M
+// compute nodes each running a PBS mom + JOSHUA mom plugin, plus a login
+// node for clients. Also builds the plain-TORQUE baseline (no JOSHUA) used
+// by Figures 10 and 11.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "joshua/client.h"
+#include "joshua/mom_plugin.h"
+#include "joshua/server.h"
+#include "pbs/client.h"
+#include "pbs/mom.h"
+#include "pbs/server.h"
+#include "sim/calibration.h"
+#include "sim/failure.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace joshua {
+
+struct ClusterOptions {
+  int head_count = 2;
+  int compute_count = 2;
+  sim::Calibration cal = sim::paper_testbed();
+  /// false = plain TORQUE: no JOSHUA servers/plugins; clients talk straight
+  /// to the (single) PBS server.
+  bool with_joshua = true;
+  TransferMode transfer = TransferMode::kReplay;
+  bool auto_rejoin = false;
+  bool quirk_mom = false;  ///< the paper's observed TORQUE report deficiency
+  bool require_majority = false;
+  pbs::SchedulerConfig sched{};  ///< default: FIFO, exclusive cluster
+  uint64_t seed = 1;
+  /// gcs timing overrides; zero keeps the GroupConfig defaults.
+  sim::Duration gcs_heartbeat = sim::kDurationZero;
+  sim::Duration gcs_suspect = sim::kDurationZero;
+  sim::Duration gcs_flush = sim::kDurationZero;
+};
+
+/// Well-known ports of the testbed.
+struct Ports {
+  static constexpr sim::Port kGcs = 7000;
+  static constexpr sim::Port kPbsServer = 15001;
+  static constexpr sim::Port kMom = 15002;
+  static constexpr sim::Port kJoshua = 17000;
+  static constexpr sim::Port kMomPlugin = 17002;
+  static constexpr sim::Port kClientBase = 20000;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  sim::FailureInjector& faults() { return faults_; }
+  const ClusterOptions& options() const { return options_; }
+
+  const std::vector<sim::HostId>& head_hosts() const { return head_hosts_; }
+  const std::vector<sim::HostId>& compute_hosts() const {
+    return compute_hosts_;
+  }
+  sim::HostId login_host() const { return login_host_; }
+
+  pbs::Server& pbs_server(size_t head) { return *pbs_servers_.at(head); }
+  pbs::Mom& mom(size_t compute) { return *moms_.at(compute); }
+  Server& joshua_server(size_t head) { return *joshua_servers_.at(head); }
+  MomPlugin& mom_plugin(size_t compute) { return *plugins_.at(compute); }
+  size_t head_count() const { return pbs_servers_.size(); }
+  size_t compute_count() const { return moms_.size(); }
+
+  /// Start every JOSHUA server (joins the group). No-op without JOSHUA.
+  void start();
+
+  /// Run the simulation until all live heads share one installed view (or
+  /// the deadline passes). Returns true on convergence.
+  bool run_until_converged(sim::Duration deadline = sim::seconds(30));
+
+  /// True when every live head's gcs agrees on one view of size
+  /// `expected_members`.
+  bool converged(size_t expected_members) const;
+
+  /// A JOSHUA client on the login node knowing every head.
+  Client& make_jclient();
+  /// A plain PBS client on the login node talking to one head directly.
+  pbs::Client& make_pbs_client(size_t head);
+
+  /// Endpoint helpers.
+  sim::Endpoint joshua_endpoint(size_t head) const {
+    return {head_hosts_.at(head), Ports::kJoshua};
+  }
+  sim::Endpoint pbs_endpoint(size_t head) const {
+    return {head_hosts_.at(head), Ports::kPbsServer};
+  }
+
+ private:
+  ClusterOptions options_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::FailureInjector faults_;
+  std::vector<sim::HostId> head_hosts_;
+  std::vector<sim::HostId> compute_hosts_;
+  sim::HostId login_host_ = sim::kInvalidHost;
+  std::vector<std::unique_ptr<pbs::Server>> pbs_servers_;
+  std::vector<std::unique_ptr<pbs::Mom>> moms_;
+  std::vector<std::unique_ptr<Server>> joshua_servers_;
+  std::vector<std::unique_ptr<MomPlugin>> plugins_;
+  std::vector<std::unique_ptr<Client>> jclients_;
+  std::vector<std::unique_ptr<pbs::Client>> pbs_clients_;
+  sim::Port next_client_port_ = Ports::kClientBase;
+};
+
+}  // namespace joshua

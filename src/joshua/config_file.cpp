@@ -1,0 +1,74 @@
+#include "joshua/config_file.h"
+
+#include "util/strings.h"
+
+namespace joshua {
+
+ClusterOptions cluster_options_from_config(std::string_view text) {
+  jutil::Config cfg = jutil::Config::parse(text);
+  ClusterOptions options;
+  options.head_count = static_cast<int>(cfg.get_int("heads", 2));
+  options.compute_count = static_cast<int>(cfg.get_int("computes", 2));
+  if (options.head_count < 1 || options.compute_count < 1)
+    throw jutil::ConfigError("heads/computes must be >= 1");
+
+  std::string transfer =
+      jutil::to_lower(cfg.get_string("transfer", "replay"));
+  if (transfer == "replay") {
+    options.transfer = TransferMode::kReplay;
+  } else if (transfer == "snapshot") {
+    options.transfer = TransferMode::kSnapshot;
+  } else {
+    throw jutil::ConfigError("transfer must be 'replay' or 'snapshot', got '" +
+                             transfer + "'");
+  }
+  options.auto_rejoin = cfg.get_bool("auto_rejoin", false);
+  options.quirk_mom = cfg.get_bool("quirk_mom", false);
+  options.require_majority = cfg.get_bool("require_majority", false);
+  options.seed = static_cast<uint64_t>(cfg.get_int("seed", 1));
+
+  if (const jutil::Config* sched = cfg.section("scheduler", "")) {
+    std::string policy =
+        jutil::to_lower(sched->get_string("policy", "fifo"));
+    if (policy == "fifo") {
+      options.sched.policy = pbs::SchedPolicy::kFifo;
+    } else if (policy == "backfill") {
+      options.sched.policy = pbs::SchedPolicy::kFifoBackfill;
+    } else {
+      throw jutil::ConfigError("scheduler policy must be 'fifo' or "
+                               "'backfill', got '" + policy + "'");
+    }
+    options.sched.exclusive_cluster = sched->get_bool("exclusive", true);
+  }
+
+  if (const jutil::Config* gcs = cfg.section("gcs", "")) {
+    options.gcs_heartbeat = sim::msec(gcs->get_int("heartbeat_ms", 0));
+    options.gcs_suspect = sim::msec(gcs->get_int("suspect_ms", 0));
+    options.gcs_flush = sim::msec(gcs->get_int("flush_ms", 0));
+  }
+  return options;
+}
+
+std::string cluster_options_to_config(const ClusterOptions& options) {
+  jutil::Config cfg;
+  cfg.set("heads", std::to_string(options.head_count));
+  cfg.set("computes", std::to_string(options.compute_count));
+  cfg.set("transfer", options.transfer == TransferMode::kReplay ? "replay"
+                                                                : "snapshot");
+  cfg.set("auto_rejoin", options.auto_rejoin ? "true" : "false");
+  cfg.set("quirk_mom", options.quirk_mom ? "true" : "false");
+  cfg.set("require_majority", options.require_majority ? "true" : "false");
+  cfg.set("seed", std::to_string(options.seed));
+  jutil::Config& sched = cfg.add_section("scheduler", "");
+  sched.set("policy", options.sched.policy == pbs::SchedPolicy::kFifo
+                          ? "fifo"
+                          : "backfill");
+  sched.set("exclusive", options.sched.exclusive_cluster ? "true" : "false");
+  jutil::Config& gcs = cfg.add_section("gcs", "");
+  gcs.set("heartbeat_ms", std::to_string(options.gcs_heartbeat.us / 1000));
+  gcs.set("suspect_ms", std::to_string(options.gcs_suspect.us / 1000));
+  gcs.set("flush_ms", std::to_string(options.gcs_flush.us / 1000));
+  return cfg.to_string();
+}
+
+}  // namespace joshua

@@ -1,0 +1,70 @@
+// The compute-node side of JOSHUA: jmutex and jdone.
+//
+// "The JOSHUA scripts are part of the job start prologue and perform a
+// distributed mutual exclusion using the Transis group communication system
+// to ensure that the job gets started only once, and to emulate the job
+// start for all other attempts for this particular job" (Section 4).
+//
+// The plugin installs itself as the mom's prologue and epilogue:
+//   prologue (jmutex): asks the requesting head's joshua server for the
+//     job-start mutex; the head multicasts the request AGREED, so the first
+//     request in total order wins at every head. If the head does not
+//     answer (it died), the plugin rotates to the other heads, which can
+//     arbitrate on its behalf.
+//   epilogue (jdone): tells a head the real run finished so the mutual
+//     exclusion is released group-wide, then the mom's statistics reports
+//     fan out to every requesting head.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "joshua/protocol.h"
+#include "net/rpc.h"
+#include "pbs/mom.h"
+
+namespace joshua {
+
+struct MomPluginConfig {
+  sim::Port port = 17002;
+  std::vector<sim::HostId> heads;   ///< head-node hosts
+  sim::Port joshua_port = 17000;
+  sim::Duration rpc_timeout = sim::seconds(2);
+  sim::Duration script_proc = sim::msec(3);  ///< prologue/epilogue fork cost
+};
+
+class MomPlugin : public net::RpcNode {
+ public:
+  MomPlugin(sim::Network& net, sim::HostId host, MomPluginConfig config);
+
+  /// Install jmutex/jdone as the mom's prologue/epilogue.
+  void attach(pbs::Mom& mom);
+
+  uint64_t mutex_attempts() const { return mutex_attempts_; }
+  uint64_t wins() const { return wins_; }
+  uint64_t emulations() const { return emulations_; }
+  uint64_t aborts() const { return aborts_; }
+
+ protected:
+  void on_request(sim::Payload, sim::Endpoint, uint64_t) override {}
+
+ private:
+  void jmutex(const pbs::Job& job, sim::HostId requesting_head,
+              std::function<void(pbs::PrologueDecision)> done);
+  void jmutex_attempt(pbs::JobId job, sim::HostId on_behalf,
+                      size_t head_index, size_t tries_left,
+                      std::function<void(pbs::PrologueDecision)> done);
+  void jdone(const pbs::Job& job, int32_t exit_code,
+             std::function<void()> done);
+  void jdone_attempt(pbs::JobId job, int32_t exit_code, size_t head_index,
+                     size_t tries_left, std::function<void()> done);
+  size_t head_index_of(sim::HostId host) const;
+
+  MomPluginConfig config_;
+  uint64_t mutex_attempts_ = 0;
+  uint64_t wins_ = 0;
+  uint64_t emulations_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace joshua

@@ -1,0 +1,154 @@
+#include "joshua/protocol.h"
+
+namespace joshua {
+
+GroupOp peek_group_op(const sim::Payload& buf) {
+  if (buf.empty()) throw net::WireError("joshua: empty group message");
+  return static_cast<GroupOp>(buf[0]);
+}
+
+sim::Payload encode_group(const GroupCommand& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(GroupOp::kCommand));
+  w.u32(m.origin);
+  w.u64(m.cmd_seq);
+  w.bytes(m.pbs_request);
+  return w.take();
+}
+
+GroupCommand decode_group_command(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<GroupOp>(r.u8()) != GroupOp::kCommand)
+    throw net::WireError("joshua: not a group command");
+  GroupCommand m;
+  m.origin = r.u32();
+  m.cmd_seq = r.u64();
+  m.pbs_request = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_group(const GroupMutexReq& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(GroupOp::kMutexReq));
+  w.u64(m.job);
+  w.u32(m.head);
+  return w.take();
+}
+
+GroupMutexReq decode_group_mutex_req(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<GroupOp>(r.u8()) != GroupOp::kMutexReq)
+    throw net::WireError("joshua: not a mutex request");
+  GroupMutexReq m;
+  m.job = r.u64();
+  m.head = r.u32();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_group(const GroupMutexDone& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(GroupOp::kMutexDone));
+  w.u64(m.job);
+  w.i64(m.exit_code);
+  w.u32(m.head);
+  return w.take();
+}
+
+GroupMutexDone decode_group_mutex_done(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<GroupOp>(r.u8()) != GroupOp::kMutexDone)
+    throw net::WireError("joshua: not a mutex done");
+  GroupMutexDone m;
+  m.job = r.u64();
+  m.exit_code = static_cast<int32_t>(r.i64());
+  m.head = r.u32();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_plugin(const JMutexRequest& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(PluginOp::kJMutex));
+  w.u64(m.job);
+  w.u32(m.head);
+  return w.take();
+}
+
+JMutexRequest decode_jmutex(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<PluginOp>(r.u8()) != PluginOp::kJMutex)
+    throw net::WireError("joshua: not a jmutex request");
+  JMutexRequest m;
+  m.job = r.u64();
+  m.head = r.u32();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_plugin(const JDoneRequest& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(PluginOp::kJDone));
+  w.u64(m.job);
+  w.i64(m.exit_code);
+  return w.take();
+}
+
+JDoneRequest decode_jdone(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<PluginOp>(r.u8()) != PluginOp::kJDone)
+    throw net::WireError("joshua: not a jdone request");
+  JDoneRequest m;
+  m.job = r.u64();
+  m.exit_code = static_cast<int32_t>(r.i64());
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_jmutex_response(const JMutexResponse& m) {
+  net::Writer w;
+  w.boolean(m.won);
+  return w.take();
+}
+
+JMutexResponse decode_jmutex_response(const sim::Payload& buf) {
+  net::Reader r(buf);
+  JMutexResponse m;
+  m.won = r.boolean();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_command_log(const CommandLog& log) {
+  net::Writer w;
+  w.vec(log.requests,
+        [](net::Writer& w2, const sim::Payload& p) { w2.bytes(p); });
+  return w.take();
+}
+
+CommandLog decode_command_log(const sim::Payload& buf) {
+  net::Reader r(buf);
+  CommandLog log;
+  log.requests =
+      r.vec<sim::Payload>([](net::Reader& r2) { return r2.bytes(); });
+  r.expect_done();
+  return log;
+}
+
+sim::Payload wrap_transfer(TransferKind kind, sim::Payload body) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(kind));
+  w.bytes(body);
+  return w.take();
+}
+
+std::pair<TransferKind, sim::Payload> unwrap_transfer(const sim::Payload& buf) {
+  net::Reader r(buf);
+  auto kind = static_cast<TransferKind>(r.u8());
+  sim::Payload body = r.bytes();
+  r.expect_done();
+  return {kind, std::move(body)};
+}
+
+}  // namespace joshua

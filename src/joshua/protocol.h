@@ -1,0 +1,86 @@
+// JOSHUA wire formats: group messages replicated through the gcs, and the
+// jmutex/jdone RPCs the mom-side scripts exchange with the joshua servers.
+#pragma once
+
+#include <cstdint>
+
+#include "gcs/types.h"
+#include "net/wire.h"
+#include "pbs/job.h"
+
+namespace joshua {
+
+/// Payloads multicast (AGREED) through the group communication system.
+enum class GroupOp : uint8_t {
+  kCommand = 1,    ///< an intercepted PBS user command
+  kMutexReq = 2,   ///< jmutex: request to launch a job
+  kMutexDone = 3,  ///< jdone: the job's real run finished
+};
+
+/// An intercepted PBS user command; replayed at every head in total order.
+struct GroupCommand {
+  gcs::MemberId origin = sim::kInvalidHost;  ///< the head the client contacted
+  uint64_t cmd_seq = 0;  ///< origin-local id for routing the reply back
+  sim::Payload pbs_request;  ///< the raw PBS service-interface request
+};
+
+struct GroupMutexReq {
+  pbs::JobId job = pbs::kInvalidJob;
+  gcs::MemberId head = sim::kInvalidHost;  ///< launch attempt on behalf of
+};
+
+struct GroupMutexDone {
+  pbs::JobId job = pbs::kInvalidJob;
+  int32_t exit_code = 0;
+  gcs::MemberId head = sim::kInvalidHost;
+};
+
+GroupOp peek_group_op(const sim::Payload&);
+sim::Payload encode_group(const GroupCommand&);
+sim::Payload encode_group(const GroupMutexReq&);
+sim::Payload encode_group(const GroupMutexDone&);
+GroupCommand decode_group_command(const sim::Payload&);
+GroupMutexReq decode_group_mutex_req(const sim::Payload&);
+GroupMutexDone decode_group_mutex_done(const sim::Payload&);
+
+/// Mom-plugin RPC ops share the joshua server port with PBS user commands;
+/// the tag byte range is disjoint from pbs::Op.
+enum class PluginOp : uint8_t {
+  kJMutex = 200,
+  kJDone = 201,
+};
+
+struct JMutexRequest {
+  pbs::JobId job = pbs::kInvalidJob;
+  gcs::MemberId head = sim::kInvalidHost;  ///< origin of the launch attempt
+};
+struct JMutexResponse {
+  bool won = false;
+};
+
+struct JDoneRequest {
+  pbs::JobId job = pbs::kInvalidJob;
+  int32_t exit_code = 0;
+};
+
+sim::Payload encode_plugin(const JMutexRequest&);
+sim::Payload encode_plugin(const JDoneRequest&);
+JMutexRequest decode_jmutex(const sim::Payload&);
+JDoneRequest decode_jdone(const sim::Payload&);
+sim::Payload encode_jmutex_response(const JMutexResponse&);
+JMutexResponse decode_jmutex_response(const sim::Payload&);
+
+/// Replay-mode state transfer: the compacted command log.
+struct CommandLog {
+  std::vector<sim::Payload> requests;  ///< PBS requests to replay, in order
+};
+sim::Payload encode_command_log(const CommandLog&);
+CommandLog decode_command_log(const sim::Payload&);
+
+/// State-transfer blob header: distinguishes replay logs from snapshots so
+/// a mixed-mode misconfiguration fails loudly instead of corrupting state.
+enum class TransferKind : uint8_t { kReplayLog = 1, kSnapshot = 2 };
+sim::Payload wrap_transfer(TransferKind kind, sim::Payload body);
+std::pair<TransferKind, sim::Payload> unwrap_transfer(const sim::Payload&);
+
+}  // namespace joshua

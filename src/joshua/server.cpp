@@ -1,0 +1,493 @@
+#include "joshua/server.h"
+
+#include <algorithm>
+
+#include "sim/calibration.h"
+#include "util/logging.h"
+
+namespace joshua {
+
+namespace {
+/// An error response shaped for the op the client sent, so its decoder
+/// always understands the rejection.
+sim::Payload error_response(pbs::Op op, pbs::Status status) {
+  switch (op) {
+    case pbs::Op::kSubmit:
+      return pbs::encode_response(pbs::SubmitResponse{status, pbs::kInvalidJob});
+    case pbs::Op::kStat:
+      return pbs::encode_response(pbs::StatResponse{status, {}});
+    default:
+      return pbs::encode_response(pbs::SimpleResponse{status});
+  }
+}
+}  // namespace
+
+JoshuaConfig joshua_config_from(const sim::Calibration& cal,
+                                std::vector<sim::HostId> head_hosts) {
+  JoshuaConfig cfg;
+  cfg.group = gcs::group_config_from(cal);
+  cfg.group.group_name = "joshua";
+  cfg.group.peers = std::move(head_hosts);
+  cfg.cmd_proc = cal.joshua_cmd_proc;
+  cfg.exec_proc = cal.joshua_exec_proc;
+  cfg.relay_proc = cal.joshua_relay_proc;
+  return cfg;
+}
+
+Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
+               pbs::Server* local_pbs)
+    : net::RpcNode(net, host, config.client_port,
+                   "joshua@" + net.host(host).name()),
+      config_(std::move(config)),
+      local_pbs_(local_pbs),
+      group_(net, host, config_.group,
+             gcs::GroupCallbacks{
+                 [this](const gcs::View& v) { on_view(v); },
+                 [this](const gcs::Delivered& d) { on_deliver(d); },
+                 [this] { return get_state(); },
+                 [this](const sim::Payload& s) { install_state(s); },
+             }) {
+  if (local_pbs_ == nullptr && config_.transfer == TransferMode::kSnapshot) {
+    throw std::invalid_argument(
+        "joshua::Server: snapshot transfer needs the colocated PBS server");
+  }
+  if (local_pbs_ != nullptr) {
+    // Chain onto the PBS completion callback for command-log compaction.
+    auto previous = std::move(local_pbs_->on_job_complete);
+    local_pbs_->on_job_complete = [this, previous](const pbs::Job& job) {
+      terminal_jobs_.insert(job.id);
+      if (previous) previous(job);
+    };
+  }
+}
+
+void Server::start() { group_.join(); }
+
+void Server::shutdown() {
+  // Fail outstanding clients fast so they fail over to another head.
+  for (auto& [seq, reply] : pending_replies_) {
+    (void)seq;
+    respond(reply.client, reply.rpc_id,
+            error_response(reply.op, pbs::Status::kServerBusy));
+  }
+  pending_replies_.clear();
+  group_.leave();
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
+
+void Server::on_request(sim::Payload request, sim::Endpoint from,
+                        uint64_t rpc_id) {
+  if (request.empty()) return;
+  uint8_t tag = request[0];
+  if (tag == static_cast<uint8_t>(PluginOp::kJMutex) ||
+      tag == static_cast<uint8_t>(PluginOp::kJDone)) {
+    execute(config_.cmd_proc, [this, request = std::move(request), from,
+                               rpc_id, tag] {
+      try {
+        if (tag == static_cast<uint8_t>(PluginOp::kJMutex)) {
+          handle_jmutex(decode_jmutex(request), from, rpc_id);
+        } else {
+          handle_jdone(decode_jdone(request), from, rpc_id);
+        }
+      } catch (const net::WireError& e) {
+        JLOG(kWarn, "joshua") << name() << ": bad plugin request: " << e.what();
+      }
+    });
+    return;
+  }
+  execute(config_.cmd_proc, [this, request = std::move(request), from,
+                             rpc_id]() mutable {
+    handle_client_command(std::move(request), from, rpc_id);
+  });
+}
+
+void Server::handle_client_command(sim::Payload request, sim::Endpoint from,
+                                   uint64_t rpc_id) {
+  pbs::Op op;
+  try {
+    op = pbs::peek_op(request);
+  } catch (const net::WireError&) {
+    return;
+  }
+  auto reject = [&](pbs::Status status) {
+    respond(from, rpc_id, error_response(op, status));
+  };
+  switch (op) {
+    case pbs::Op::kSubmit:
+    case pbs::Op::kStat:
+    case pbs::Op::kDelete:
+      break;
+    case pbs::Op::kHold:
+    case pbs::Op::kRelease:
+      // Replay-based state transfer cannot reproduce hold state at a
+      // joining head (Section 4): JOSHUA v0.1 rejects these. The snapshot
+      // transfer mode lifts the restriction.
+      if (config_.transfer == TransferMode::kReplay) {
+        reject(pbs::Status::kUnsupported);
+        return;
+      }
+      break;
+    default:
+      // No qsig equivalent etc.: "The original PBS command may be executed
+      // independently of JOSHUA."
+      reject(pbs::Status::kUnsupported);
+      return;
+  }
+  if (!group_.is_member()) {
+    reject(pbs::Status::kServerBusy);
+    return;
+  }
+  ++stats_.commands_intercepted;
+  GroupCommand cmd;
+  cmd.origin = group_.id();
+  cmd.cmd_seq = next_cmd_seq_++;
+  cmd.pbs_request = std::move(request);
+  pending_replies_[cmd.cmd_seq] = PendingReply{from, rpc_id, op};
+  group_.multicast(encode_group(cmd), gcs::Delivery::kAgreed);
+}
+
+// ---------------------------------------------------------------------------
+// Group delivery
+// ---------------------------------------------------------------------------
+
+void Server::on_deliver(const gcs::Delivered& msg) {
+  GroupOp op;
+  try {
+    op = peek_group_op(msg.payload);
+  } catch (const net::WireError&) {
+    return;
+  }
+  try {
+    switch (op) {
+      case GroupOp::kCommand: {
+        GroupCommand cmd = decode_group_command(msg.payload);
+        if (replaying_) {
+          held_commands_.push_back(std::move(cmd));
+        } else {
+          apply_group_command(std::move(cmd));
+        }
+        break;
+      }
+      case GroupOp::kMutexReq:
+        apply_mutex_req(decode_group_mutex_req(msg.payload));
+        break;
+      case GroupOp::kMutexDone:
+        apply_mutex_done(decode_group_mutex_done(msg.payload));
+        break;
+    }
+  } catch (const net::WireError& e) {
+    JLOG(kWarn, "joshua") << name() << ": bad group message: " << e.what();
+  }
+}
+
+void Server::apply_group_command(GroupCommand cmd) {
+  ++stats_.commands_executed;
+  log_command(cmd);
+  execute(config_.exec_proc, [this, cmd = std::move(cmd)] {
+    net::CallOptions options;
+    options.timeout = config_.local_rpc_timeout;
+    call(local_pbs_endpoint(), cmd.pbs_request,
+         [this, cmd](std::optional<sim::Payload> response) {
+           finish_local_apply(cmd, std::move(response));
+         },
+         options);
+  });
+}
+
+void Server::finish_local_apply(const GroupCommand& cmd,
+                                std::optional<sim::Payload> response) {
+  if (response.has_value()) note_command_result(cmd, *response);
+  if (cmd.origin != group_.id()) return;
+  auto it = pending_replies_.find(cmd.cmd_seq);
+  if (it == pending_replies_.end()) return;
+  PendingReply reply = it->second;
+  pending_replies_.erase(it);
+  if (!response.has_value()) {
+    respond(reply.client, reply.rpc_id,
+            error_response(reply.op, pbs::Status::kInternal));
+    return;
+  }
+  ++stats_.replies_relayed;
+  execute(config_.relay_proc,
+          [this, reply, resp = std::move(*response)] {
+            respond(reply.client, reply.rpc_id, resp);
+          });
+}
+
+// ---------------------------------------------------------------------------
+// Command log (replay-mode state transfer)
+// ---------------------------------------------------------------------------
+
+void Server::log_command(const GroupCommand& cmd) {
+  pbs::Op op;
+  try {
+    op = pbs::peek_op(cmd.pbs_request);
+  } catch (const net::WireError&) {
+    return;
+  }
+  if (op != pbs::Op::kSubmit && op != pbs::Op::kDelete &&
+      op != pbs::Op::kHold && op != pbs::Op::kRelease) {
+    return;  // reads do not change state
+  }
+  LogEntry entry;
+  entry.request = cmd.pbs_request;
+  if (op != pbs::Op::kSubmit) {
+    try {
+      switch (op) {
+        case pbs::Op::kDelete:
+          entry.job = pbs::decode_delete(cmd.pbs_request).job_id;
+          break;
+        case pbs::Op::kHold:
+          entry.job = pbs::decode_hold(cmd.pbs_request).job_id;
+          break;
+        case pbs::Op::kRelease:
+          entry.job = pbs::decode_release(cmd.pbs_request).job_id;
+          break;
+        default:
+          break;
+      }
+    } catch (const net::WireError&) {
+    }
+  }
+  command_log_.push_back(std::move(entry));
+}
+
+void Server::note_command_result(const GroupCommand& cmd,
+                                 const sim::Payload& response) {
+  pbs::Op op;
+  try {
+    op = pbs::peek_op(cmd.pbs_request);
+  } catch (const net::WireError&) {
+    return;
+  }
+  if (op == pbs::Op::kSubmit) {
+    try {
+      pbs::SubmitResponse sub = pbs::decode_submit_response(response);
+      if (sub.status == pbs::Status::kOk) {
+        // Attach the job id to the newest submit entry lacking one.
+        for (auto it = command_log_.rbegin(); it != command_log_.rend(); ++it) {
+          if (it->job == pbs::kInvalidJob &&
+              pbs::peek_op(it->request) == pbs::Op::kSubmit) {
+            it->job = sub.job_id;
+            break;
+          }
+        }
+      }
+    } catch (const net::WireError&) {
+    }
+  } else if (op == pbs::Op::kDelete) {
+    try {
+      pbs::DeleteRequest del = pbs::decode_delete(cmd.pbs_request);
+      terminal_jobs_.insert(del.job_id);
+    } catch (const net::WireError&) {
+    }
+  }
+}
+
+sim::Payload Server::get_state() {
+  ++stats_.state_transfers_served;
+  if (config_.transfer == TransferMode::kSnapshot) {
+    return wrap_transfer(TransferKind::kSnapshot, local_pbs_->dump_state_blob());
+  }
+  // Compacted command log: drop commands about jobs that already reached a
+  // terminal state (replaying them would re-run finished work). Submits are
+  // rewritten to carry their original job id so the joiner rebuilds an
+  // identical queue.
+  CommandLog log;
+  for (const LogEntry& entry : command_log_) {
+    if (entry.job != pbs::kInvalidJob && terminal_jobs_.count(entry.job))
+      continue;
+    try {
+      if (pbs::peek_op(entry.request) == pbs::Op::kSubmit &&
+          entry.job != pbs::kInvalidJob) {
+        pbs::SubmitRequest submit = pbs::decode_submit(entry.request);
+        submit.forced_id = entry.job;
+        log.requests.push_back(pbs::encode_request(submit));
+        continue;
+      }
+    } catch (const net::WireError&) {
+    }
+    log.requests.push_back(entry.request);
+  }
+  JLOG(kInfo, "joshua") << name() << ": serving state transfer ("
+                        << log.requests.size() << " commands to replay)";
+  return wrap_transfer(TransferKind::kReplayLog, encode_command_log(log));
+}
+
+void Server::install_state(const sim::Payload& state) {
+  std::pair<TransferKind, sim::Payload> unwrapped;
+  try {
+    unwrapped = unwrap_transfer(state);
+  } catch (const net::WireError& e) {
+    JLOG(kError, "joshua") << name() << ": bad state blob: " << e.what();
+    return;
+  }
+  auto& [kind, body] = unwrapped;
+  if (kind == TransferKind::kSnapshot) {
+    if (local_pbs_ == nullptr) {
+      JLOG(kError, "joshua") << name()
+                             << ": snapshot received without a PBS handle";
+      return;
+    }
+    try {
+      local_pbs_->load_state_blob(body);
+      JLOG(kInfo, "joshua") << name() << ": snapshot state installed";
+    } catch (const net::WireError& e) {
+      JLOG(kError, "joshua") << name() << ": corrupt snapshot: " << e.what();
+    }
+    return;
+  }
+  // Replay mode: apply the commands through the service interface, in
+  // order, holding any newly delivered commands until the replay finishes.
+  // The paper's joiner starts with a freshly installed TORQUE; wipe any
+  // stale local state (e.g. the pre-crash queue recovered from disk) first.
+  if (local_pbs_ != nullptr) {
+    local_pbs_->reset_state();
+  } else {
+    JLOG(kWarn, "joshua") << name()
+                          << ": no PBS handle; stale local jobs may linger";
+  }
+  try {
+    CommandLog log = decode_command_log(body);
+    replay_queue_.assign(log.requests.begin(), log.requests.end());
+  } catch (const net::WireError& e) {
+    JLOG(kError, "joshua") << name() << ": corrupt command log: " << e.what();
+    return;
+  }
+  JLOG(kInfo, "joshua") << name() << ": replaying " << replay_queue_.size()
+                        << " commands";
+  replaying_ = true;
+  replay_next();
+}
+
+void Server::replay_next() {
+  if (replay_queue_.empty()) {
+    replaying_ = false;
+    auto held = std::move(held_commands_);
+    held_commands_.clear();
+    for (GroupCommand& cmd : held) apply_group_command(std::move(cmd));
+    JLOG(kInfo, "joshua") << name() << ": replay complete";
+    return;
+  }
+  sim::Payload request = std::move(replay_queue_.front());
+  replay_queue_.pop_front();
+  GroupCommand pseudo;
+  pseudo.origin = sim::kInvalidHost;  // nobody awaits a reply
+  pseudo.pbs_request = request;
+  log_command(pseudo);
+  ++stats_.replays_applied;
+  net::CallOptions options;
+  options.timeout = config_.local_rpc_timeout;
+  call(local_pbs_endpoint(), std::move(request),
+       [this, pseudo](std::optional<sim::Payload> response) {
+         if (response.has_value()) note_command_result(pseudo, *response);
+         replay_next();
+       },
+       options);
+}
+
+// ---------------------------------------------------------------------------
+// jmutex / jdone
+// ---------------------------------------------------------------------------
+
+void Server::handle_jmutex(const JMutexRequest& req, sim::Endpoint from,
+                           uint64_t rpc_id) {
+  ++stats_.mutex_requests;
+  if (!group_.is_member()) return;  // no answer; the plugin rotates heads
+  auto it = mutexes_.find(req.job);
+  if (it != mutexes_.end() && !it->second.order.empty()) {
+    bool won = !it->second.done && it->second.order.front() == req.head;
+    (won ? stats_.mutex_grants : stats_.mutex_denials)++;
+    respond(from, rpc_id, encode_jmutex_response(JMutexResponse{won}));
+    return;
+  }
+  mutex_waiters_.emplace(req.job, MutexWaiter{req.head, from, rpc_id});
+  if (mutex_cast_.insert({req.job, req.head}).second) {
+    group_.multicast(encode_group(GroupMutexReq{req.job, req.head}),
+                     gcs::Delivery::kAgreed);
+  }
+}
+
+void Server::handle_jdone(const JDoneRequest& req, sim::Endpoint from,
+                          uint64_t rpc_id) {
+  // Ack immediately; the release is ordered through the group.
+  respond(from, rpc_id, sim::Payload{});
+  if (!group_.is_member()) return;
+  group_.multicast(
+      encode_group(GroupMutexDone{req.job, req.exit_code, group_.id()}),
+      gcs::Delivery::kAgreed);
+}
+
+void Server::apply_mutex_req(const GroupMutexReq& req) {
+  MutexState& state = mutexes_[req.job];
+  if (std::find(state.order.begin(), state.order.end(), req.head) ==
+      state.order.end()) {
+    state.order.push_back(req.head);
+  }
+  answer_mutex_waiters(req.job);
+}
+
+void Server::apply_mutex_done(const GroupMutexDone& done) {
+  MutexState& state = mutexes_[done.job];
+  state.done = true;
+  state.exit_code = done.exit_code;
+  terminal_jobs_.insert(done.job);
+  answer_mutex_waiters(done.job);
+}
+
+void Server::answer_mutex_waiters(pbs::JobId job) {
+  auto it = mutexes_.find(job);
+  if (it == mutexes_.end() || it->second.order.empty()) return;
+  const MutexState& state = it->second;
+  auto [begin, end] = mutex_waiters_.equal_range(job);
+  for (auto w = begin; w != end; ++w) {
+    bool won = !state.done && state.order.front() == w->second.head;
+    (won ? stats_.mutex_grants : stats_.mutex_denials)++;
+    respond(w->second.from, w->second.rpc_id,
+            encode_jmutex_response(JMutexResponse{won}));
+  }
+  mutex_waiters_.erase(begin, end);
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+void Server::on_view(const gcs::View& view) {
+  if (view.members.empty()) {
+    JLOG(kWarn, "joshua") << name() << " out of service (excluded from view)";
+    for (auto& [seq, reply] : pending_replies_) {
+      (void)seq;
+      respond(reply.client, reply.rpc_id,
+              error_response(reply.op, pbs::Status::kServerBusy));
+    }
+    pending_replies_.clear();
+    if (config_.auto_rejoin) {
+      set_timer(config_.rejoin_delay, [this] {
+        if (host_up()) group_.join();
+      });
+    }
+    return;
+  }
+  JLOG(kInfo, "joshua") << name() << " serving in view of " << view.size()
+                        << " head(s)";
+}
+
+void Server::on_crash() {
+  net::RpcNode::on_crash();
+  pending_replies_.clear();
+  mutexes_.clear();
+  mutex_waiters_.clear();
+  mutex_cast_.clear();
+  command_log_.clear();
+  terminal_jobs_.clear();
+  replaying_ = false;
+  replay_queue_.clear();
+  held_commands_.clear();
+  next_cmd_seq_ = 1;
+}
+
+}  // namespace joshua

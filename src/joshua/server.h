@@ -1,0 +1,174 @@
+// The JOSHUA server: the external-replication interceptor running on each
+// head node (paper Figure 8/9).
+//
+// It accepts PBS-compatible user commands (jsub/jstat/jdel), multicasts
+// them AGREED through the group communication system, executes each
+// delivered command against the *local*, unmodified PBS server, and relays
+// the output back to the client from the head the client contacted --
+// exactly-once output, as the paper requires.
+//
+// It also arbitrates the jmutex/jdone distributed mutual exclusion the
+// mom-side prologue uses so a job requested by every head starts exactly
+// once, and serves state transfer to joining heads:
+//
+//   * TransferMode::kReplay -- what JOSHUA v0.1 did: replay the (compacted)
+//     user-command log against the joiner's fresh PBS server. Faithful to
+//     the paper, including its documented limitation: jhold/jrls are
+//     rejected in this mode because replay cannot reproduce hold state
+//     consistently.
+//   * TransferMode::kSnapshot -- the paper's future-work "unified state
+//     description": a direct PBS state snapshot; supports hold/release.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "gcs/group_member.h"
+#include "joshua/protocol.h"
+#include "net/rpc.h"
+#include "pbs/protocol.h"
+#include "pbs/server.h"
+
+namespace joshua {
+
+enum class TransferMode : uint8_t { kReplay = 0, kSnapshot = 1 };
+
+struct JoshuaConfig {
+  sim::Port client_port = 17000;  ///< jsub/jstat/jdel + jmutex/jdone RPCs
+  sim::Port pbs_port = 15001;     ///< the colocated PBS server
+  gcs::GroupConfig group;         ///< peers = all head-node hosts
+  TransferMode transfer = TransferMode::kReplay;
+
+  /// Rejoin automatically after being excluded from a view (spurious
+  /// suspicion). Off by default: the paper treats exclusion as shutdown.
+  bool auto_rejoin = false;
+  sim::Duration rejoin_delay = sim::seconds(2);
+
+  // CPU cost model.
+  sim::Duration cmd_proc = sim::msec(6);
+  sim::Duration exec_proc = sim::msec(8);
+  sim::Duration relay_proc = sim::msec(4);
+
+  sim::Duration local_rpc_timeout = sim::seconds(30);
+};
+
+JoshuaConfig joshua_config_from(const sim::Calibration& cal,
+                                std::vector<sim::HostId> head_hosts);
+
+class Server : public net::RpcNode {
+ public:
+  /// `local_pbs` is the colocated PBS server; it may be null only in
+  /// kReplay mode (snapshot transfer needs direct state access, modelling
+  /// the SSS-style state interface).
+  Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
+         pbs::Server* local_pbs);
+
+  /// Join the active head group (start of service).
+  void start();
+  /// Leave the group ("handled as a forced failure by causing the JOSHUA
+  /// server to shutdown via a signal", Section 4).
+  void shutdown();
+
+  bool in_service() const { return group_.is_member(); }
+  const gcs::GroupMember& group() const { return group_; }
+  gcs::GroupMember& group() { return group_; }
+  const JoshuaConfig& config() const { return config_; }
+
+  struct Stats {
+    uint64_t commands_intercepted = 0;
+    uint64_t commands_executed = 0;
+    uint64_t replies_relayed = 0;
+    uint64_t mutex_requests = 0;
+    uint64_t mutex_grants = 0;   ///< jmutex answered "won"
+    uint64_t mutex_denials = 0;  ///< jmutex answered "lost"
+    uint64_t state_transfers_served = 0;
+    uint64_t replays_applied = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // net::RpcNode:
+  void on_request(sim::Payload request, sim::Endpoint from,
+                  uint64_t rpc_id) override;
+  void on_crash() override;
+
+ private:
+  // Client-command path.
+  void handle_client_command(sim::Payload request, sim::Endpoint from,
+                             uint64_t rpc_id);
+  void apply_group_command(GroupCommand cmd);
+  void finish_local_apply(const GroupCommand& cmd,
+                          std::optional<sim::Payload> response);
+
+  // jmutex/jdone path.
+  void handle_jmutex(const JMutexRequest& req, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_jdone(const JDoneRequest& req, sim::Endpoint from,
+                    uint64_t rpc_id);
+  void apply_mutex_req(const GroupMutexReq& req);
+  void apply_mutex_done(const GroupMutexDone& done);
+  void answer_mutex_waiters(pbs::JobId job);
+
+  // gcs callbacks.
+  void on_view(const gcs::View& view);
+  void on_deliver(const gcs::Delivered& msg);
+  sim::Payload get_state();
+  void install_state(const sim::Payload& state);
+
+  // Replay-mode machinery.
+  void replay_next();
+  void log_command(const GroupCommand& cmd);
+  void note_command_result(const GroupCommand& cmd,
+                           const sim::Payload& response);
+
+  sim::Endpoint local_pbs_endpoint() const {
+    return {host_id(), config_.pbs_port};
+  }
+
+  JoshuaConfig config_;
+  pbs::Server* local_pbs_;
+  gcs::GroupMember group_;
+
+  uint64_t next_cmd_seq_ = 1;
+  /// Replies owed to clients, keyed by our own cmd_seq.
+  struct PendingReply {
+    sim::Endpoint client;
+    uint64_t rpc_id = 0;
+    pbs::Op op = pbs::Op::kStat;
+  };
+  std::map<uint64_t, PendingReply> pending_replies_;
+
+  /// jmutex arbitration.
+  struct MutexState {
+    std::vector<gcs::MemberId> order;  ///< delivery order; front() wins
+    bool done = false;
+    int32_t exit_code = 0;
+  };
+  std::map<pbs::JobId, MutexState> mutexes_;
+  struct MutexWaiter {
+    gcs::MemberId head;
+    sim::Endpoint from;
+    uint64_t rpc_id;
+  };
+  std::multimap<pbs::JobId, MutexWaiter> mutex_waiters_;
+  std::set<std::pair<pbs::JobId, gcs::MemberId>> mutex_cast_;
+
+  /// Replay-mode command log: request + the job id it produced/affected,
+  /// compacted as jobs reach terminal state.
+  struct LogEntry {
+    sim::Payload request;
+    pbs::JobId job = pbs::kInvalidJob;
+  };
+  std::vector<LogEntry> command_log_;
+  std::set<pbs::JobId> terminal_jobs_;
+
+  bool replaying_ = false;
+  std::deque<sim::Payload> replay_queue_;
+  std::deque<GroupCommand> held_commands_;
+
+  Stats stats_;
+};
+
+}  // namespace joshua

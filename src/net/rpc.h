@@ -1,0 +1,75 @@
+// Request/response messaging over the simulated network.
+//
+// RpcNode frames packets as either a request (carrying a fresh rpc id) or a
+// response (echoing it). Callers get a callback with the response payload or
+// std::nullopt on timeout; servers implement on_request() and answer with
+// respond(). A node can act as client and server at once -- the JOSHUA
+// server does both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/wire.h"
+#include "sim/process.h"
+
+namespace net {
+
+struct CallOptions {
+  sim::Duration timeout = sim::seconds(5);
+  int attempts = 1;  ///< total tries (1 = no retry)
+};
+
+class RpcNode : public sim::Process {
+ public:
+  using ResponseHandler = std::function<void(std::optional<Payload> response)>;
+
+  RpcNode(sim::Network& net, sim::HostId host, sim::Port port,
+          std::string name);
+
+  /// Issue a request; `on_response` fires exactly once, with nullopt after
+  /// all attempts timed out.
+  void call(sim::Endpoint dst, Payload request, ResponseHandler on_response,
+            CallOptions options = {});
+
+  /// Cancel every in-flight call (used on crash); handlers fire with nullopt.
+  void fail_pending_calls();
+
+ protected:
+  /// Server side: handle a request; eventually answer via respond(from, id,..)
+  /// (synchronously or later).
+  virtual void on_request(Payload request, sim::Endpoint from,
+                          uint64_t rpc_id) = 0;
+
+  /// Hook for non-RPC datagrams sharing the port (kind byte != rpc).
+  virtual void on_datagram(sim::Packet packet) { (void)packet; }
+
+  void respond(sim::Endpoint to, uint64_t rpc_id, Payload response);
+
+  // sim::Process:
+  void on_packet(sim::Packet packet) final;
+  void on_crash() override;
+
+  /// Frame a raw (non-RPC) datagram so it is routed to on_datagram().
+  static Payload frame_datagram(Payload inner);
+
+ private:
+  struct Pending {
+    sim::Endpoint dst;
+    Payload request;
+    ResponseHandler handler;
+    CallOptions options;
+    int attempts_left = 0;
+    sim::TimerId timer = 0;
+  };
+
+  void transmit(uint64_t id);
+  void expire(uint64_t id);
+
+  uint64_t next_rpc_id_ = 1;
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace net

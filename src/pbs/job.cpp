@@ -1,0 +1,83 @@
+#include "pbs/job.h"
+
+namespace pbs {
+
+std::string_view to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kHeld: return "HELD";
+    case JobState::kWaiting: return "WAITING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kExiting: return "EXITING";
+    case JobState::kComplete: return "COMPLETE";
+  }
+  return "?";
+}
+
+char state_letter(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return 'Q';
+    case JobState::kHeld: return 'H';
+    case JobState::kWaiting: return 'W';
+    case JobState::kRunning: return 'R';
+    case JobState::kExiting: return 'E';
+    case JobState::kComplete: return 'C';
+  }
+  return '?';
+}
+
+std::string job_id_string(JobId id, const std::string& server_suffix) {
+  return std::to_string(id) + "." + server_suffix;
+}
+
+void encode_job_spec(net::Writer& w, const JobSpec& spec) {
+  w.str(spec.name);
+  w.str(spec.user);
+  w.u32(spec.nodes);
+  w.i64(spec.walltime.us);
+  w.i64(spec.run_time.us);
+  w.i64(spec.priority);
+  w.str(spec.script);
+}
+
+JobSpec decode_job_spec(net::Reader& r) {
+  JobSpec spec;
+  spec.name = r.str();
+  spec.user = r.str();
+  spec.nodes = r.u32();
+  spec.walltime = sim::Duration{r.i64()};
+  spec.run_time = sim::Duration{r.i64()};
+  spec.priority = static_cast<int32_t>(r.i64());
+  spec.script = r.str();
+  return spec;
+}
+
+void encode_job(net::Writer& w, const Job& job) {
+  w.u64(job.id);
+  encode_job_spec(w, job.spec);
+  w.u8(static_cast<uint8_t>(job.state));
+  w.i64(job.submit_time.us);
+  w.i64(job.start_time.us);
+  w.i64(job.end_time.us);
+  w.i64(job.exit_code);
+  w.boolean(job.cancelled);
+  w.u64(job.queue_rank);
+  w.u32(job.exec_host);
+}
+
+Job decode_job(net::Reader& r) {
+  Job job;
+  job.id = r.u64();
+  job.spec = decode_job_spec(r);
+  job.state = static_cast<JobState>(r.u8());
+  job.submit_time = sim::Time{r.i64()};
+  job.start_time = sim::Time{r.i64()};
+  job.end_time = sim::Time{r.i64()};
+  job.exit_code = static_cast<int32_t>(r.i64());
+  job.cancelled = r.boolean();
+  job.queue_rank = r.u64();
+  job.exec_host = r.u32();
+  return job;
+}
+
+}  // namespace pbs

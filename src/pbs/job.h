@@ -1,0 +1,69 @@
+// PBS job model: job specification, runtime record, and the PBS state
+// machine (TORQUE-compatible states Q/H/W/R/E/C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/wire.h"
+#include "sim/time.h"
+
+namespace pbs {
+
+using JobId = uint64_t;
+constexpr JobId kInvalidJob = 0;
+
+/// PBS job states (subset of TORQUE's qstat letters).
+enum class JobState : uint8_t {
+  kQueued = 0,     ///< Q - eligible to run
+  kHeld = 1,       ///< H - user/operator hold
+  kWaiting = 2,    ///< W - waiting for its execution window
+  kRunning = 3,    ///< R - started on a mom
+  kExiting = 4,    ///< E - finishing up
+  kComplete = 5,   ///< C - done (also covers cancelled)
+};
+
+std::string_view to_string(JobState s);
+char state_letter(JobState s);
+
+/// What the user submits (the qsub arguments + script).
+struct JobSpec {
+  std::string name = "job";
+  std::string user = "user";
+  uint32_t nodes = 1;           ///< requested node count
+  sim::Duration walltime = sim::minutes(10);  ///< requested limit
+  sim::Duration run_time = sim::seconds(1);   ///< actual (simulated) runtime
+  int32_t priority = 0;
+  std::string script;           ///< payload carried for realism
+};
+
+/// Server-side runtime record.
+struct Job {
+  JobId id = kInvalidJob;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  sim::Time submit_time{0};
+  sim::Time start_time{0};
+  sim::Time end_time{0};
+  int32_t exit_code = 0;
+  bool cancelled = false;
+  uint64_t queue_rank = 0;   ///< FIFO position (submission order)
+  sim::HostId exec_host = sim::kInvalidHost;  ///< mom host while running
+
+  bool terminal() const { return state == JobState::kComplete; }
+  bool active() const {
+    return state == JobState::kRunning || state == JobState::kExiting;
+  }
+};
+
+/// "17.cluster" style PBS job id string.
+std::string job_id_string(JobId id, const std::string& server_suffix);
+
+void encode_job_spec(net::Writer& w, const JobSpec& spec);
+JobSpec decode_job_spec(net::Reader& r);
+
+void encode_job(net::Writer& w, const Job& job);
+Job decode_job(net::Reader& r);
+
+}  // namespace pbs

@@ -1,0 +1,112 @@
+// The PBS mom: the per-compute-node execution daemon.
+//
+// Supports the TORQUE 2.0p1 multi-server feature the paper relies on: one
+// mom serves every active head node's PBS server and sends job statistics
+// reports to each requesting head. A pluggable prologue hook runs before a
+// job starts -- JOSHUA installs its jmutex distributed mutual exclusion
+// there, so a job asked for by N heads starts exactly once while the other
+// N-1 launch attempts are emulated.
+//
+// The paper reports a TORQUE deficiency: moms did not "simply ignore a
+// failed head node, but rather kept the current job in running status until
+// it returned to service". MomConfig::quirk_hold_on_head_failure reproduces
+// that behaviour (reports to a dead head are retried until it returns);
+// the default is the fixed behaviour the TORQUE developers were asked for.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/rpc.h"
+#include "pbs/protocol.h"
+
+namespace sim {
+struct Calibration;
+}
+
+namespace pbs {
+
+enum class PrologueDecision : uint8_t {
+  kRun = 0,      ///< this launch attempt really executes the job
+  kEmulate = 1,  ///< another attempt runs it; report on its completion
+  kAbort = 2,    ///< refuse this launch attempt
+};
+
+struct MomConfig {
+  sim::Port port = 15002;
+  sim::Port server_port = 15001;
+  sim::Duration launch_proc = sim::msec(25);
+  sim::Duration report_retry = sim::seconds(2);
+  int report_attempts = 3;  ///< per report, when the quirk is off
+  bool quirk_hold_on_head_failure = false;
+};
+
+MomConfig mom_config_from(const sim::Calibration& cal);
+
+class Mom : public net::RpcNode {
+ public:
+  /// done(decision) may be called synchronously or after network round
+  /// trips (jmutex talks to the head group).
+  using PrologueHook =
+      std::function<void(const Job& job, sim::HostId requesting_server,
+                         std::function<void(PrologueDecision)> done)>;
+
+  Mom(sim::Network& net, sim::HostId host, MomConfig config);
+
+  /// Install the job-start prologue (JOSHUA's jmutex). Without a hook every
+  /// launch request executes (plain single-head TORQUE behaviour).
+  void set_prologue(PrologueHook hook) { prologue_ = std::move(hook); }
+
+  /// Epilogue hook (JOSHUA's jdone): runs when a job the mom really executed
+  /// finishes, before completion reports go out. `done` continues the
+  /// report fan-out; it may be called after network round trips.
+  using EpilogueHook = std::function<void(const Job& job, int32_t exit_code,
+                                          std::function<void()> done)>;
+  void set_epilogue(EpilogueHook hook) { epilogue_ = std::move(hook); }
+
+  // -- introspection ---------------------------------------------------------
+  enum class InstanceState : uint8_t { kStarting, kRunning, kEmulated, kComplete };
+  struct Instance {
+    Job job;
+    InstanceState state = InstanceState::kStarting;
+    std::set<sim::HostId> requesters;
+    int32_t exit_code = 0;
+    bool cancelled = false;
+    sim::Time start_time{0};
+    sim::Time end_time{0};
+    sim::TimerId run_timer = 0;
+    bool real_run_here = false;  ///< this mom actually executes the job
+  };
+  const std::map<JobId, Instance>& instances() const { return instances_; }
+  uint64_t jobs_executed() const { return jobs_executed_; }
+  uint64_t launches_emulated() const { return launches_emulated_; }
+  uint64_t reports_sent() const { return reports_sent_; }
+
+  // net::RpcNode:
+  void on_request(sim::Payload request, sim::Endpoint from,
+                  uint64_t rpc_id) override;
+  void on_crash() override;
+
+ private:
+  void handle_launch(MomLaunchRequest req, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_kill(const MomKillRequest& req, sim::Endpoint from,
+                   uint64_t rpc_id);
+  void handle_emu_complete(const MomEmuCompleteRequest& req,
+                           sim::Endpoint from, uint64_t rpc_id);
+
+  void start_job(Instance& inst);
+  void finish_job(JobId id, int32_t exit_code, bool cancelled);
+  void report_to(sim::HostId server, const Instance& inst, int attempt);
+
+  MomConfig config_;
+  PrologueHook prologue_;
+  EpilogueHook epilogue_;
+  std::map<JobId, Instance> instances_;
+  uint64_t jobs_executed_ = 0;
+  uint64_t launches_emulated_ = 0;
+  uint64_t reports_sent_ = 0;
+};
+
+}  // namespace pbs

@@ -1,0 +1,117 @@
+#include "pbs/scheduler.h"
+
+#include <algorithm>
+
+namespace pbs {
+namespace {
+
+/// Queued jobs in FIFO order (queue_rank, then id for total determinism).
+std::vector<const Job*> eligible_fifo(const std::map<JobId, Job>& jobs) {
+  std::vector<const Job*> out;
+  for (const auto& [id, job] : jobs) {
+    (void)id;
+    if (job.state == JobState::kQueued) out.push_back(&job);
+  }
+  std::sort(out.begin(), out.end(), [](const Job* a, const Job* b) {
+    if (a->queue_rank != b->queue_rank) return a->queue_rank < b->queue_rank;
+    return a->id < b->id;
+  });
+  return out;
+}
+
+std::vector<sim::HostId> free_nodes(const std::vector<NodeState>& nodes) {
+  std::vector<sim::HostId> out;
+  for (const NodeState& n : nodes) {
+    if (n.up && n.running == kInvalidJob) out.push_back(n.host);
+  }
+  return out;
+}
+
+size_t up_nodes(const std::vector<NodeState>& nodes) {
+  size_t count = 0;
+  for (const NodeState& n : nodes)
+    if (n.up) ++count;
+  return count;
+}
+
+}  // namespace
+
+std::vector<LaunchDecision> Scheduler::cycle(
+    const std::map<JobId, Job>& jobs, const std::vector<NodeState>& nodes,
+    sim::Time now) const {
+  std::vector<LaunchDecision> decisions;
+  std::vector<const Job*> queue = eligible_fifo(jobs);
+  if (queue.empty()) return decisions;
+
+  std::vector<sim::HostId> free = free_nodes(nodes);
+
+  if (config_.exclusive_cluster) {
+    // One job at a time on the whole cluster.
+    if (free.size() != up_nodes(nodes) || free.empty()) return decisions;
+    decisions.push_back(LaunchDecision{queue.front()->id, free});
+    return decisions;
+  }
+
+  size_t next = 0;
+  // Strict FIFO: launch from the head while nodes suffice.
+  while (next < queue.size() && queue[next]->spec.nodes <= free.size()) {
+    LaunchDecision d;
+    d.job = queue[next]->id;
+    d.nodes.assign(free.begin(),
+                   free.begin() + static_cast<ptrdiff_t>(queue[next]->spec.nodes));
+    free.erase(free.begin(),
+               free.begin() + static_cast<ptrdiff_t>(queue[next]->spec.nodes));
+    decisions.push_back(std::move(d));
+    ++next;
+  }
+  if (next >= queue.size() || config_.policy != SchedPolicy::kFifoBackfill)
+    return decisions;
+
+  // EASY backfill: the head job `queue[next]` blocks. Compute its shadow
+  // time (earliest instant enough nodes free up, by walltime estimates) and
+  // let later jobs run iff they fit in the hole without delaying it.
+  const Job* blocked = queue[next];
+  std::vector<std::pair<sim::Time, uint32_t>> releases;  // (when, node count)
+  for (const auto& [id, job] : jobs) {
+    (void)id;
+    if (job.state != JobState::kRunning) continue;
+    sim::Time release = job.start_time + job.spec.walltime;
+    if (release < now) release = now;
+    releases.emplace_back(release, job.spec.nodes);
+  }
+  std::sort(releases.begin(), releases.end());
+  size_t avail = free.size();
+  sim::Time shadow = sim::kTimeInfinity;
+  for (const auto& [when, count] : releases) {
+    avail += count;
+    if (avail >= blocked->spec.nodes) {
+      shadow = when;
+      break;
+    }
+  }
+  // Nodes free at the shadow instant that the blocked job will NOT need.
+  size_t spare_at_shadow =
+      avail >= blocked->spec.nodes ? avail - blocked->spec.nodes : 0;
+
+  for (size_t i = next + 1; i < queue.size() && !free.empty(); ++i) {
+    const Job* candidate = queue[i];
+    if (candidate->spec.nodes > free.size()) continue;
+    bool fits_before_shadow = now + candidate->spec.walltime <= shadow;
+    bool fits_spare = candidate->spec.nodes <= spare_at_shadow;
+    if (!fits_before_shadow && !fits_spare) continue;
+    LaunchDecision d;
+    d.job = candidate->id;
+    d.nodes.assign(free.begin(),
+                   free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
+    free.erase(free.begin(),
+               free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
+    if (!fits_before_shadow && fits_spare) {
+      // Runs past the shadow but on nodes the blocked job will not use.
+      spare_at_shadow -= candidate->spec.nodes;
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace pbs

@@ -1,0 +1,61 @@
+// The Maui-equivalent scheduling policy.
+//
+// The paper configures Maui for FIFO with exclusive cluster access "to
+// produce deterministic scheduling behavior on all active head nodes" --
+// that determinism is load-bearing for JOSHUA: every head must make the
+// same launch decision from the same replicated state. The scheduler is
+// therefore a pure function of (job table, node states): no clocks, no
+// randomness.
+//
+// An EASY-backfill policy is included as the extension the paper hints at
+// ("this restriction may be lifted in the future if deterministic
+// allocation behavior can be assured") -- it is still deterministic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "pbs/job.h"
+
+namespace pbs {
+
+struct NodeState {
+  sim::HostId host = sim::kInvalidHost;
+  bool up = true;
+  JobId running = kInvalidJob;  ///< job occupying this node (kInvalidJob = free)
+};
+
+enum class SchedPolicy : uint8_t {
+  kFifo = 0,          ///< strict FIFO; head-of-queue blocks
+  kFifoBackfill = 1,  ///< EASY backfill behind a blocked head job
+};
+
+struct SchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Paper configuration: each job gets the whole cluster (one job runs at
+  /// a time, on all nodes).
+  bool exclusive_cluster = true;
+};
+
+struct LaunchDecision {
+  JobId job = kInvalidJob;
+  std::vector<sim::HostId> nodes;  ///< first node is the mother superior
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config) : config_(config) {}
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// One scheduling iteration: which queued jobs start now, and where.
+  /// Deterministic: depends only on the arguments.
+  std::vector<LaunchDecision> cycle(const std::map<JobId, Job>& jobs,
+                                    const std::vector<NodeState>& nodes,
+                                    sim::Time now) const;
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace pbs

@@ -1,0 +1,515 @@
+#include "pbs/server.h"
+
+#include <algorithm>
+
+#include "sim/calibration.h"
+#include "util/logging.h"
+
+namespace pbs {
+
+ServerConfig server_config_from(const sim::Calibration& cal) {
+  ServerConfig cfg;
+  cfg.submit_proc = cal.pbs_submit_proc;
+  cfg.stat_proc = cal.pbs_stat_proc;
+  cfg.del_proc = cal.pbs_del_proc;
+  cfg.sched_cycle_proc = cal.pbs_sched_cycle;
+  return cfg;
+}
+
+Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
+    : net::RpcNode(net, host, config.port,
+                   "pbs_server@" + net.host(host).name()),
+      config_(std::move(config)),
+      scheduler_(config_.sched) {
+  for (const sim::Endpoint& mom : config_.moms) {
+    nodes_.push_back(NodeState{mom.host, true, kInvalidJob});
+  }
+  recover();
+  arm_checkpoint_timer();
+  sched_timer_ = set_timer(config_.sched_interval, [this] {
+    sched_timer_ = 0;
+    request_sched_cycle();
+  });
+}
+
+std::optional<Job> Server::find_job(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Server::count_in_state(JobState s) const {
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (job.state == s) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
+
+void Server::on_request(sim::Payload request, sim::Endpoint from,
+                        uint64_t rpc_id) {
+  Op op;
+  try {
+    op = peek_op(request);
+  } catch (const net::WireError&) {
+    return;
+  }
+  sim::Duration cost;
+  switch (op) {
+    case Op::kSubmit: cost = config_.submit_proc; break;
+    case Op::kStat: cost = config_.stat_proc; break;
+    case Op::kDelete:
+    case Op::kSignal:
+    case Op::kHold:
+    case Op::kRelease: cost = config_.del_proc; break;
+    case Op::kJobReport: cost = config_.del_proc; break;
+    case Op::kDumpState:
+    case Op::kLoadState: cost = config_.submit_proc; break;
+    default:
+      respond(from, rpc_id, encode_response(SimpleResponse{Status::kUnsupported}));
+      return;
+  }
+  execute(cost, [this, request = std::move(request), from, rpc_id, op] {
+    try {
+      switch (op) {
+        case Op::kSubmit:
+          handle_submit(decode_submit(request), from, rpc_id);
+          break;
+        case Op::kStat:
+          handle_stat(decode_stat(request), from, rpc_id);
+          break;
+        case Op::kDelete:
+          handle_delete(decode_delete(request), from, rpc_id);
+          break;
+        case Op::kSignal:
+          handle_signal(decode_signal(request), from, rpc_id);
+          break;
+        case Op::kHold:
+          handle_hold(decode_hold(request), from, rpc_id);
+          break;
+        case Op::kRelease:
+          handle_release(decode_release(request), from, rpc_id);
+          break;
+        case Op::kJobReport:
+          handle_report(decode_job_report(request), from, rpc_id);
+          break;
+        case Op::kDumpState:
+          handle_dump_state(from, rpc_id);
+          break;
+        case Op::kLoadState:
+          handle_load_state(decode_load_state(request), from, rpc_id);
+          break;
+        default:
+          break;
+      }
+    } catch (const net::WireError& e) {
+      JLOG(kWarn, "pbs") << name() << ": bad request: " << e.what();
+      respond(from, rpc_id, encode_response(SimpleResponse{Status::kInternal}));
+    }
+  });
+}
+
+void Server::handle_submit(const SubmitRequest& req, sim::Endpoint from,
+                           uint64_t rpc_id) {
+  Job job;
+  if (req.forced_id != kInvalidJob) {
+    if (jobs_.count(req.forced_id)) {
+      respond(from, rpc_id,
+              encode_response(SubmitResponse{Status::kInvalidState,
+                                             req.forced_id}));
+      return;
+    }
+    job.id = req.forced_id;
+    next_job_id_ = std::max(next_job_id_, req.forced_id + 1);
+  } else {
+    job.id = next_job_id_++;
+  }
+  job.spec = req.spec;
+  job.state = JobState::kQueued;
+  job.submit_time = sim().now();
+  job.queue_rank = next_rank_++;
+  jobs_.emplace(job.id, job);
+  ++submissions_;
+  persist();
+  JLOG(kDebug, "pbs") << name() << ": queued job " << job.id << " ("
+                      << job.spec.name << ")";
+  respond(from, rpc_id, encode_response(SubmitResponse{Status::kOk, job.id}));
+  request_sched_cycle();
+}
+
+void Server::handle_stat(const StatRequest& req, sim::Endpoint from,
+                         uint64_t rpc_id) {
+  StatResponse resp;
+  if (req.job_id != kInvalidJob) {
+    auto it = jobs_.find(req.job_id);
+    if (it == jobs_.end()) {
+      resp.status = Status::kUnknownJob;
+    } else {
+      resp.jobs.push_back(it->second);
+    }
+  } else {
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (!req.include_complete && job.terminal()) continue;
+      resp.jobs.push_back(job);
+    }
+  }
+  respond(from, rpc_id, encode_response(resp));
+}
+
+void Server::handle_delete(const DeleteRequest& req, sim::Endpoint from,
+                           uint64_t rpc_id) {
+  auto it = jobs_.find(req.job_id);
+  if (it == jobs_.end()) {
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kUnknownJob}));
+    return;
+  }
+  Job& job = it->second;
+  if (job.terminal()) {
+    respond(from, rpc_id,
+            encode_response(SimpleResponse{Status::kInvalidState}));
+    return;
+  }
+  if (job.state == JobState::kRunning) {
+    job.state = JobState::kExiting;
+    job.cancelled = true;
+    MomKillRequest kill{job.id, host_id()};
+    call(sim::Endpoint{job.exec_host, config_.moms.empty()
+                                          ? sim::Port(15002)
+                                          : config_.moms.front().port},
+         encode_request(kill), [](std::optional<sim::Payload>) {});
+  } else {
+    job.state = JobState::kComplete;
+    job.cancelled = true;
+    job.end_time = sim().now();
+  }
+  persist();
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+  request_sched_cycle();
+}
+
+void Server::handle_signal(const SignalRequest& req, sim::Endpoint from,
+                           uint64_t rpc_id) {
+  auto it = jobs_.find(req.job_id);
+  if (it == jobs_.end()) {
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kUnknownJob}));
+    return;
+  }
+  Job& job = it->second;
+  if (job.state != JobState::kRunning) {
+    respond(from, rpc_id,
+            encode_response(SimpleResponse{Status::kInvalidState}));
+    return;
+  }
+  // SIGTERM/SIGKILL terminate; anything else is delivered but has no
+  // modelled effect.
+  if (req.signal == 15 || req.signal == 9) {
+    job.state = JobState::kExiting;
+    job.cancelled = true;
+    MomKillRequest kill{job.id, host_id()};
+    call(sim::Endpoint{job.exec_host, config_.moms.empty()
+                                          ? sim::Port(15002)
+                                          : config_.moms.front().port},
+         encode_request(kill), [](std::optional<sim::Payload>) {});
+    persist();
+  }
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+}
+
+void Server::handle_hold(const HoldRequest& req, sim::Endpoint from,
+                         uint64_t rpc_id) {
+  auto it = jobs_.find(req.job_id);
+  if (it == jobs_.end()) {
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kUnknownJob}));
+    return;
+  }
+  Job& job = it->second;
+  if (job.state != JobState::kQueued) {
+    respond(from, rpc_id,
+            encode_response(SimpleResponse{Status::kInvalidState}));
+    return;
+  }
+  job.state = JobState::kHeld;
+  persist();
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+}
+
+void Server::handle_release(const ReleaseRequest& req, sim::Endpoint from,
+                            uint64_t rpc_id) {
+  auto it = jobs_.find(req.job_id);
+  if (it == jobs_.end()) {
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kUnknownJob}));
+    return;
+  }
+  Job& job = it->second;
+  if (job.state != JobState::kHeld) {
+    respond(from, rpc_id,
+            encode_response(SimpleResponse{Status::kInvalidState}));
+    return;
+  }
+  job.state = JobState::kQueued;
+  persist();
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+  request_sched_cycle();
+}
+
+void Server::handle_report(const JobReport& report, sim::Endpoint from,
+                           uint64_t rpc_id) {
+  // Always ack: the mom retries otherwise.
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+  auto it = jobs_.find(report.job_id);
+  if (it == jobs_.end()) {
+    JLOG(kDebug, "pbs") << name() << ": report for unknown job "
+                        << report.job_id;
+    return;
+  }
+  Job& job = it->second;
+  if (job.terminal()) return;  // duplicate report
+  complete_job(job, report);
+  request_sched_cycle();
+}
+
+void Server::handle_dump_state(sim::Endpoint from, uint64_t rpc_id) {
+  DumpStateResponse resp;
+  resp.state = serialize_state();
+  respond(from, rpc_id, encode_response(resp));
+}
+
+void Server::handle_load_state(const LoadStateRequest& req, sim::Endpoint from,
+                               uint64_t rpc_id) {
+  try {
+    apply_state(req.state);
+    persist();
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+    request_sched_cycle();
+  } catch (const net::WireError&) {
+    respond(from, rpc_id, encode_response(SimpleResponse{Status::kInternal}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling & launching
+// ---------------------------------------------------------------------------
+
+void Server::request_sched_cycle() {
+  if (sched_pending_) return;
+  sched_pending_ = true;
+  execute(config_.sched_cycle_proc, [this] {
+    sched_pending_ = false;
+    run_sched_cycle();
+  });
+}
+
+void Server::run_sched_cycle() {
+  for (const LaunchDecision& d : scheduler_.cycle(jobs_, nodes_, sim().now())) {
+    auto it = jobs_.find(d.job);
+    if (it == jobs_.end()) continue;
+    launch(it->second, d.nodes);
+  }
+  if (sched_timer_ == 0) {
+    sched_timer_ = set_timer(config_.sched_interval, [this] {
+      sched_timer_ = 0;
+      request_sched_cycle();
+    });
+  }
+}
+
+void Server::launch(Job& job, const std::vector<sim::HostId>& node_hosts) {
+  if (job.state != JobState::kQueued || node_hosts.empty()) return;
+  job.state = JobState::kRunning;
+  job.start_time = sim().now();
+  job.exec_host = node_hosts.front();
+  for (sim::HostId h : node_hosts) {
+    if (NodeState* n = node_by_host(h)) n->running = job.id;
+  }
+  persist();
+  if (on_job_start) on_job_start(job);
+
+  // The mother superior (first node) runs the job.
+  sim::Endpoint mom{job.exec_host, config_.moms.front().port};
+  for (const sim::Endpoint& m : config_.moms) {
+    if (m.host == job.exec_host) mom = m;
+  }
+  MomLaunchRequest req{job, host_id()};
+  JobId id = job.id;
+  net::CallOptions options;
+  options.timeout = config_.mom_launch_timeout;
+  call(mom, encode_request(req),
+       [this, id](std::optional<sim::Payload> resp) {
+         auto it = jobs_.find(id);
+         if (it == jobs_.end()) return;
+         Job& job = it->second;
+         if (!resp.has_value()) {
+           // Mom unreachable: mark the node down and requeue.
+           JLOG(kWarn, "pbs") << name() << ": launch of job " << id
+                              << " timed out; requeueing";
+           if (NodeState* n = node_by_host(job.exec_host)) n->up = false;
+           if (job.state == JobState::kRunning) {
+             free_nodes_of(job.id);
+             job.state = JobState::kQueued;
+             job.exec_host = sim::kInvalidHost;
+             persist();
+             request_sched_cycle();
+           }
+           return;
+         }
+         try {
+           MomLaunchResponse launch = decode_mom_launch_response(*resp);
+           if (launch.status != Status::kOk) {
+             if (job.state == JobState::kRunning) {
+               free_nodes_of(job.id);
+               job.state = JobState::kQueued;
+               job.exec_host = sim::kInvalidHost;
+               persist();
+               request_sched_cycle();
+             }
+           }
+         } catch (const net::WireError&) {
+         }
+       },
+       options);
+}
+
+void Server::complete_job(Job& job, const JobReport& report) {
+  job.state = JobState::kComplete;
+  job.exit_code = report.exit_code;
+  job.cancelled = job.cancelled || report.cancelled;
+  if (report.start_time.us > 0) job.start_time = report.start_time;
+  job.end_time = report.end_time.us > 0 ? report.end_time : sim().now();
+  free_nodes_of(job.id);
+  persist();
+  JLOG(kDebug, "pbs") << name() << ": job " << job.id << " complete (exit "
+                      << job.exit_code << ")";
+  if (on_job_complete) on_job_complete(job);
+}
+
+void Server::free_nodes_of(JobId id) {
+  for (NodeState& n : nodes_) {
+    if (n.running == id) n.running = kInvalidJob;
+  }
+}
+
+NodeState* Server::node_by_host(sim::HostId host) {
+  for (NodeState& n : nodes_) {
+    if (n.host == host) return &n;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+sim::Payload Server::serialize_state() const {
+  net::Writer w;
+  w.u64(next_job_id_);
+  w.u64(next_rank_);
+  w.u64(submissions_);
+  w.u32(static_cast<uint32_t>(jobs_.size()));
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    encode_job(w, job);
+  }
+  return w.take();
+}
+
+void Server::apply_state(const sim::Payload& state) {
+  net::Reader r(state);
+  next_job_id_ = r.u64();
+  next_rank_ = r.u64();
+  submissions_ = r.u64();
+  uint32_t n = r.u32();
+  jobs_.clear();
+  for (NodeState& node : nodes_) node.running = kInvalidJob;
+  for (uint32_t i = 0; i < n; ++i) {
+    Job job = decode_job(r);
+    // Jobs that were running when the state was captured lost their parent
+    // server: they restart from the queue (Section 2: applications have to
+    // be restarted after an active/standby failover).
+    if (job.active()) {
+      job.state = JobState::kQueued;
+      job.exec_host = sim::kInvalidHost;
+    }
+    jobs_.emplace(job.id, std::move(job));
+  }
+  r.expect_done();
+}
+
+std::map<std::string, std::string>& Server::storage() {
+  if (config_.shared_storage) return *config_.shared_storage;
+  return host().disk();
+}
+
+void Server::persist() {
+  if (!config_.persist) return;
+  if (config_.checkpoint_interval.us > 0) return;  // timer-driven instead
+  sim::Payload state = serialize_state();
+  storage()["pbs.state"] =
+      std::string(reinterpret_cast<const char*>(state.data()), state.size());
+}
+
+void Server::arm_checkpoint_timer() {
+  if (!config_.persist || config_.checkpoint_interval.us <= 0) return;
+  checkpoint_timer_ = set_timer(config_.checkpoint_interval, [this] {
+    sim::Payload state = serialize_state();
+    storage()["pbs.state"] =
+        std::string(reinterpret_cast<const char*>(state.data()), state.size());
+    arm_checkpoint_timer();
+  });
+}
+
+void Server::recover() {
+  if (!config_.persist) return;
+  auto it = storage().find("pbs.state");
+  if (it == storage().end()) return;
+  const std::string& blob = it->second;
+  sim::Payload state(blob.begin(), blob.end());
+  try {
+    apply_state(state);
+    JLOG(kInfo, "pbs") << name() << ": recovered " << jobs_.size()
+                       << " jobs from storage";
+  } catch (const net::WireError& e) {
+    JLOG(kError, "pbs") << name() << ": corrupt state: " << e.what();
+  }
+}
+
+void Server::reset_state() {
+  jobs_.clear();
+  next_job_id_ = 1;
+  next_rank_ = 1;
+  submissions_ = 0;
+  for (NodeState& n : nodes_) n.running = kInvalidJob;
+  persist();
+}
+
+void Server::on_crash() {
+  net::RpcNode::on_crash();
+  sched_timer_ = 0;
+  checkpoint_timer_ = 0;
+  sched_pending_ = false;
+}
+
+void Server::on_restart() {
+  // Fresh daemon: volatile state resets, then recovery from storage.
+  jobs_.clear();
+  next_job_id_ = 1;
+  next_rank_ = 1;
+  submissions_ = 0;
+  for (NodeState& n : nodes_) {
+    n.up = true;
+    n.running = kInvalidJob;
+  }
+  recover();
+  arm_checkpoint_timer();
+  sched_timer_ = set_timer(config_.sched_interval, [this] {
+    sched_timer_ = 0;
+    request_sched_cycle();
+  });
+}
+
+}  // namespace pbs

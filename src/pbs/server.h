@@ -1,0 +1,145 @@
+// The TORQUE-equivalent PBS server: job queue, PBS state machine,
+// scheduling cycles, mom control, persistence.
+//
+// This is the unmodified service JOSHUA wraps externally: it knows nothing
+// about replication. Determinism (FIFO scheduling, ids assigned in request
+// order) is what lets N replicas fed the same totally-ordered command
+// stream stay identical -- the paper's core requirement for any service put
+// behind symmetric active/active replication.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "net/rpc.h"
+#include "pbs/protocol.h"
+#include "pbs/scheduler.h"
+
+namespace sim {
+struct Calibration;
+}
+
+namespace pbs {
+
+struct ServerConfig {
+  sim::Port port = 15001;
+  std::string server_suffix = "cluster";
+  /// Compute-node mom endpoints.
+  std::vector<sim::Endpoint> moms;
+  SchedulerConfig sched;
+  /// Periodic scheduling interval (Maui iteration).
+  sim::Duration sched_interval = sim::msec(500);
+
+  // CPU cost model.
+  sim::Duration submit_proc = sim::msec(72);
+  sim::Duration stat_proc = sim::msec(22);
+  sim::Duration del_proc = sim::msec(30);
+  sim::Duration sched_cycle_proc = sim::msec(12);
+
+  /// Persist state so a restart recovers the queue (running jobs requeue,
+  /// as after a TORQUE failover). Set checkpoint_interval > 0 to persist
+  /// periodically instead of on every mutation (warm standby with possible
+  /// rollback, the active/standby baseline of Section 2).
+  bool persist = true;
+  sim::Duration checkpoint_interval = sim::kDurationZero;
+  /// Where to persist; when null the host's local disk is used. The
+  /// active/standby baseline points both primary and standby at one shared
+  /// map (the "shared stable storage" of Figure 2).
+  std::shared_ptr<std::map<std::string, std::string>> shared_storage;
+
+  sim::Duration mom_launch_timeout = sim::seconds(8);
+};
+
+/// Fill the cost fields from the testbed calibration.
+ServerConfig server_config_from(const sim::Calibration& cal);
+
+class Server : public net::RpcNode {
+ public:
+  Server(sim::Network& net, sim::HostId host, ServerConfig config);
+
+  const ServerConfig& config() const { return config_; }
+
+  // -- introspection (tests, examples, JOSHUA) -------------------------------
+
+  const std::map<JobId, Job>& jobs() const { return jobs_; }
+  std::optional<Job> find_job(JobId id) const;
+  size_t count_in_state(JobState s) const;
+  const std::vector<NodeState>& nodes() const { return nodes_; }
+  uint64_t submissions() const { return submissions_; }
+
+  /// Observers (used by JOSHUA's interceptor and by tests).
+  std::function<void(const Job&)> on_job_start;
+  std::function<void(const Job&)> on_job_complete;
+
+  /// Force a recovery from persistent storage (also runs on host restart).
+  void recover();
+
+  /// Direct state snapshot/install, bypassing the service interface. The
+  /// paper's future-work "unified and location independent state
+  /// description" (SSS-style); used by JOSHUA's snapshot transfer mode.
+  sim::Payload dump_state_blob() const { return serialize_state(); }
+  void load_state_blob(const sim::Payload& state) {
+    apply_state(state);
+    persist();
+    request_sched_cycle();
+  }
+
+  /// Drop all jobs and counters (a freshly installed server, as the paper
+  /// assumes on a joining head before its state transfer).
+  void reset_state();
+
+  // net::RpcNode:
+  void on_request(sim::Payload request, sim::Endpoint from,
+                  uint64_t rpc_id) override;
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  void handle_submit(const SubmitRequest& req, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_stat(const StatRequest& req, sim::Endpoint from,
+                   uint64_t rpc_id);
+  void handle_delete(const DeleteRequest& req, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_signal(const SignalRequest& req, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_hold(const HoldRequest& req, sim::Endpoint from,
+                   uint64_t rpc_id);
+  void handle_release(const ReleaseRequest& req, sim::Endpoint from,
+                      uint64_t rpc_id);
+  void handle_report(const JobReport& report, sim::Endpoint from,
+                     uint64_t rpc_id);
+  void handle_dump_state(sim::Endpoint from, uint64_t rpc_id);
+  void handle_load_state(const LoadStateRequest& req, sim::Endpoint from,
+                         uint64_t rpc_id);
+
+  void request_sched_cycle();
+  void run_sched_cycle();
+  void launch(Job& job, const std::vector<sim::HostId>& nodes);
+  void complete_job(Job& job, const JobReport& report);
+  void free_nodes_of(JobId id);
+  NodeState* node_by_host(sim::HostId host);
+
+  // Persistence.
+  sim::Payload serialize_state() const;
+  void apply_state(const sim::Payload& state);
+  void persist();
+  std::map<std::string, std::string>& storage();
+  void arm_checkpoint_timer();
+
+  ServerConfig config_;
+  std::map<JobId, Job> jobs_;
+  JobId next_job_id_ = 1;
+  uint64_t next_rank_ = 1;
+  uint64_t submissions_ = 0;
+  std::vector<NodeState> nodes_;
+  Scheduler scheduler_;
+  bool sched_pending_ = false;
+  sim::TimerId sched_timer_ = 0;
+  sim::TimerId checkpoint_timer_ = 0;
+};
+
+}  // namespace pbs

@@ -1,0 +1,347 @@
+#include "pvfs/metadata.h"
+
+#include "net/wire.h"
+#include "util/strings.h"
+
+namespace pvfs {
+
+std::string_view to_string(MdStatus s) {
+  switch (s) {
+    case MdStatus::kOk: return "ok";
+    case MdStatus::kNotFound: return "not found";
+    case MdStatus::kExists: return "already exists";
+    case MdStatus::kNotDirectory: return "not a directory";
+    case MdStatus::kNotEmpty: return "directory not empty";
+    case MdStatus::kInvalid: return "invalid request";
+  }
+  return "?";
+}
+
+// -- wire ---------------------------------------------------------------------
+
+sim::Payload encode(const MdRequest& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(m.op));
+  w.u64(m.dir);
+  w.u64(m.handle);
+  w.u64(m.dir2);
+  w.str(m.name);
+  w.str(m.name2);
+  w.u32(m.mode);
+  w.u64(m.size);
+  return w.take();
+}
+
+MdRequest decode_request(const sim::Payload& buf) {
+  net::Reader r(buf);
+  MdRequest m;
+  m.op = static_cast<MdOp>(r.u8());
+  m.dir = r.u64();
+  m.handle = r.u64();
+  m.dir2 = r.u64();
+  m.name = r.str();
+  m.name2 = r.str();
+  m.mode = r.u32();
+  m.size = r.u64();
+  r.expect_done();
+  return m;
+}
+
+namespace {
+void encode_attr(net::Writer& w, const Attr& a) {
+  w.u8(static_cast<uint8_t>(a.type));
+  w.u32(a.mode);
+  w.u64(a.size);
+  w.u64(a.ctime);
+  w.u64(a.mtime);
+  w.u64(a.version);
+}
+Attr decode_attr(net::Reader& r) {
+  Attr a;
+  a.type = static_cast<ObjType>(r.u8());
+  a.mode = r.u32();
+  a.size = r.u64();
+  a.ctime = r.u64();
+  a.mtime = r.u64();
+  a.version = r.u64();
+  return a;
+}
+}  // namespace
+
+sim::Payload encode(const MdResponse& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(m.status));
+  w.u64(m.handle);
+  encode_attr(w, m.attr);
+  w.vec(m.entries, [](net::Writer& w2, const MdEntry& e) {
+    w2.str(e.name);
+    w2.u64(e.handle);
+    w2.u8(static_cast<uint8_t>(e.type));
+  });
+  return w.take();
+}
+
+MdResponse decode_response(const sim::Payload& buf) {
+  net::Reader r(buf);
+  MdResponse m;
+  m.status = static_cast<MdStatus>(r.u8());
+  m.handle = r.u64();
+  m.attr = decode_attr(r);
+  m.entries = r.vec<MdEntry>([](net::Reader& r2) {
+    MdEntry e;
+    e.name = r2.str();
+    e.handle = r2.u64();
+    e.type = static_cast<ObjType>(r2.u8());
+    return e;
+  });
+  r.expect_done();
+  return m;
+}
+
+// -- server --------------------------------------------------------------------
+
+MetadataServer::MetadataServer() {
+  Object root;
+  root.attr.type = ObjType::kDirectory;
+  root.attr.mode = 0755;
+  objects_.emplace(kRootHandle, std::move(root));
+}
+
+sim::Payload MetadataServer::apply(const sim::Payload& request) {
+  MdRequest req;
+  try {
+    req = decode_request(request);
+  } catch (const net::WireError&) {
+    return encode(MdResponse{MdStatus::kInvalid, kInvalidHandle, {}, {}});
+  }
+  return encode(apply_typed(req));
+}
+
+MdResponse MetadataServer::apply_typed(const MdRequest& request) {
+  ++op_counter_;
+  switch (request.op) {
+    case MdOp::kLookup: return lookup(request);
+    case MdOp::kCreate: return create(request, ObjType::kFile);
+    case MdOp::kMkdir: return create(request, ObjType::kDirectory);
+    case MdOp::kRemove: return remove(request);
+    case MdOp::kReaddir: return readdir(request);
+    case MdOp::kGetattr: return getattr(request);
+    case MdOp::kSetattr: return setattr(request);
+    case MdOp::kRename: return rename(request);
+  }
+  return {MdStatus::kInvalid, kInvalidHandle, {}, {}};
+}
+
+bool MetadataServer::is_read_only(const sim::Payload& request) const {
+  if (request.empty()) return false;
+  auto op = static_cast<MdOp>(request[0]);
+  return op == MdOp::kLookup || op == MdOp::kReaddir || op == MdOp::kGetattr;
+}
+
+sim::Duration MetadataServer::apply_cost(const sim::Payload& request) const {
+  return is_read_only(request) ? sim::msec(2) : sim::msec(6);
+}
+
+const MetadataServer::Object* MetadataServer::find(Handle h) const {
+  auto it = objects_.find(h);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+MetadataServer::Object* MetadataServer::find(Handle h) {
+  auto it = objects_.find(h);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool MetadataServer::valid_name(const std::string& name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string::npos;
+}
+
+MdResponse MetadataServer::lookup(const MdRequest& req) const {
+  const Object* dir = find(req.dir);
+  if (dir == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  if (dir->attr.type != ObjType::kDirectory)
+    return {MdStatus::kNotDirectory, kInvalidHandle, {}, {}};
+  auto it = dir->entries.find(req.name);
+  if (it == dir->entries.end())
+    return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  const Object* target = find(it->second);
+  MdResponse resp{MdStatus::kOk, it->second, {}, {}};
+  if (target != nullptr) resp.attr = target->attr;
+  return resp;
+}
+
+MdResponse MetadataServer::create(const MdRequest& req, ObjType type) {
+  Object* dir = find(req.dir);
+  if (dir == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  if (dir->attr.type != ObjType::kDirectory)
+    return {MdStatus::kNotDirectory, kInvalidHandle, {}, {}};
+  if (!valid_name(req.name))
+    return {MdStatus::kInvalid, kInvalidHandle, {}, {}};
+  if (dir->entries.count(req.name))
+    return {MdStatus::kExists, kInvalidHandle, {}, {}};
+
+  Handle h = next_handle_++;
+  Object obj;
+  obj.attr.type = type;
+  obj.attr.mode = req.mode;
+  obj.attr.ctime = obj.attr.mtime = op_counter_;
+  dir->entries.emplace(req.name, h);
+  dir->attr.mtime = op_counter_;
+  ++dir->attr.version;
+  MdResponse resp{MdStatus::kOk, h, obj.attr, {}};
+  objects_.emplace(h, std::move(obj));
+  return resp;
+}
+
+MdResponse MetadataServer::remove(const MdRequest& req) {
+  Object* dir = find(req.dir);
+  if (dir == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  if (dir->attr.type != ObjType::kDirectory)
+    return {MdStatus::kNotDirectory, kInvalidHandle, {}, {}};
+  auto it = dir->entries.find(req.name);
+  if (it == dir->entries.end())
+    return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  Handle h = it->second;
+  const Object* target = find(h);
+  if (target != nullptr && target->attr.type == ObjType::kDirectory &&
+      !target->entries.empty()) {
+    return {MdStatus::kNotEmpty, h, {}, {}};
+  }
+  dir->entries.erase(it);
+  dir->attr.mtime = op_counter_;
+  ++dir->attr.version;
+  objects_.erase(h);
+  return {MdStatus::kOk, h, {}, {}};
+}
+
+MdResponse MetadataServer::readdir(const MdRequest& req) const {
+  const Object* dir = find(req.dir);
+  if (dir == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  if (dir->attr.type != ObjType::kDirectory)
+    return {MdStatus::kNotDirectory, kInvalidHandle, {}, {}};
+  MdResponse resp{MdStatus::kOk, req.dir, dir->attr, {}};
+  for (const auto& [name, handle] : dir->entries) {
+    const Object* child = find(handle);
+    resp.entries.push_back(
+        {name, handle,
+         child != nullptr ? child->attr.type : ObjType::kFile});
+  }
+  return resp;
+}
+
+MdResponse MetadataServer::getattr(const MdRequest& req) const {
+  const Object* obj = find(req.handle);
+  if (obj == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  return {MdStatus::kOk, req.handle, obj->attr, {}};
+}
+
+MdResponse MetadataServer::setattr(const MdRequest& req) {
+  Object* obj = find(req.handle);
+  if (obj == nullptr) return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  obj->attr.mode = req.mode;
+  if (obj->attr.type == ObjType::kFile) obj->attr.size = req.size;
+  obj->attr.mtime = op_counter_;
+  ++obj->attr.version;
+  return {MdStatus::kOk, req.handle, obj->attr, {}};
+}
+
+MdResponse MetadataServer::rename(const MdRequest& req) {
+  Object* src = find(req.dir);
+  Object* dst = find(req.dir2);
+  if (src == nullptr || dst == nullptr)
+    return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  if (src->attr.type != ObjType::kDirectory ||
+      dst->attr.type != ObjType::kDirectory)
+    return {MdStatus::kNotDirectory, kInvalidHandle, {}, {}};
+  if (!valid_name(req.name2))
+    return {MdStatus::kInvalid, kInvalidHandle, {}, {}};
+  auto it = src->entries.find(req.name);
+  if (it == src->entries.end())
+    return {MdStatus::kNotFound, kInvalidHandle, {}, {}};
+  // POSIX rename replaces an existing destination entry if removable.
+  auto dit = dst->entries.find(req.name2);
+  if (dit != dst->entries.end()) {
+    const Object* existing = find(dit->second);
+    if (existing != nullptr && existing->attr.type == ObjType::kDirectory &&
+        !existing->entries.empty()) {
+      return {MdStatus::kNotEmpty, dit->second, {}, {}};
+    }
+    objects_.erase(dit->second);
+    dst->entries.erase(dit);
+  }
+  Handle h = it->second;
+  src->entries.erase(it);
+  dst->entries.emplace(req.name2, h);
+  src->attr.mtime = op_counter_;
+  ++src->attr.version;
+  dst->attr.mtime = op_counter_;
+  ++dst->attr.version;
+  return {MdStatus::kOk, h, {}, {}};
+}
+
+// -- snapshot ------------------------------------------------------------------
+
+sim::Payload MetadataServer::snapshot() const {
+  net::Writer w;
+  w.u64(next_handle_);
+  w.u64(op_counter_);
+  w.u32(static_cast<uint32_t>(objects_.size()));
+  for (const auto& [handle, obj] : objects_) {
+    w.u64(handle);
+    encode_attr(w, obj.attr);
+    w.u32(static_cast<uint32_t>(obj.entries.size()));
+    for (const auto& [name, child] : obj.entries) {
+      w.str(name);
+      w.u64(child);
+    }
+  }
+  return w.take();
+}
+
+void MetadataServer::install(const sim::Payload& snapshot) {
+  net::Reader r(snapshot);
+  Handle next_handle = r.u64();
+  uint64_t op_counter = r.u64();
+  uint32_t count = r.u32();
+  std::map<Handle, Object> objects;
+  for (uint32_t i = 0; i < count; ++i) {
+    Handle handle = r.u64();
+    Object obj;
+    obj.attr = decode_attr(r);
+    uint32_t entries = r.u32();
+    for (uint32_t e = 0; e < entries; ++e) {
+      std::string name = r.str();
+      obj.entries.emplace(std::move(name), r.u64());
+    }
+    objects.emplace(handle, std::move(obj));
+  }
+  r.expect_done();
+  objects_ = std::move(objects);
+  next_handle_ = next_handle;
+  op_counter_ = op_counter;
+}
+
+// -- helpers ------------------------------------------------------------------
+
+Handle MetadataServer::resolve(const std::string& path) const {
+  Handle current = kRootHandle;
+  for (const std::string& part : jutil::split(path, '/')) {
+    if (part.empty()) continue;
+    const Object* dir = find(current);
+    if (dir == nullptr || dir->attr.type != ObjType::kDirectory)
+      return kInvalidHandle;
+    auto it = dir->entries.find(part);
+    if (it == dir->entries.end()) return kInvalidHandle;
+    current = it->second;
+  }
+  return current;
+}
+
+std::optional<Attr> MetadataServer::attr_of(Handle h) const {
+  const Object* obj = find(h);
+  if (obj == nullptr) return std::nullopt;
+  return obj->attr;
+}
+
+}  // namespace pvfs

@@ -1,0 +1,136 @@
+// PVFS-style file system metadata service.
+//
+// The paper names the PVFS metadata server as the next target for the same
+// symmetric active/active treatment (Sections 1 and 6; the ARES 2006
+// companion paper). This is that service: a deterministic namespace server
+// (handles, directories, attributes) that plugs into rsm::ReplicaNode.
+// Data servers (file contents) are out of scope -- PVFS separates them
+// from metadata exactly so the metadata server can be treated this way.
+//
+// Determinism notes: handles come from a counter, timestamps are logical
+// (the operation sequence number), so N replicas fed the same ordered
+// request stream stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rsm/replicated_service.h"
+
+namespace pvfs {
+
+using Handle = uint64_t;
+constexpr Handle kInvalidHandle = 0;
+constexpr Handle kRootHandle = 1;
+
+enum class ObjType : uint8_t { kDirectory = 1, kFile = 2 };
+
+enum class MdStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kExists = 2,
+  kNotDirectory = 3,
+  kNotEmpty = 4,
+  kInvalid = 5,
+};
+
+std::string_view to_string(MdStatus s);
+
+struct Attr {
+  ObjType type = ObjType::kFile;
+  uint32_t mode = 0644;
+  uint64_t size = 0;
+  uint64_t ctime = 0;  ///< logical creation time (operation seq)
+  uint64_t mtime = 0;  ///< logical modification time
+  uint64_t version = 0;
+};
+
+enum class MdOp : uint8_t {
+  kLookup = 1,   ///< (dir, name) -> handle
+  kCreate = 2,   ///< (dir, name, mode) -> handle         [file]
+  kMkdir = 3,    ///< (dir, name, mode) -> handle         [directory]
+  kRemove = 4,   ///< (dir, name); directories must be empty
+  kReaddir = 5,  ///< dir -> sorted entry list
+  kGetattr = 6,  ///< handle -> Attr
+  kSetattr = 7,  ///< (handle, mode, size) -> Attr
+  kRename = 8,   ///< (src dir, src name, dst dir, dst name)
+};
+
+struct MdRequest {
+  MdOp op = MdOp::kLookup;
+  Handle dir = kInvalidHandle;
+  Handle handle = kInvalidHandle;   // getattr/setattr target
+  Handle dir2 = kInvalidHandle;     // rename destination dir
+  std::string name;
+  std::string name2;                // rename destination name
+  uint32_t mode = 0644;
+  uint64_t size = 0;
+};
+
+struct MdEntry {
+  std::string name;
+  Handle handle = kInvalidHandle;
+  ObjType type = ObjType::kFile;
+};
+
+struct MdResponse {
+  MdStatus status = MdStatus::kOk;
+  Handle handle = kInvalidHandle;
+  Attr attr;
+  std::vector<MdEntry> entries;
+};
+
+sim::Payload encode(const MdRequest&);
+MdRequest decode_request(const sim::Payload&);
+sim::Payload encode(const MdResponse&);
+MdResponse decode_response(const sim::Payload&);
+
+/// The metadata server itself: deterministic, snapshot-able.
+class MetadataServer : public rsm::IDeterministicService {
+ public:
+  MetadataServer();
+
+  // rsm::IDeterministicService:
+  sim::Payload apply(const sim::Payload& request) override;
+  sim::Payload snapshot() const override;
+  void install(const sim::Payload& snapshot) override;
+  bool is_read_only(const sim::Payload& request) const override;
+  sim::Duration apply_cost(const sim::Payload& request) const override;
+
+  /// Typed entry point (also used directly by unit tests).
+  MdResponse apply_typed(const MdRequest& request);
+
+  // -- introspection ---------------------------------------------------------
+  size_t object_count() const { return objects_.size(); }
+  uint64_t operations() const { return op_counter_; }
+  /// Resolve an absolute slash path; kInvalidHandle when missing.
+  Handle resolve(const std::string& path) const;
+  std::optional<Attr> attr_of(Handle h) const;
+
+ private:
+  struct Object {
+    Attr attr;
+    std::map<std::string, Handle> entries;  ///< directories only
+  };
+
+  MdResponse lookup(const MdRequest&) const;
+  MdResponse create(const MdRequest&, ObjType type);
+  MdResponse remove(const MdRequest&);
+  MdResponse readdir(const MdRequest&) const;
+  MdResponse getattr(const MdRequest&) const;
+  MdResponse setattr(const MdRequest&);
+  MdResponse rename(const MdRequest&);
+
+  const Object* find(Handle h) const;
+  Object* find(Handle h);
+  static bool valid_name(const std::string& name);
+
+  std::map<Handle, Object> objects_;
+  Handle next_handle_ = kRootHandle + 1;
+  uint64_t op_counter_ = 0;
+};
+
+}  // namespace pvfs

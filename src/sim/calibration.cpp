@@ -1,0 +1,28 @@
+#include "sim/calibration.h"
+
+namespace sim {
+
+Calibration fast_calibration() {
+  Calibration cal;
+  cal.network.stack_latency = usec(10);
+  cal.network.local_ipc = usec(10);
+  cal.network.propagation = usec(5);
+  cal.network.jitter = usec(0);
+  cal.cmd_startup = usec(100);
+  cal.cmd_teardown = usec(50);
+  cal.pbs_submit_proc = usec(200);
+  cal.pbs_stat_proc = usec(100);
+  cal.pbs_del_proc = usec(100);
+  cal.pbs_sched_cycle = usec(100);
+  cal.pbs_mom_launch = usec(100);
+  cal.joshua_cmd_proc = usec(50);
+  cal.joshua_exec_proc = usec(50);
+  cal.joshua_relay_proc = usec(20);
+  cal.gcs_send_proc = usec(20);
+  cal.gcs_data_proc = usec(50);
+  cal.gcs_ack_proc = usec(40);
+  cal.gcs_self_deliver = usec(10);
+  return cal;
+}
+
+}  // namespace sim

@@ -1,0 +1,66 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+
+namespace sim {
+
+void FailureInjector::crash_at(HostId host, Time at) {
+  net_.sim().schedule_at(at, [this, host] { net_.crash_host(host); });
+  outages_.push_back({host, at, kTimeInfinity});
+}
+
+void FailureInjector::restart_at(HostId host, Time at) {
+  net_.sim().schedule_at(at, [this, host] { net_.restart_host(host); });
+  // Close the most recent open outage for this host, if any.
+  for (auto it = outages_.rbegin(); it != outages_.rend(); ++it) {
+    if (it->host == host && it->up == kTimeInfinity) {
+      it->up = at;
+      return;
+    }
+  }
+  outages_.push_back({host, kTimeZero, at});
+}
+
+void FailureInjector::outage(HostId host, Time at, Duration outage_len) {
+  crash_at(host, at);
+  restart_at(host, at + outage_len);
+}
+
+void FailureInjector::partition(HostId host, int island, Time at, Time heal) {
+  net_.sim().schedule_at(at,
+                         [this, host, island] { net_.set_partition(host, island); });
+  net_.sim().schedule_at(heal, [this, host] { net_.set_partition(host, 0); });
+}
+
+int FailureInjector::random_failures(HostId host, Duration mttf, Duration mttr,
+                                     Time until) {
+  jutil::Rng& rng = net_.sim().rng();
+  Time t = net_.sim().now();
+  int count = 0;
+  while (true) {
+    Duration up{static_cast<int64_t>(
+        rng.exponential(static_cast<double>(mttf.us)))};
+    Duration down{static_cast<int64_t>(
+        rng.exponential(static_cast<double>(mttr.us)))};
+    if (down.us < 1) down = usec(1);
+    Time fail_at = t + up;
+    if (fail_at >= until) return count;
+    Time repair_at = std::min(fail_at + down, until);
+    outage(host, fail_at, repair_at - fail_at);
+    ++count;
+    t = repair_at;
+  }
+}
+
+Duration FailureInjector::recorded_downtime(HostId host) const {
+  Duration total{0};
+  Time now = net_.sim().now();
+  for (const Outage& o : outages_) {
+    if (o.host != host) continue;
+    Time up = o.up == kTimeInfinity ? now : o.up;
+    if (up > o.down) total += up - o.down;
+  }
+  return total;
+}
+
+}  // namespace sim

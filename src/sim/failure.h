@@ -1,0 +1,57 @@
+// Fault injection: deterministic scripts and stochastic MTTF/MTTR schedules.
+//
+// The paper simulated failures "by unplugging network cables and by forcibly
+// shutting down individual processes"; this module is the programmatic
+// equivalent, plus an exponential failure/repair generator used by the
+// availability experiments.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace sim {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Network& net) : net_(net) {}
+
+  // -- scripted faults -------------------------------------------------------
+
+  /// Crash `host` at absolute time `at`.
+  void crash_at(HostId host, Time at);
+  /// Restart `host` at absolute time `at`.
+  void restart_at(HostId host, Time at);
+  /// Crash at `at`, restart after `outage`.
+  void outage(HostId host, Time at, Duration outage_len);
+  /// Move `host` into partition `island` at `at` (cable pull), back at `heal`.
+  void partition(HostId host, int island, Time at, Time heal);
+
+  // -- stochastic faults -----------------------------------------------------
+
+  /// Drive `host` through an exponential fail/repair process with the given
+  /// mean time to failure / mean time to restore, until `until`. Failure and
+  /// repair times are drawn from the simulation RNG. Returns how many
+  /// failures were scheduled.
+  int random_failures(HostId host, Duration mttf, Duration mttr, Time until);
+
+  /// Total downtime recorded so far for a host via this injector's
+  /// crash/restart pairs (valid after the simulation ran).
+  Duration recorded_downtime(HostId host) const;
+
+  /// All (host, crash_time, restart_time) triples scheduled so far.
+  struct Outage {
+    HostId host;
+    Time down;
+    Time up;  ///< kTimeInfinity when no restart was scheduled
+  };
+  const std::vector<Outage>& outages() const { return outages_; }
+
+ private:
+  Network& net_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace sim

@@ -1,0 +1,51 @@
+#include "sim/process.h"
+
+namespace sim {
+
+Process::Process(Network& net, HostId host, Port port, std::string name)
+    : net_(net), host_id_(host), port_(port), name_(std::move(name)) {
+  net_.host(host_id_).bind(port_, this);
+}
+
+Process::~Process() {
+  for (TimerId id : timers_) sim().cancel(id);
+  net_.host(host_id_).unbind(port_);
+}
+
+void Process::send(Endpoint dst, Payload data) {
+  net_.send(Packet{endpoint(), dst, std::move(data)});
+}
+
+void Process::multicast(Port dst_port, Payload data,
+                        const std::vector<HostId>& dsts) {
+  net_.multicast(endpoint(), dst_port, std::move(data), dsts);
+}
+
+TimerId Process::set_timer(Duration delay, std::function<void()> fn) {
+  // The wrapper must erase its own id on fire; the id is only known after
+  // scheduling, so route it through a shared holder.
+  auto holder = std::make_shared<TimerId>(0);
+  TimerId id = sim().schedule(delay, [this, holder, fn = std::move(fn)] {
+    timers_.erase(*holder);
+    fn();
+  });
+  *holder = id;
+  timers_.insert(id);
+  return id;
+}
+
+void Process::cancel_timer(TimerId id) {
+  if (timers_.erase(id) > 0) sim().cancel(id);
+}
+
+void Process::handle_packet(Packet packet) { on_packet(std::move(packet)); }
+
+void Process::handle_host_crash() {
+  for (TimerId id : timers_) sim().cancel(id);
+  timers_.clear();
+  on_crash();
+}
+
+void Process::handle_host_restart() { on_restart(); }
+
+}  // namespace sim

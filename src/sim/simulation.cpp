@@ -1,0 +1,85 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sim {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+Simulation::~Simulation() = default;
+
+EventId Simulation::enqueue(Time at, std::function<void()> fn) {
+  auto event = std::make_shared<Event>();
+  event->at = at;
+  event->id = next_id_++;
+  event->fn = std::move(fn);
+  queue_.push(QueueRef{at, event->id, event});
+  index_[event->id] = event;
+  return event->id;
+}
+
+EventId Simulation::schedule(Duration delay, std::function<void()> fn) {
+  if (delay.us < 0) throw std::invalid_argument("schedule: negative delay");
+  return enqueue(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return enqueue(at, std::move(fn));
+}
+
+void Simulation::cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  it->second->cancelled = true;
+  it->second->fn = nullptr;
+  index_.erase(it);
+  ++cancelled_pending_;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueRef top = queue_.top();
+    queue_.pop();
+    if (top.event->cancelled) {
+      --cancelled_pending_;
+      continue;
+    }
+    index_.erase(top.id);
+    assert(top.at >= now_);
+    now_ = top.at;
+    ++executed_;
+    auto fn = std::move(top.event->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    QueueRef top = queue_.top();
+    if (top.event->cancelled) {
+      queue_.pop();
+      --cancelled_pending_;
+      continue;
+    }
+    if (top.at > t) break;
+    step();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+size_t Simulation::pending_events() const {
+  return queue_.size() - cancelled_pending_;
+}
+
+}  // namespace sim

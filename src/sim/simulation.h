@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// A Simulation owns a virtual clock and an event queue. Events scheduled for
+// the same instant fire in scheduling order (FIFO tie-break), which keeps
+// every run bit-reproducible for a given seed and workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace sim {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+  jutil::Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` from now (delay must be >= 0).
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute instant (>= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancel a pending event. Safe to call for already-fired or cancelled ids.
+  void cancel(EventId id);
+
+  /// Run the next event; false when the queue is empty or stop() was called.
+  bool step();
+
+  /// Run until the queue drains or stop() is called.
+  void run();
+
+  /// Run events with timestamp <= t, then set the clock to t.
+  void run_until(Time t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Abort run()/run_until() after the current event completes.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Number of events executed so far (for tests and sanity limits).
+  uint64_t events_executed() const { return executed_; }
+  size_t pending_events() const;
+
+ private:
+  struct Event {
+    Time at;
+    EventId id = kInvalidEvent;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct QueueRef {
+    Time at;
+    EventId id;
+    std::shared_ptr<Event> event;
+    // Min-heap by (time, id): std::priority_queue is a max-heap, so invert.
+    bool operator<(const QueueRef& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  EventId enqueue(Time at, std::function<void()> fn);
+
+  Time now_{0};
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+  size_t cancelled_pending_ = 0;
+  std::priority_queue<QueueRef> queue_;
+  std::unordered_map<EventId, std::shared_ptr<Event>> index_;
+  jutil::Rng rng_;
+};
+
+}  // namespace sim

@@ -1,0 +1,55 @@
+// Strong time types for the discrete-event simulation.
+//
+// All simulated time is kept in integer microseconds. Time is an absolute
+// instant on the simulation clock; Duration is a signed interval. Keeping
+// these as distinct types prevents the classic instant-vs-interval mixups.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace sim {
+
+struct Duration {
+  int64_t us = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {us + o.us}; }
+  constexpr Duration operator-(Duration o) const { return {us - o.us}; }
+  constexpr Duration operator-() const { return {-us}; }
+  constexpr Duration& operator+=(Duration o) { us += o.us; return *this; }
+  constexpr Duration& operator-=(Duration o) { us -= o.us; return *this; }
+  constexpr Duration operator*(int64_t k) const { return {us * k}; }
+  constexpr Duration operator/(int64_t k) const { return {us / k}; }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(us) / 1e3; }
+};
+
+struct Time {
+  int64_t us = 0;
+
+  constexpr auto operator<=>(const Time&) const = default;
+  constexpr Time operator+(Duration d) const { return {us + d.us}; }
+  constexpr Time operator-(Duration d) const { return {us - d.us}; }
+  constexpr Duration operator-(Time o) const { return {us - o.us}; }
+  constexpr Time& operator+=(Duration d) { us += d.us; return *this; }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+};
+
+constexpr Duration usec(int64_t v) { return {v}; }
+constexpr Duration msec(int64_t v) { return {v * 1000}; }
+constexpr Duration seconds(int64_t v) { return {v * 1000000}; }
+/// Fractional seconds, rounded to the microsecond grid.
+constexpr Duration seconds_f(double v) {
+  return {static_cast<int64_t>(v * 1e6 + (v >= 0 ? 0.5 : -0.5))};
+}
+constexpr Duration minutes(int64_t v) { return {v * 60 * 1000000}; }
+constexpr Duration hours(int64_t v) { return {v * 3600 * 1000000}; }
+
+constexpr Time kTimeZero{0};
+constexpr Time kTimeInfinity{INT64_MAX};
+constexpr Duration kDurationZero{0};
+
+}  // namespace sim

@@ -1,0 +1,60 @@
+// Lightweight event trace: tests assert on ordering of recorded events and
+// the examples print a readable timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+class Trace {
+ public:
+  struct Entry {
+    Time at;
+    std::string category;
+    std::string text;
+  };
+
+  void record(Time at, std::string category, std::string text) {
+    entries_.push_back({at, std::move(category), std::move(text)});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// All entries in a category, in order.
+  std::vector<Entry> in_category(const std::string& category) const {
+    std::vector<Entry> out;
+    for (const Entry& e : entries_)
+      if (e.category == category) out.push_back(e);
+    return out;
+  }
+
+  /// True if an entry whose text contains `needle` exists.
+  bool contains(const std::string& needle) const {
+    for (const Entry& e : entries_)
+      if (e.text.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+  /// Render "t=1.234567 [cat] text" lines.
+  std::string render() const {
+    std::string out;
+    char buf[64];
+    for (const Entry& e : entries_) {
+      snprintf(buf, sizeof buf, "t=%.6f [%s] ", e.at.seconds(),
+               e.category.c_str());
+      out += buf;
+      out += e.text;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sim

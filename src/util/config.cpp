@@ -1,0 +1,332 @@
+#include "util/config.h"
+
+#include "util/strings.h"
+
+namespace jutil {
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  int line = 1;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ConfigError("config parse error at line " + std::to_string(line) +
+                      ": " + what);
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void advance() {
+    if (text[pos] == '\n') ++line;
+    ++pos;
+  }
+
+  /// Skip whitespace and '#'-to-end-of-line comments.
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c == '#') {
+        while (!eof() && peek() != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Identifier: [A-Za-z0-9_.-]+
+  std::string ident() {
+    size_t start = pos;
+    while (!eof()) {
+      char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-') {
+        advance();
+      } else {
+        break;
+      }
+    }
+    if (pos == start) fail("expected identifier");
+    return std::string(text.substr(start, pos - start));
+  }
+
+  std::string quoted_string() {
+    // caller consumed nothing; peek() == '"'
+    advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      char c = peek();
+      advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) fail("unterminated escape");
+        char e = peek();
+        advance();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: fail(std::string("unknown escape \\") + e);
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  /// Unquoted scalar: up to whitespace, '}', ',' or comment.
+  std::string bare_value() {
+    size_t start = pos;
+    while (!eof()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '}' ||
+          c == ',' || c == '#') {
+        break;
+      }
+      advance();
+    }
+    if (pos == start) fail("expected value");
+    return std::string(text.substr(start, pos - start));
+  }
+
+  std::string value_token() {
+    if (peek() == '"') return quoted_string();
+    return bare_value();
+  }
+
+  void parse_into(Config& cfg, bool top_level) {
+    while (true) {
+      skip_ws();
+      if (eof()) {
+        if (!top_level) fail("unexpected end of input inside section");
+        return;
+      }
+      if (peek() == '}') {
+        if (top_level) fail("unexpected '}'");
+        advance();
+        return;
+      }
+      std::string name = ident();
+      skip_ws();
+      if (eof()) fail("expected '=' or section after '" + name + "'");
+      if (peek() == '=') {
+        advance();
+        skip_ws();
+        if (eof()) fail("expected value after '" + name + " ='");
+        if (peek() == '{') {
+          advance();
+          std::vector<std::string> items;
+          while (true) {
+            skip_ws();
+            if (eof()) fail("unterminated list for '" + name + "'");
+            if (peek() == '}') {
+              advance();
+              break;
+            }
+            items.push_back(value_token());
+            skip_ws();
+            if (!eof() && peek() == ',') advance();
+          }
+          cfg.set_list(name, std::move(items));
+        } else {
+          cfg.set(name, value_token());
+        }
+      } else if (peek() == '{') {
+        // anonymous section: `kind { ... }` -> title ""
+        advance();
+        Config& sub = cfg.add_section(name, "");
+        parse_into(sub, /*top_level=*/false);
+      } else {
+        // named section: `kind title { ... }`
+        std::string title =
+            (peek() == '"') ? quoted_string() : ident();
+        skip_ws();
+        if (eof() || peek() != '{')
+          fail("expected '{' after section '" + name + " " + title + "'");
+        advance();
+        Config& sub = cfg.add_section(name, title);
+        parse_into(sub, /*top_level=*/false);
+      }
+    }
+  }
+};
+
+void append_escaped(std::string& out, const std::string& v) {
+  bool needs_quotes = v.empty();
+  for (char c : v) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '"' || c == '{' ||
+        c == '}' || c == ',' || c == '#' || c == '=') {
+      needs_quotes = true;
+    }
+  }
+  if (!needs_quotes) {
+    out += v;
+    return;
+  }
+  out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  Parser parser{text};
+  parser.parse_into(cfg, /*top_level=*/true);
+  return cfg;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0 || lists_.count(key) > 0;
+}
+
+const std::string& Config::get_string(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end())
+    throw ConfigError("missing config key '" + key + "'");
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Config::get_int(const std::string& key) const {
+  auto parsed = parse_num<int64_t>(get_string(key));
+  if (!parsed)
+    throw ConfigError("config key '" + key + "' is not an integer: '" +
+                      get_string(key) + "'");
+  return *parsed;
+}
+
+int64_t Config::get_int(const std::string& key, int64_t fallback) const {
+  return values_.count(key) ? get_int(key) : fallback;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string& s = get_string(key);
+  try {
+    size_t consumed = 0;
+    double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("config key '" + key + "' is not a number: '" + s + "'");
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  return values_.count(key) ? get_double(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  auto parsed = parse_bool(get_string(key));
+  if (!parsed)
+    throw ConfigError("config key '" + key + "' is not a boolean: '" +
+                      get_string(key) + "'");
+  return *parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  return values_.count(key) ? get_bool(key) : fallback;
+}
+
+std::vector<std::string> Config::get_list(const std::string& key) const {
+  auto it = lists_.find(key);
+  if (it != lists_.end()) return it->second;
+  // A scalar can be read as a one-element list for convenience.
+  auto vit = values_.find(key);
+  if (vit != values_.end()) return {vit->second};
+  return {};
+}
+
+const Config* Config::section(const std::string& kind,
+                              const std::string& title) const {
+  auto it = sections_.find({kind, title});
+  return it == sections_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Config::section_titles(const std::string& kind) const {
+  auto it = section_order_.find(kind);
+  return it == section_order_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (!values_.count(key) && !lists_.count(key)) key_order_.push_back(key);
+  values_[key] = value;
+}
+
+void Config::set_list(const std::string& key,
+                      std::vector<std::string> values) {
+  if (!values_.count(key) && !lists_.count(key)) key_order_.push_back(key);
+  lists_[key] = std::move(values);
+}
+
+Config& Config::add_section(const std::string& kind, const std::string& title) {
+  auto key = std::make_pair(kind, title);
+  auto it = sections_.find(key);
+  if (it == sections_.end()) {
+    it = sections_.emplace(key, std::make_unique<Config>()).first;
+    section_order_[kind].push_back(title);
+  }
+  return *it->second;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  to_string_indented(out, 0);
+  return out;
+}
+
+void Config::to_string_indented(std::string& out, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const std::string& key : key_order_) {
+    out += pad;
+    out += key;
+    out += " = ";
+    auto lit = lists_.find(key);
+    if (lit != lists_.end()) {
+      out += '{';
+      for (size_t i = 0; i < lit->second.size(); ++i) {
+        if (i) out += ", ";
+        append_escaped(out, lit->second[i]);
+      }
+      out += '}';
+    } else {
+      append_escaped(out, values_.at(key));
+    }
+    out += '\n';
+  }
+  for (const auto& [kind, titles] : section_order_) {
+    for (const std::string& title : titles) {
+      out += pad;
+      out += kind;
+      if (!title.empty()) {
+        out += ' ';
+        append_escaped(out, title);
+      }
+      out += " {\n";
+      sections_.at({kind, title})->to_string_indented(out, indent + 1);
+      out += pad;
+      out += "}\n";
+    }
+  }
+}
+
+}  // namespace jutil

@@ -1,0 +1,98 @@
+// libconfuse-style configuration file parser.
+//
+// The paper's JOSHUA v0.1 uses libconfuse for its configuration files
+// (Figure 9). This is a from-scratch reimplementation of the subset JOSHUA
+// needs:
+//
+//   # comment
+//   key = value            # int, float, bool, or string
+//   name = "quoted string"
+//   list = {a, b, "c d"}   # string list
+//   section title {        # named nested section
+//     key = value
+//   }
+//
+// Values are stored as strings and converted on access; conversion failures
+// surface as ConfigError with the offending key and line number.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jutil {
+
+/// Thrown on syntax errors and failed typed lookups.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed configuration tree. Keys are case-sensitive.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse configuration text. Throws ConfigError with a line number on
+  /// malformed input.
+  static Config parse(std::string_view text);
+
+  // -- scalar access ---------------------------------------------------------
+
+  bool has(const std::string& key) const;
+
+  /// Raw string value; throws ConfigError if absent.
+  const std::string& get_string(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  int64_t get_int(const std::string& key) const;
+  int64_t get_int(const std::string& key, int64_t fallback) const;
+
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// String list declared with {..}; empty vector if absent.
+  std::vector<std::string> get_list(const std::string& key) const;
+
+  // -- sections --------------------------------------------------------------
+
+  /// Named sub-sections declared as `kind title { ... }`, keyed by title.
+  /// Returns nullptr when no such section exists.
+  const Config* section(const std::string& kind, const std::string& title) const;
+
+  /// All titles of sections of a given kind, in declaration order.
+  std::vector<std::string> section_titles(const std::string& kind) const;
+
+  /// All scalar keys, in declaration order.
+  std::vector<std::string> keys() const { return key_order_; }
+
+  // -- mutation (for programmatic construction in tests/benches) -------------
+
+  void set(const std::string& key, const std::string& value);
+  void set_list(const std::string& key, std::vector<std::string> values);
+  Config& add_section(const std::string& kind, const std::string& title);
+
+  /// Serialize back to configuration-file syntax.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> lists_;
+  std::vector<std::string> key_order_;
+  // (kind, title) -> section, plus declaration order of titles per kind.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Config>>
+      sections_;
+  std::map<std::string, std::vector<std::string>> section_order_;
+
+  void to_string_indented(std::string& out, int indent) const;
+};
+
+}  // namespace jutil

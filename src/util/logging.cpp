@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace jutil {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel, std::string_view line) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel, std::string_view line) {
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fputc('\n', stderr);
+    };
+  }
+}
+
+void Logger::set_clock(Clock clock) { clock_ = std::move(clock); }
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (!enabled(level)) return;
+  int64_t us;
+  if (clock_) {
+    us = clock_();
+  } else {
+    us = std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count();
+  }
+  char head[96];
+  int n = std::snprintf(head, sizeof head, "[%12.6f] %s [%.*s] ",
+                        static_cast<double>(us) / 1e6,
+                        std::string(to_string(level)).c_str(),
+                        static_cast<int>(component.size()), component.data());
+  std::string line;
+  line.reserve(static_cast<size_t>(n) + msg.size());
+  line.append(head, static_cast<size_t>(n));
+  line.append(msg);
+  sink_(level, line);
+}
+
+}  // namespace jutil

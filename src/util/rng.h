@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the simulator draws from a Rng owned by the
+// Simulation, so a (seed, workload) pair fully determines an experiment.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace jutil {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t next_u64(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform in [0.0, 1.0).
+  double next_double() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal distribution, clamped at zero from below.
+  double normal_nonneg(double mean, double stddev) {
+    double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return v < 0.0 ? 0.0 : v;
+  }
+
+  /// Derive an independent child stream (e.g. one per host).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace jutil

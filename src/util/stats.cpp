@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace jutil {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+void Samples::clear() {
+  values_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+double Samples::mean() const {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::out_of_range("percentile");
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double width, size_t buckets)
+    : lo_(lo), width_(width), counts_(buckets, 0) {
+  if (buckets == 0 || width <= 0.0)
+    throw std::invalid_argument("Histogram: bad shape");
+}
+
+void Histogram::add(double v) {
+  double idx = (v - lo_) / width_;
+  size_t i;
+  if (idx < 0.0) {
+    i = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<size_t>(idx);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+std::string Histogram::render(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char head[80];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int n = std::snprintf(head, sizeof head, "%10.3f | %8llu | ", bucket_lo(i),
+                          static_cast<unsigned long long>(counts_[i]));
+    out.append(head, static_cast<size_t>(n));
+    size_t bar = peak == 0 ? 0
+                           : static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                                 static_cast<double>(peak) *
+                                                 static_cast<double>(max_width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jutil

@@ -1,0 +1,61 @@
+// Small online/offline statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jutil {
+
+/// Accumulates samples; computes mean/min/max/stddev/percentiles on demand.
+class Samples {
+ public:
+  void add(double v);
+  void clear();
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1); 0 for fewer than two samples.
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  void ensure_sorted() const;
+};
+
+/// Fixed-bucket histogram for latency distributions.
+class Histogram {
+ public:
+  /// Buckets: [lo, lo+width), [lo+width, lo+2*width), ...; out-of-range
+  /// samples clamp into the first/last bucket.
+  Histogram(double lo, double width, size_t buckets);
+
+  void add(double v);
+  uint64_t bucket_count(size_t i) const { return counts_.at(i); }
+  size_t buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  double bucket_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  /// Render as an ASCII bar chart for bench output.
+  std::string render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace jutil

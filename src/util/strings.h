@@ -1,0 +1,47 @@
+// String helpers shared across the project (split/trim/join/formatting).
+//
+// These mirror the "i/o, lists and misc" utilities the paper's libjutils
+// component provides (Figure 9).
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jutil {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Parse an integer; std::nullopt on any trailing garbage or overflow.
+template <typename T>
+std::optional<T> parse_num(std::string_view s) {
+  T value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Parse "true/false/yes/no/on/off/1/0" (case-insensitive).
+std::optional<bool> parse_bool(std::string_view s);
+
+}  // namespace jutil

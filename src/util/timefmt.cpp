@@ -1,0 +1,80 @@
+#include "util/timefmt.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace jutil {
+
+std::string format_duration_coarse(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 0.5) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1000.0);
+    return buf;
+  }
+  auto total = static_cast<int64_t>(std::llround(seconds));
+  int64_t d = total / 86400;
+  int64_t h = (total % 86400) / 3600;
+  int64_t m = (total % 3600) / 60;
+  int64_t s = total % 60;
+  std::string out;
+  char buf[32];
+  auto emit = [&](int64_t v, const char* unit) {
+    if (v == 0) return;
+    if (!out.empty()) out += ' ';
+    std::snprintf(buf, sizeof buf, "%lld%s", static_cast<long long>(v), unit);
+    out += buf;
+  };
+  emit(d, "d");
+  emit(h, "h");
+  emit(m, "min");
+  // The paper's table drops seconds once the downtime reaches hours
+  // ("1h 45min", "5d 4h 21min") but keeps them below ("1min 30s").
+  if (d == 0 && h == 0) emit(s, "s");
+  if (out.empty()) out = "0s";
+  return out;
+}
+
+int count_nines(double availability) {
+  // Count the consecutive leading '9' digits of the availability expressed as
+  // a percentage (the way the paper's Figure 12 column counts them):
+  // 98.6% -> 1, 99.98% -> 3, 99.9997% -> 5, 99.999996% -> 7.
+  if (availability >= 1.0) return 15;  // effectively perfect
+  if (availability <= 0.0) return 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12f", availability * 100.0);
+  int nines = 0;
+  for (const char* p = buf; *p; ++p) {
+    if (*p == '.') continue;
+    if (*p == '9') {
+      ++nines;
+    } else {
+      break;
+    }
+  }
+  return nines;
+}
+
+std::string format_availability(double availability) {
+  if (availability >= 1.0) return "100%";
+  double pct = availability * 100.0;
+  // Precision that exposes the first non-nine digit after the run of
+  // nines: k nines occupy two integer digits plus (k-2) decimals, so
+  // max(1, k-1) decimals shows the digit that breaks the run
+  // (98.6% -> 1, 99.98% -> 2, 99.999996% -> 6).
+  int nines = count_nines(availability);
+  int prec = nines > 1 ? nines - 1 : 1;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, pct);
+  // Trim trailing zeros (keep at least one decimal digit).
+  std::string s = buf;
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last = dot + 1;
+    s.erase(last + 1);
+  }
+  return s + "%";
+}
+
+}  // namespace jutil

@@ -1,0 +1,24 @@
+// Human-readable duration formatting, used for the Figure 12 downtime table
+// ("5d 4h 21min", "1h 45min", "1min 30s", "1s").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jutil {
+
+/// Format a duration given in seconds the way the paper's Figure 12 does:
+/// the two most significant non-zero units among d/h/min/s, sub-second values
+/// as milliseconds. Examples: 449,... -> "5d 4h", 6300 -> "1h 45min",
+/// 90 -> "1min 30s", 1.26 -> "1s".
+std::string format_duration_coarse(double seconds);
+
+/// Format availability as "N nines" count, e.g. 0.9998 -> 3 (99.98% has 3
+/// significant nines the way the paper counts: 9s in the decimal expansion).
+int count_nines(double availability);
+
+/// Render availability as a percentage with just enough digits to show the
+/// nines structure, e.g. 0.99999996 -> "99.999996%".
+std::string format_availability(double availability);
+
+}  // namespace jutil

@@ -1,0 +1,240 @@
+#include "gcs/ordering.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gcs::DataMsg;
+using gcs::Delivery;
+using gcs::MemberId;
+using gcs::MsgId;
+using gcs::OrderingBuffer;
+using gcs::View;
+
+View make_view(std::vector<MemberId> members, uint64_t epoch = 1) {
+  View v;
+  v.id = {epoch, members.empty() ? sim::kInvalidHost : members.front()};
+  v.members = std::move(members);
+  return v;
+}
+
+DataMsg msg(MemberId sender, uint64_t seq, uint64_t lamport,
+            Delivery level = Delivery::kAgreed) {
+  DataMsg m;
+  m.id = {sender, seq};
+  m.lamport = lamport;
+  m.level = level;
+  m.payload = {static_cast<uint8_t>(seq)};
+  return m;
+}
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { buf_.reset(make_view({0, 1, 2}), 0); }
+  OrderingBuffer buf_;
+};
+
+TEST_F(OrderingTest, FifoDeliversOnContiguity) {
+  EXPECT_TRUE(buf_.insert(msg(1, 1, 10, Delivery::kFifo)));
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id.seq, 1u);
+}
+
+TEST_F(OrderingTest, FifoHoldsAcrossGap) {
+  buf_.insert(msg(1, 2, 20, Delivery::kFifo));  // seq 1 missing
+  EXPECT_TRUE(buf_.drain().empty());
+  buf_.insert(msg(1, 1, 10, Delivery::kFifo));
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id.seq, 1u);
+  EXPECT_EQ(out[1].id.seq, 2u);
+}
+
+TEST_F(OrderingTest, DuplicatesIgnored) {
+  EXPECT_TRUE(buf_.insert(msg(1, 1, 10)));
+  EXPECT_FALSE(buf_.insert(msg(1, 1, 10)));
+  // Also after delivery:
+  buf_.observe(1, 11, 1, {});
+  buf_.observe(2, 11, 0, {});
+  buf_.drain();
+  EXPECT_FALSE(buf_.insert(msg(1, 1, 10)));
+}
+
+TEST_F(OrderingTest, OutOfOrderDuplicateIgnored) {
+  EXPECT_TRUE(buf_.insert(msg(1, 3, 30)));
+  EXPECT_FALSE(buf_.insert(msg(1, 3, 30)));
+}
+
+TEST_F(OrderingTest, AgreedWaitsForAllMembersClocks) {
+  buf_.insert(msg(1, 1, 10));
+  // Heard only from the sender (via the message itself).
+  buf_.observe(1, 10, 1, {});
+  EXPECT_TRUE(buf_.drain().empty()) << "member 2 not heard yet";
+  buf_.observe(2, 11, 0, {});
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST_F(OrderingTest, AgreedRequiresStrictlyGreaterClock) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.observe(1, 10, 1, {});
+  buf_.observe(2, 10, 0, {});  // equal, not greater
+  EXPECT_TRUE(buf_.drain().empty());
+  buf_.observe(2, 11, 0, {});
+  EXPECT_EQ(buf_.drain().size(), 1u);
+}
+
+TEST_F(OrderingTest, AgreedTotalOrderByLamportThenSender) {
+  buf_.insert(msg(2, 1, 10));
+  buf_.insert(msg(1, 1, 10));  // same lamport, lower sender id wins
+  buf_.observe(1, 12, 1, {});
+  buf_.observe(2, 12, 1, {});
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id.sender, 1u);
+  EXPECT_EQ(out[1].id.sender, 2u);
+}
+
+TEST_F(OrderingTest, AgreedBlockedByKnownGapFromThirdMember) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.observe(1, 11, 1, {});
+  // Member 2's clock passed m but it claims 1 sent message we don't have.
+  buf_.observe(2, 12, 1, {});
+  EXPECT_TRUE(buf_.drain().empty()) << "message from 2 may order before m";
+  // The missing message arrives and orders first.
+  buf_.insert(msg(2, 1, 5));
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id.sender, 2u) << "lamport 5 before lamport 10";
+  EXPECT_EQ(out[1].id.sender, 1u);
+}
+
+TEST_F(OrderingTest, SelfMessagesDeliverInSingletonView) {
+  buf_.reset(make_view({0}), 0);
+  buf_.insert(msg(0, 1, 1));
+  buf_.observe(0, 1, 1, {});
+  EXPECT_EQ(buf_.drain().size(), 1u);
+}
+
+TEST_F(OrderingTest, SafeWaitsForEveryonesCut) {
+  buf_.insert(msg(1, 1, 10, Delivery::kSafe));
+  buf_.observe(1, 11, 1, {});
+  buf_.observe(2, 12, 0, {});
+  EXPECT_TRUE(buf_.drain().empty()) << "member 2 has not confirmed receipt";
+  buf_.observe(2, 13, 0, {{1, 1}});  // member 2's cut covers (1,1)
+  buf_.observe(1, 13, 1, {{1, 1}});
+  EXPECT_EQ(buf_.drain().size(), 1u);
+}
+
+TEST_F(OrderingTest, CausalWaitsForDependencies) {
+  // Sender 2 saw one message from 1 before sending.
+  DataMsg dependent = msg(2, 1, 20, Delivery::kCausal);
+  dependent.vclock = {{1, 1}};
+  buf_.insert(dependent);
+  EXPECT_TRUE(buf_.drain().empty()) << "dependency from 1 undelivered";
+  buf_.insert(msg(1, 1, 10, Delivery::kCausal));
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id.sender, 1u);
+  EXPECT_EQ(out[1].id.sender, 2u);
+}
+
+TEST_F(OrderingTest, FifoBypassesBlockedAgreed) {
+  buf_.insert(msg(1, 1, 10));  // AGREED, blocked (no clocks)
+  buf_.insert(msg(2, 1, 5, Delivery::kFifo));
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, Delivery::kFifo);
+}
+
+TEST_F(OrderingTest, GapsReported) {
+  buf_.observe(1, 10, 3, {});  // member 1 claims 3 sent
+  buf_.insert(msg(1, 2, 8));   // have only seq 2 (out of order)
+  auto gaps = buf_.gaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (MsgId{1, 1}));
+  EXPECT_EQ(gaps[1], (MsgId{1, 3}));
+}
+
+TEST_F(OrderingTest, ReceivedVectorTracksContiguity) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.insert(msg(1, 3, 30));
+  EXPECT_EQ(buf_.received_upto(1), 1u);
+  buf_.insert(msg(1, 2, 20));
+  EXPECT_EQ(buf_.received_upto(1), 3u) << "out-of-order promoted";
+}
+
+TEST_F(OrderingTest, FlushDeliversEverythingContiguousInOrder) {
+  buf_.insert(msg(1, 1, 30));
+  buf_.insert(msg(2, 1, 10));
+  buf_.insert(msg(2, 2, 20));
+  auto out = buf_.flush_all();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lamport, 10u);
+  EXPECT_EQ(out[1].lamport, 20u);
+  EXPECT_EQ(out[2].lamport, 30u);
+  EXPECT_EQ(buf_.pending_count(), 0u);
+}
+
+TEST_F(OrderingTest, FlushDropsUnfillableOutOfOrder) {
+  buf_.insert(msg(1, 5, 50));  // permanent gap 1..4
+  auto out = buf_.flush_all();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(buf_.pending_count(), 0u);
+}
+
+TEST_F(OrderingTest, HeldMessagesIncludesOutOfOrder) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.insert(msg(2, 5, 50));
+  EXPECT_EQ(buf_.held_messages().size(), 2u);
+}
+
+TEST_F(OrderingTest, StableUptoIsMinAcrossCuts) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.insert(msg(1, 2, 20));
+  buf_.observe(1, 21, 2, {{1, 2}});
+  buf_.observe(2, 21, 0, {{1, 1}});
+  EXPECT_EQ(buf_.stable_upto(1), 1u) << "member 2 only has seq 1";
+}
+
+TEST_F(OrderingTest, SetStreamPositionSkipsAhead) {
+  buf_.set_stream_position(1, 5);
+  EXPECT_EQ(buf_.received_upto(1), 5u);
+  EXPECT_FALSE(buf_.insert(msg(1, 3, 30))) << "below the baseline";
+  EXPECT_TRUE(buf_.insert(msg(1, 6, 60)));
+}
+
+TEST_F(OrderingTest, SetStreamPositionToZeroResetsJoiner) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.observe(1, 11, 1, {});
+  buf_.observe(2, 11, 0, {});
+  buf_.drain();
+  EXPECT_EQ(buf_.received_upto(1), 1u);
+  buf_.set_stream_position(1, 0);
+  EXPECT_TRUE(buf_.insert(msg(1, 1, 99))) << "fresh incarnation restarts at 1";
+}
+
+TEST_F(OrderingTest, ViewChangeDropsDepartedPeerFromConditions) {
+  buf_.insert(msg(1, 1, 10));
+  buf_.observe(1, 11, 1, {});
+  // Member 2 never speaks; AGREED blocked.
+  EXPECT_TRUE(buf_.drain().empty());
+  // New view without member 2: progress resumes.
+  buf_.reset(make_view({0, 1}, 2), 0);
+  buf_.insert(msg(1, 2, 12));
+  buf_.observe(1, 13, 2, {});
+  auto out = buf_.drain();
+  EXPECT_EQ(out.size(), 1u) << "old undelivered was flushed by caller; new "
+                               "message delivers without member 2";
+}
+
+TEST_F(OrderingTest, DeliveredVectorCountsPerSender) {
+  buf_.insert(msg(1, 1, 10, Delivery::kFifo));
+  buf_.insert(msg(1, 2, 11, Delivery::kFifo));
+  buf_.drain();
+  EXPECT_EQ(buf_.delivered_count(1), 2u);
+  EXPECT_EQ(buf_.delivered_count(2), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "ha/availability.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ha;
+
+TEST(Availability, Equation1NodeAvailability) {
+  // MTTF 5000 h, MTTR 72 h -> A = 5000/5072 = 0.98580...
+  EXPECT_NEAR(node_availability(5000, 72), 0.985804, 1e-6);
+  EXPECT_DOUBLE_EQ(node_availability(100, 0), 1.0);
+  EXPECT_THROW(node_availability(0, 72), std::invalid_argument);
+  EXPECT_THROW(node_availability(-1, 72), std::invalid_argument);
+}
+
+TEST(Availability, Equation2ParallelRedundancy) {
+  double a = 0.9;
+  EXPECT_DOUBLE_EQ(service_availability(a, 1), 0.9);
+  EXPECT_DOUBLE_EQ(service_availability(a, 2), 0.99);
+  EXPECT_DOUBLE_EQ(service_availability(a, 3), 0.999);
+  EXPECT_THROW(service_availability(a, 0), std::invalid_argument);
+  EXPECT_THROW(service_availability(1.5, 2), std::invalid_argument);
+}
+
+TEST(Availability, Equation3Downtime) {
+  // 1 - A = 1e-4 -> 8760 h * 1e-4 = 0.876 h = 3153.6 s
+  EXPECT_NEAR(downtime_seconds_per_year(1.0 - 1e-4), 3153.6, 0.01);
+  EXPECT_DOUBLE_EQ(downtime_seconds_per_year(1.0), 0.0);
+}
+
+// The paper's Figure 12, row by row.
+TEST(Availability, Figure12RowsMatchPaper) {
+  auto rows = figure12_table(4, 5000.0, 72.0);
+  ASSERT_EQ(rows.size(), 4u);
+
+  EXPECT_EQ(rows[0].nodes, 1);
+  EXPECT_EQ(rows[0].availability_str, "98.6%");
+  EXPECT_EQ(rows[0].nines, 1);
+  EXPECT_EQ(rows[0].downtime_str, "5d 4h 21min");
+
+  EXPECT_EQ(rows[1].availability_str, "99.98%");
+  EXPECT_EQ(rows[1].nines, 3);
+  EXPECT_EQ(rows[1].downtime_str, "1h 45min");
+
+  EXPECT_EQ(rows[2].availability_str, "99.9997%");
+  EXPECT_EQ(rows[2].nines, 5);
+  EXPECT_EQ(rows[2].downtime_str, "1min 30s");
+
+  EXPECT_EQ(rows[3].availability_str, "99.999996%");
+  EXPECT_EQ(rows[3].nines, 7);
+  EXPECT_EQ(rows[3].downtime_str, "1s");
+}
+
+TEST(Availability, RenderFigure12ContainsRows) {
+  std::string table = render_figure12(figure12_table());
+  EXPECT_NE(table.find("98.6%"), std::string::npos);
+  EXPECT_NE(table.find("5d 4h 21min"), std::string::npos);
+  EXPECT_NE(table.find("99.999996%"), std::string::npos);
+  EXPECT_NE(table.find("1s"), std::string::npos);
+}
+
+TEST(Availability, CorrelatedFailuresCapRedundancyGains) {
+  double a = node_availability(5000, 72);
+  double independent = service_availability(a, 4);
+  double correlated = service_availability_correlated(a, 4, 0.1);
+  EXPECT_LT(correlated, independent)
+      << "shared-cause outages are not reduced by redundancy";
+  // beta = 0 reduces to the independent model.
+  EXPECT_NEAR(service_availability_correlated(a, 4, 0.0), independent, 1e-12);
+  // beta = 1: redundancy does not help at all beyond one node.
+  EXPECT_NEAR(service_availability_correlated(a, 4, 1.0), a, 1e-12);
+  EXPECT_THROW(service_availability_correlated(a, 4, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Availability, MoreNodesMonotonicallyBetter) {
+  double prev = 0.0;
+  for (int n = 1; n <= 8; ++n) {
+    auto row = figure12_row(n, 5000, 72);
+    EXPECT_GT(row.availability, prev);
+    prev = row.availability;
+  }
+}
+
+}  // namespace

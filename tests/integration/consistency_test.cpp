@@ -1,0 +1,134 @@
+// End-to-end property sweep (E4): randomized command mixes + fault
+// schedules against full JOSHUA clusters; after the dust settles, every
+// surviving head must hold an identical job table and every job must have
+// run at most once.
+#include <gtest/gtest.h>
+
+#include "joshua/joshua_harness.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace joshuatest;
+
+struct ScenarioParam {
+  int heads;
+  int computes;
+  uint64_t seed;
+  int commands;
+  int crashes;           ///< heads to kill during the run
+  bool rejoin;           ///< restart + rejoin one crashed head
+  joshua::TransferMode transfer;
+  friend std::ostream& operator<<(std::ostream& os, const ScenarioParam& p) {
+    return os << "h" << p.heads << "_c" << p.computes << "_seed" << p.seed
+              << "_cmd" << p.commands << "_kill" << p.crashes
+              << (p.rejoin ? "_rejoin" : "")
+              << (p.transfer == joshua::TransferMode::kSnapshot ? "_snap"
+                                                                : "_replay");
+  }
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<ScenarioParam> {};
+
+TEST_P(ConsistencyTest, SurvivorsAgreeAndJobsRunOnce) {
+  const ScenarioParam p = GetParam();
+  joshua::ClusterOptions options = fast_options(p.heads, p.computes, p.seed);
+  options.transfer = p.transfer;
+  joshua::Cluster cluster(options);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  jutil::Rng rng(p.seed * 77 + 1);
+
+  int answered = 0;
+  std::vector<pbs::JobId> submitted;
+  int killed = 0;
+  for (int i = 0; i < p.commands; ++i) {
+    int dice = static_cast<int>(rng.next_u64(10));
+    if (dice < 7 || submitted.empty()) {
+      pbs::JobSpec spec;
+      spec.name = "w" + std::to_string(i);
+      spec.run_time = sim::msec(100 + static_cast<int64_t>(rng.next_u64(900)));
+      client.jsub(spec, [&](std::optional<pbs::SubmitResponse> r) {
+        ++answered;
+        if (r && r->status == pbs::Status::kOk) submitted.push_back(r->job_id);
+      });
+    } else if (dice < 9) {
+      pbs::JobId victim =
+          submitted[rng.next_u64(submitted.size())];
+      client.jdel(victim, [&](auto) { ++answered; });
+    } else {
+      client.jstat(pbs::StatRequest{}, [&](auto) { ++answered; });
+    }
+    cluster.sim().run_for(
+        sim::msec(50 + static_cast<int64_t>(rng.next_u64(400))));
+
+    if (killed < p.crashes && i == (p.commands * (killed + 1)) / (p.crashes + 1)) {
+      size_t victim_head = cluster.head_count() - 1 - static_cast<size_t>(killed);
+      cluster.net().crash_host(cluster.head_hosts()[victim_head]);
+      ++killed;
+    }
+  }
+  testutil::run_until(cluster.sim(), [&] { return answered >= p.commands; },
+                      sim::seconds(600));
+  EXPECT_EQ(answered, p.commands) << "every command got an answer";
+  ASSERT_TRUE(cluster.run_until_converged(sim::seconds(120)));
+
+  if (p.rejoin && killed > 0) {
+    size_t back = cluster.head_count() - 1;
+    cluster.net().restart_host(cluster.head_hosts()[back]);
+    cluster.joshua_server(back).start();
+    ASSERT_TRUE(cluster.run_until_converged(sim::seconds(120)));
+  }
+
+  // Drain all running jobs.
+  cluster.sim().run_for(sim::seconds(30));
+
+  // Invariant 1: surviving heads agree exactly.
+  EXPECT_TRUE(heads_consistent(cluster));
+
+  // Invariant 2: nothing executed twice -- total executions across moms
+  // equals the number of distinct non-cancelled completed jobs.
+  size_t live_head = SIZE_MAX;
+  for (size_t i = 0; i < cluster.head_count(); ++i) {
+    if (cluster.net().host(cluster.head_hosts()[i]).up() &&
+        cluster.joshua_server(i).in_service()) {
+      live_head = i;
+      break;
+    }
+  }
+  ASSERT_NE(live_head, SIZE_MAX);
+  size_t ran_to_completion = 0;
+  for (const auto& [id, job] : cluster.pbs_server(live_head).jobs()) {
+    (void)id;
+    if (job.state == pbs::JobState::kComplete && !job.cancelled)
+      ++ran_to_completion;
+  }
+  uint64_t executed = 0;
+  for (size_t c = 0; c < cluster.compute_count(); ++c)
+    executed += cluster.mom(c).jobs_executed();
+  // Executions count launches; cancelled jobs may or may not have launched,
+  // so executed >= completions and executed <= total accepted jobs.
+  EXPECT_GE(executed, ran_to_completion);
+  EXPECT_LE(executed, cluster.pbs_server(live_head).jobs().size())
+      << "a job ran more than once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsistencyTest,
+    ::testing::Values(
+        ScenarioParam{2, 1, 1, 12, 0, false, joshua::TransferMode::kReplay},
+        ScenarioParam{2, 2, 2, 16, 1, false, joshua::TransferMode::kReplay},
+        ScenarioParam{3, 2, 3, 16, 1, true, joshua::TransferMode::kReplay},
+        ScenarioParam{3, 2, 4, 16, 1, true, joshua::TransferMode::kSnapshot},
+        ScenarioParam{4, 2, 5, 20, 2, false, joshua::TransferMode::kReplay},
+        ScenarioParam{4, 2, 6, 20, 2, true, joshua::TransferMode::kSnapshot},
+        ScenarioParam{2, 1, 7, 24, 0, false, joshua::TransferMode::kSnapshot},
+        ScenarioParam{4, 1, 8, 12, 3, false, joshua::TransferMode::kReplay}),
+    [](const ::testing::TestParamInfo<ScenarioParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Scenarios lifted directly from the paper's Section 5 narrative, run on
+// the PAPER calibration (450 MHz heads, 100 Mbit hub) rather than the fast
+// test calibration -- these double as regression fences for the benchmark
+// shapes.
+#include <gtest/gtest.h>
+
+#include "joshua/joshua_harness.h"
+
+namespace {
+
+using namespace joshuatest;
+
+/// One jsub latency sample on the paper testbed.
+double paper_submission_ms(joshua::Cluster& cluster, joshua::Client& client) {
+  pbs::JobSpec spec;
+  spec.run_time = sim::hours(1);
+  bool done = false;
+  sim::Time start = cluster.sim().now();
+  client.jsub(spec, [&](std::optional<pbs::SubmitResponse>) { done = true; });
+  testutil::run_until(cluster.sim(), [&] { return done; }, sim::seconds(30),
+                      sim::usec(100));
+  return (cluster.sim().now() - start).millis();
+}
+
+TEST(PaperScenario, Figure10ShapeHolds) {
+  // Who wins and by roughly what factor -- the reproduction bar for E1.
+  double latency[5];  // [0]=TORQUE, [1..4]=JOSHUA xN
+  {
+    joshua::ClusterOptions options;
+    options.head_count = 1;
+    options.compute_count = 2;
+    options.with_joshua = false;
+    joshua::Cluster cluster(options);
+    pbs::Client& client = cluster.make_pbs_client(0);
+    pbs::JobSpec spec;
+    spec.run_time = sim::hours(1);
+    bool done = false;
+    sim::Time start = cluster.sim().now();
+    client.qsub(spec, [&](auto) { done = true; });
+    testutil::run_until(cluster.sim(), [&] { return done; }, sim::seconds(30),
+                        sim::usec(100));
+    latency[0] = (cluster.sim().now() - start).millis();
+  }
+  for (int heads = 1; heads <= 4; ++heads) {
+    joshua::ClusterOptions options;
+    options.head_count = heads;
+    options.compute_count = 2;
+    joshua::Cluster cluster(options);
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_converged());
+    joshua::Client& client = cluster.make_jclient();
+    paper_submission_ms(cluster, client);  // warmup
+    // Drain the warmup job's launch + jmutex traffic before sampling, and
+    // space the samples so remote-side tails do not pipeline.
+    cluster.sim().run_for(sim::seconds(5));
+    double first = paper_submission_ms(cluster, client);
+    cluster.sim().run_for(sim::seconds(2));
+    double second = paper_submission_ms(cluster, client);
+    latency[heads] = (first + second) / 2.0;
+  }
+
+  // TORQUE ~98 ms band.
+  EXPECT_GT(latency[0], 80.0);
+  EXPECT_LT(latency[0], 120.0);
+  // JOSHUA x1 adds a modest same-node overhead (paper: +37%).
+  EXPECT_GT(latency[1], latency[0] * 1.2);
+  EXPECT_LT(latency[1], latency[0] * 1.7);
+  // The 1->2 jump is the big one (paper: 134 -> 265, ~2x).
+  EXPECT_GT(latency[2], latency[1] * 1.6);
+  // 2->3 and 3->4 grow roughly linearly, ~35-60 ms per head.
+  EXPECT_GT(latency[3], latency[2] + 20.0);
+  EXPECT_LT(latency[3], latency[2] + 80.0);
+  EXPECT_GT(latency[4], latency[3] + 20.0);
+  EXPECT_LT(latency[4], latency[3] + 80.0);
+  // Absolute band for the 4-head system (paper: 349 ms).
+  EXPECT_GT(latency[4], 280.0);
+  EXPECT_LT(latency[4], 420.0);
+}
+
+TEST(PaperScenario, HundredsOfSubmissionsAMinute) {
+  // "after 3-5 days of excessive operation with up to hundreds of job
+  // submissions a minute Transis crashed" -- our gcs must survive the same
+  // load pattern (compressed: ~200 submissions as fast as the client can).
+  joshua::ClusterOptions options;
+  options.head_count = 2;
+  options.compute_count = 2;
+  options.cal = sim::fast_calibration();
+  joshua::Cluster cluster(options);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  int done = 0;
+  const int kJobs = 200;
+  std::function<void()> next = [&] {
+    pbs::JobSpec spec;
+    spec.run_time = sim::hours(2);
+    client.jsub(spec, [&](std::optional<pbs::SubmitResponse>) {
+      if (++done < kJobs) next();
+    });
+  };
+  next();
+  ASSERT_TRUE(testutil::run_until(cluster.sim(), [&] { return done >= kJobs; },
+                                  sim::seconds(1200)));
+  EXPECT_TRUE(heads_consistent(cluster));
+  EXPECT_EQ(cluster.pbs_server(0).jobs().size(), static_cast<size_t>(kJobs));
+}
+
+TEST(PaperScenario, MomQuirkKeepsJobUntilHeadReturns) {
+  // Section 5: "the PBS mom servers did not simply ignore a failed head
+  // node, but rather kept the current job in running status until it
+  // returned to service."
+  joshua::ClusterOptions options = fast_options(2, 1);
+  options.quirk_mom = true;
+  joshua::Cluster cluster(options);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  pbs::JobId id = jsub_sync(cluster, client, quick_job(sim::seconds(2)));
+  ASSERT_NE(id, pbs::kInvalidJob);
+  ASSERT_TRUE(testutil::run_until(cluster.sim(), [&] {
+    auto j = cluster.pbs_server(0).find_job(id);
+    return j && j->state == pbs::JobState::kRunning;
+  }));
+  cluster.net().crash_host(cluster.head_hosts()[0]);
+  // Job completes; head1 gets its report; the report to dead head0 is held.
+  ASSERT_TRUE(testutil::run_until(cluster.sim(), [&] {
+    auto j = cluster.pbs_server(1).find_job(id);
+    return j && j->state == pbs::JobState::kComplete;
+  }, sim::seconds(60)));
+  uint64_t reports_before = cluster.mom(0).reports_sent();
+  cluster.sim().run_for(sim::seconds(5));
+  EXPECT_GT(cluster.mom(0).reports_sent(), reports_before)
+      << "the quirky mom keeps retrying the dead head";
+}
+
+TEST(PaperScenario, ContinuousAvailabilityStatement) {
+  // "continuous HPC job and resource management service availability is
+  // provided transparently as long as one head node survives."
+  joshua::ClusterOptions options = fast_options(4, 1, 3);
+  joshua::Cluster cluster(options);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+
+  int accepted = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    pbs::JobId id = jsub_sync(cluster, client, quick_job(sim::seconds(300)),
+                              sim::seconds(120));
+    if (id != pbs::kInvalidJob) ++accepted;
+    if (wave < 3) {
+      cluster.net().crash_host(cluster.head_hosts()[static_cast<size_t>(wave)]);
+      ASSERT_TRUE(cluster.run_until_converged(sim::seconds(120)));
+    }
+  }
+  EXPECT_EQ(accepted, 4) << "service stayed up through three failures";
+  EXPECT_EQ(cluster.pbs_server(3).jobs().size(), 4u) << "no loss of state";
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "joshua/config_file.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using joshua::cluster_options_from_config;
+using joshua::cluster_options_to_config;
+using joshua::TransferMode;
+
+TEST(ClusterConfig, DefaultsWhenEmpty) {
+  joshua::ClusterOptions options = cluster_options_from_config("");
+  EXPECT_EQ(options.head_count, 2);
+  EXPECT_EQ(options.compute_count, 2);
+  EXPECT_EQ(options.transfer, TransferMode::kReplay);
+  EXPECT_FALSE(options.quirk_mom);
+  EXPECT_TRUE(options.sched.exclusive_cluster);
+}
+
+TEST(ClusterConfig, FullFileParses) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    # paper testbed
+    heads = 4
+    computes = 2
+    transfer = snapshot
+    auto_rejoin = true
+    quirk_mom = true
+    require_majority = true
+    seed = 99
+    scheduler {
+      policy = backfill
+      exclusive = false
+    }
+    gcs {
+      heartbeat_ms = 50
+      suspect_ms = 300
+      flush_ms = 900
+    }
+  )");
+  EXPECT_EQ(options.head_count, 4);
+  EXPECT_EQ(options.transfer, TransferMode::kSnapshot);
+  EXPECT_TRUE(options.auto_rejoin);
+  EXPECT_TRUE(options.quirk_mom);
+  EXPECT_TRUE(options.require_majority);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.sched.policy, pbs::SchedPolicy::kFifoBackfill);
+  EXPECT_FALSE(options.sched.exclusive_cluster);
+  EXPECT_EQ(options.gcs_heartbeat, sim::msec(50));
+  EXPECT_EQ(options.gcs_suspect, sim::msec(300));
+  EXPECT_EQ(options.gcs_flush, sim::msec(900));
+}
+
+TEST(ClusterConfig, BadValuesThrow) {
+  EXPECT_THROW(cluster_options_from_config("transfer = magic"),
+               jutil::ConfigError);
+  EXPECT_THROW(cluster_options_from_config("heads = 0"), jutil::ConfigError);
+  EXPECT_THROW(cluster_options_from_config("heads = few"),
+               jutil::ConfigError);
+  EXPECT_THROW(
+      cluster_options_from_config("scheduler {\n policy = random\n}"),
+      jutil::ConfigError);
+}
+
+TEST(ClusterConfig, UnknownKeysIgnored) {
+  joshua::ClusterOptions options =
+      cluster_options_from_config("future_knob = 7\nheads = 3");
+  EXPECT_EQ(options.head_count, 3);
+}
+
+TEST(ClusterConfig, RoundTrip) {
+  joshua::ClusterOptions original;
+  original.head_count = 3;
+  original.compute_count = 1;
+  original.transfer = TransferMode::kSnapshot;
+  original.quirk_mom = true;
+  original.seed = 5;
+  original.sched.policy = pbs::SchedPolicy::kFifoBackfill;
+  original.sched.exclusive_cluster = false;
+  original.gcs_suspect = sim::msec(400);
+
+  joshua::ClusterOptions back =
+      cluster_options_from_config(cluster_options_to_config(original));
+  EXPECT_EQ(back.head_count, 3);
+  EXPECT_EQ(back.compute_count, 1);
+  EXPECT_EQ(back.transfer, TransferMode::kSnapshot);
+  EXPECT_TRUE(back.quirk_mom);
+  EXPECT_EQ(back.seed, 5u);
+  EXPECT_EQ(back.sched.policy, pbs::SchedPolicy::kFifoBackfill);
+  EXPECT_FALSE(back.sched.exclusive_cluster);
+  EXPECT_EQ(back.gcs_suspect, sim::msec(400));
+}
+
+TEST(ClusterConfig, ConfiguredClusterActuallyRuns) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    heads = 2
+    computes = 1
+    gcs {
+      heartbeat_ms = 50
+      suspect_ms = 250
+      flush_ms = 500
+    }
+  )");
+  options.cal = sim::fast_calibration();
+  joshua::Cluster cluster(options);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_until_converged());
+  EXPECT_EQ(cluster.joshua_server(0).group().config().suspect_timeout,
+            sim::msec(250));
+}
+
+}  // namespace

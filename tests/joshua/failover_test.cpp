@@ -1,0 +1,171 @@
+// The headline property (paper Section 5 functional tests): continuous
+// availability across single and multiple simultaneous head failures,
+// voluntary leaves, and joins -- with no loss of state.
+#include <gtest/gtest.h>
+
+#include "joshua/joshua_harness.h"
+
+namespace {
+
+using namespace joshuatest;
+
+TEST(Failover, ServiceContinuesAfterSingleHeadFailure) {
+  joshua::Cluster cluster(fast_options(2, 2));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  pbs::JobId before = jsub_sync(cluster, client, quick_job(sim::seconds(60)));
+  ASSERT_NE(before, pbs::kInvalidJob);
+
+  cluster.net().crash_host(cluster.head_hosts()[0]);
+  ASSERT_TRUE(cluster.run_until_converged());
+
+  // State survived on the remaining head.
+  EXPECT_TRUE(cluster.pbs_server(1).find_job(before).has_value());
+  // New submissions keep working (client fails over).
+  pbs::JobId after = jsub_sync(cluster, client, quick_job(sim::seconds(60)));
+  EXPECT_EQ(after, before + 1) << "no loss of state: ids continue";
+  EXPECT_GE(client.failovers(), 1u);
+}
+
+TEST(Failover, MultipleSimultaneousFailures) {
+  joshua::Cluster cluster(fast_options(4, 2));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  pbs::JobId before = jsub_sync(cluster, client, quick_job(sim::seconds(120)));
+  ASSERT_NE(before, pbs::kInvalidJob);
+
+  // "multiple simultaneous failures": kill heads 0 and 2 at the same time.
+  cluster.net().crash_host(cluster.head_hosts()[0]);
+  cluster.net().crash_host(cluster.head_hosts()[2]);
+  ASSERT_TRUE(cluster.run_until_converged());
+
+  pbs::JobId after = jsub_sync(cluster, client, quick_job(sim::seconds(120)));
+  EXPECT_EQ(after, before + 1);
+  EXPECT_TRUE(heads_consistent(cluster));
+}
+
+TEST(Failover, RunningJobSurvivesHeadFailure) {
+  // The key difference to active/standby: a running job keeps running and
+  // its completion is recorded by the surviving heads.
+  joshua::Cluster cluster(fast_options(2, 1));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  pbs::JobId id = jsub_sync(cluster, client, quick_job(sim::seconds(10)));
+  ASSERT_TRUE(testutil::run_until(cluster.sim(), [&] {
+    auto j = cluster.pbs_server(1).find_job(id);
+    return j && j->state == pbs::JobState::kRunning;
+  }));
+
+  cluster.net().crash_host(cluster.head_hosts()[0]);
+  ASSERT_TRUE(cluster.run_until_converged());
+
+  EXPECT_TRUE(testutil::run_until(
+      cluster.sim(),
+      [&] {
+        auto j = cluster.pbs_server(1).find_job(id);
+        return j && j->state == pbs::JobState::kComplete && j->exit_code == 0;
+      },
+      sim::seconds(120)))
+      << "job ran to completion without restart despite the head failure";
+  EXPECT_EQ(cluster.mom(0).jobs_executed(), 1u);
+}
+
+TEST(Failover, CascadeDownToLastHead) {
+  joshua::Cluster cluster(fast_options(4, 1));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  std::vector<pbs::JobId> ids;
+  ids.push_back(jsub_sync(cluster, client, quick_job(sim::seconds(200))));
+  for (int kill = 0; kill < 3; ++kill) {
+    cluster.net().crash_host(cluster.head_hosts()[static_cast<size_t>(kill)]);
+    ASSERT_TRUE(cluster.run_until_converged()) << "after killing head " << kill;
+    ids.push_back(jsub_sync(cluster, client, quick_job(sim::seconds(200)),
+                            sim::seconds(120)));
+  }
+  // "as long as one head node survives": ids kept increasing with no loss.
+  EXPECT_EQ(ids, (std::vector<pbs::JobId>{1, 2, 3, 4}));
+  EXPECT_EQ(cluster.pbs_server(3).jobs().size(), 4u);
+}
+
+TEST(Failover, VoluntaryLeaveIsGraceful) {
+  joshua::Cluster cluster(fast_options(3, 1));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  jsub_sync(cluster, client, quick_job(sim::seconds(60)));
+
+  cluster.joshua_server(1).shutdown();
+  ASSERT_TRUE(testutil::run_until(cluster.sim(), [&] {
+    return cluster.joshua_server(0).group().view().size() == 2 &&
+           cluster.joshua_server(2).group().view().size() == 2;
+  }));
+  EXPECT_FALSE(cluster.joshua_server(1).in_service());
+  pbs::JobId after = jsub_sync(cluster, client, quick_job(sim::seconds(60)));
+  EXPECT_EQ(after, 2u);
+}
+
+TEST(Failover, FailureDuringSubmissionEventuallyAnswersOrFailsOver) {
+  joshua::Cluster cluster(fast_options(3, 1, 7));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+
+  // Kill the contacted head right as the submission goes out.
+  int replies = 0;
+  client.jsub(quick_job(sim::seconds(60)), [&](auto) { ++replies; });
+  cluster.sim().run_for(sim::msec(2));
+  cluster.net().crash_host(cluster.head_hosts()[client.current_head()]);
+
+  testutil::run_until(cluster.sim(), [&] { return replies == 1; },
+                      sim::seconds(120));
+  EXPECT_EQ(replies, 1);
+  ASSERT_TRUE(cluster.run_until_converged());
+  // The command executed at most twice (client retry after origin death is
+  // at-least-once; the PBS interface has no dedup -- inherent to the
+  // paper's design) but never zero or inconsistent across heads.
+  cluster.sim().run_for(sim::seconds(5));
+  size_t count = SIZE_MAX;
+  for (size_t i = 1; i < 3; ++i) {
+    if (!cluster.joshua_server(i).in_service()) continue;
+    size_t n = cluster.pbs_server(i).jobs().size();
+    if (count == SIZE_MAX) {
+      count = n;
+    } else {
+      EXPECT_EQ(n, count) << "surviving heads agree";
+    }
+  }
+  EXPECT_GE(count, 1u);
+  EXPECT_LE(count, 2u);
+}
+
+TEST(Failover, WorkloadUnderRollingFailuresStaysConsistent) {
+  joshua::Cluster cluster(fast_options(3, 2, 11));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+
+  int responded = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.jsub(quick_job(sim::msec(300)), [&](auto) { ++responded; });
+    cluster.sim().run_for(sim::msec(400));
+    if (i == 3) cluster.net().crash_host(cluster.head_hosts()[2]);
+    if (i == 7) cluster.net().crash_host(cluster.head_hosts()[0]);
+  }
+  testutil::run_until(cluster.sim(), [&] { return responded == 10; },
+                      sim::seconds(200));
+  ASSERT_TRUE(cluster.run_until_converged());
+  cluster.sim().run_for(sim::seconds(30));
+
+  // All surviving state is on head 1; every accepted job completed.
+  const auto& jobs = cluster.pbs_server(1).jobs();
+  EXPECT_GE(jobs.size(), 8u);
+  for (const auto& [id, job] : jobs) {
+    EXPECT_EQ(job.state, pbs::JobState::kComplete) << "job " << id;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "joshua/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace joshua;
+
+TEST(JoshuaProtocol, GroupCommandRoundTrip) {
+  GroupCommand cmd;
+  cmd.origin = 3;
+  cmd.cmd_seq = 99;
+  cmd.pbs_request = {1, 2, 3};
+  sim::Payload buf = encode_group(cmd);
+  EXPECT_EQ(peek_group_op(buf), GroupOp::kCommand);
+  GroupCommand back = decode_group_command(buf);
+  EXPECT_EQ(back.origin, 3u);
+  EXPECT_EQ(back.cmd_seq, 99u);
+  EXPECT_EQ(back.pbs_request, (sim::Payload{1, 2, 3}));
+}
+
+TEST(JoshuaProtocol, MutexMessagesRoundTrip) {
+  GroupMutexReq req{42, 7};
+  sim::Payload buf = encode_group(req);
+  EXPECT_EQ(peek_group_op(buf), GroupOp::kMutexReq);
+  GroupMutexReq back = decode_group_mutex_req(buf);
+  EXPECT_EQ(back.job, 42u);
+  EXPECT_EQ(back.head, 7u);
+
+  GroupMutexDone done{42, 271, 7};
+  GroupMutexDone db = decode_group_mutex_done(encode_group(done));
+  EXPECT_EQ(db.job, 42u);
+  EXPECT_EQ(db.exit_code, 271);
+  EXPECT_EQ(db.head, 7u);
+}
+
+TEST(JoshuaProtocol, PluginMessagesRoundTrip) {
+  JMutexRequest req{11, 2};
+  JMutexRequest rb = decode_jmutex(encode_plugin(req));
+  EXPECT_EQ(rb.job, 11u);
+  EXPECT_EQ(rb.head, 2u);
+
+  JDoneRequest done{11, 5};
+  JDoneRequest db = decode_jdone(encode_plugin(done));
+  EXPECT_EQ(db.job, 11u);
+  EXPECT_EQ(db.exit_code, 5);
+
+  for (bool won : {true, false}) {
+    JMutexResponse resp{won};
+    EXPECT_EQ(decode_jmutex_response(encode_jmutex_response(resp)).won, won);
+  }
+}
+
+TEST(JoshuaProtocol, PluginOpsDistinctFromPbsOps) {
+  // The joshua server demuxes by first byte; plugin ops must never collide
+  // with PBS ops.
+  EXPECT_GT(static_cast<uint8_t>(PluginOp::kJMutex), 100);
+  EXPECT_GT(static_cast<uint8_t>(PluginOp::kJDone), 100);
+}
+
+TEST(JoshuaProtocol, CommandLogRoundTrip) {
+  CommandLog log;
+  log.requests = {{1}, {2, 2}, {3, 3, 3}};
+  CommandLog back = decode_command_log(encode_command_log(log));
+  ASSERT_EQ(back.requests.size(), 3u);
+  EXPECT_EQ(back.requests[2], (sim::Payload{3, 3, 3}));
+}
+
+TEST(JoshuaProtocol, TransferWrapperDistinguishesKinds) {
+  sim::Payload body{9, 8, 7};
+  auto [kind, back] =
+      unwrap_transfer(wrap_transfer(TransferKind::kSnapshot, body));
+  EXPECT_EQ(kind, TransferKind::kSnapshot);
+  EXPECT_EQ(back, body);
+  auto [kind2, back2] =
+      unwrap_transfer(wrap_transfer(TransferKind::kReplayLog, body));
+  EXPECT_EQ(kind2, TransferKind::kReplayLog);
+  EXPECT_EQ(back2, body);
+}
+
+TEST(JoshuaProtocol, MalformedInputsThrow) {
+  EXPECT_THROW(peek_group_op(sim::Payload{}), net::WireError);
+  EXPECT_THROW(decode_group_command(encode_group(GroupMutexReq{1, 2})),
+               net::WireError);
+  sim::Payload truncated = encode_group(GroupCommand{1, 2, {3, 4, 5}});
+  truncated.resize(truncated.size() - 2);
+  EXPECT_THROW(decode_group_command(truncated), net::WireError);
+  EXPECT_THROW(unwrap_transfer(sim::Payload{1}), net::WireError);
+}
+
+}  // namespace

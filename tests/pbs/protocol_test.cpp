@@ -1,0 +1,158 @@
+#include "pbs/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pbs;
+
+JobSpec sample_spec() {
+  JobSpec s;
+  s.name = "climate-sim";
+  s.user = "alice";
+  s.nodes = 3;
+  s.walltime = sim::minutes(30);
+  s.run_time = sim::seconds(90);
+  s.priority = -2;
+  s.script = "#!/bin/sh\nmpirun ./climate\n";
+  return s;
+}
+
+Job sample_job() {
+  Job j;
+  j.id = 17;
+  j.spec = sample_spec();
+  j.state = JobState::kRunning;
+  j.submit_time = sim::Time{1000};
+  j.start_time = sim::Time{2000};
+  j.end_time = sim::Time{0};
+  j.exit_code = 0;
+  j.queue_rank = 4;
+  j.exec_host = 9;
+  return j;
+}
+
+TEST(PbsJob, SpecRoundTrip) {
+  net::Writer w;
+  encode_job_spec(w, sample_spec());
+  sim::Payload buf = w.take();
+  net::Reader r(buf);
+  JobSpec back = decode_job_spec(r);
+  EXPECT_EQ(back.name, "climate-sim");
+  EXPECT_EQ(back.user, "alice");
+  EXPECT_EQ(back.nodes, 3u);
+  EXPECT_EQ(back.walltime, sim::minutes(30));
+  EXPECT_EQ(back.run_time, sim::seconds(90));
+  EXPECT_EQ(back.priority, -2);
+  EXPECT_EQ(back.script, sample_spec().script);
+}
+
+TEST(PbsJob, JobRoundTrip) {
+  net::Writer w;
+  encode_job(w, sample_job());
+  sim::Payload buf = w.take();
+  net::Reader r(buf);
+  Job back = decode_job(r);
+  EXPECT_EQ(back.id, 17u);
+  EXPECT_EQ(back.state, JobState::kRunning);
+  EXPECT_EQ(back.queue_rank, 4u);
+  EXPECT_EQ(back.exec_host, 9u);
+  EXPECT_TRUE(back.active());
+  EXPECT_FALSE(back.terminal());
+}
+
+TEST(PbsJob, StateHelpers) {
+  EXPECT_EQ(state_letter(JobState::kQueued), 'Q');
+  EXPECT_EQ(state_letter(JobState::kRunning), 'R');
+  EXPECT_EQ(state_letter(JobState::kComplete), 'C');
+  EXPECT_EQ(state_letter(JobState::kHeld), 'H');
+  EXPECT_EQ(to_string(JobState::kExiting), "EXITING");
+  EXPECT_EQ(job_id_string(12, "cluster"), "12.cluster");
+}
+
+TEST(PbsProtocol, SubmitRoundTrip) {
+  sim::Payload buf = encode_request(SubmitRequest{sample_spec()});
+  EXPECT_EQ(peek_op(buf), Op::kSubmit);
+  SubmitRequest back = decode_submit(buf);
+  EXPECT_EQ(back.spec.name, "climate-sim");
+}
+
+TEST(PbsProtocol, AllSimpleRequestsRoundTrip) {
+  EXPECT_EQ(decode_delete(encode_request(DeleteRequest{7})).job_id, 7u);
+  SignalRequest sig = decode_signal(encode_request(SignalRequest{8, 9}));
+  EXPECT_EQ(sig.job_id, 8u);
+  EXPECT_EQ(sig.signal, 9);
+  EXPECT_EQ(decode_hold(encode_request(HoldRequest{3})).job_id, 3u);
+  EXPECT_EQ(decode_release(encode_request(ReleaseRequest{4})).job_id, 4u);
+  StatRequest st = decode_stat(encode_request(StatRequest{5, false}));
+  EXPECT_EQ(st.job_id, 5u);
+  EXPECT_FALSE(st.include_complete);
+}
+
+TEST(PbsProtocol, MomMessagesRoundTrip) {
+  MomLaunchRequest launch{sample_job(), 2};
+  MomLaunchRequest lb = decode_mom_launch(encode_request(launch));
+  EXPECT_EQ(lb.job.id, 17u);
+  EXPECT_EQ(lb.server_host, 2u);
+
+  MomKillRequest kill{17, 2};
+  MomKillRequest kb = decode_mom_kill(encode_request(kill));
+  EXPECT_EQ(kb.job_id, 17u);
+
+  MomEmuCompleteRequest emu{17, 3};
+  MomEmuCompleteRequest eb = decode_mom_emu_complete(encode_request(emu));
+  EXPECT_EQ(eb.exit_code, 3);
+
+  JobReport report{17, 271, true, sim::Time{10}, sim::Time{20}, 5};
+  JobReport rb = decode_job_report(encode_request(report));
+  EXPECT_EQ(rb.job_id, 17u);
+  EXPECT_EQ(rb.exit_code, 271);
+  EXPECT_TRUE(rb.cancelled);
+  EXPECT_EQ(rb.start_time, sim::Time{10});
+  EXPECT_EQ(rb.mom_host, 5u);
+}
+
+TEST(PbsProtocol, StateMessagesRoundTrip) {
+  LoadStateRequest load{{1, 2, 3}};
+  EXPECT_EQ(decode_load_state(encode_request(load)).state,
+            (sim::Payload{1, 2, 3}));
+  DumpStateResponse dump{Status::kOk, {4, 5}};
+  EXPECT_EQ(decode_dump_state_response(encode_response(dump)).state,
+            (sim::Payload{4, 5}));
+}
+
+TEST(PbsProtocol, ResponsesRoundTrip) {
+  SubmitResponse sub{Status::kOk, 42};
+  SubmitResponse sb = decode_submit_response(encode_response(sub));
+  EXPECT_EQ(sb.job_id, 42u);
+  EXPECT_EQ(sb.status, Status::kOk);
+
+  StatResponse stat{Status::kOk, {sample_job()}};
+  StatResponse stb = decode_stat_response(encode_response(stat));
+  ASSERT_EQ(stb.jobs.size(), 1u);
+  EXPECT_EQ(stb.jobs[0].id, 17u);
+
+  SimpleResponse simple{Status::kUnknownJob};
+  EXPECT_EQ(decode_simple_response(encode_response(simple)).status,
+            Status::kUnknownJob);
+
+  MomLaunchResponse launch{Status::kOk, true};
+  MomLaunchResponse lb = decode_mom_launch_response(encode_response(launch));
+  EXPECT_TRUE(lb.emulated);
+}
+
+TEST(PbsProtocol, OpMismatchAndTruncationThrow) {
+  sim::Payload buf = encode_request(DeleteRequest{7});
+  EXPECT_THROW(decode_hold(buf), net::WireError);
+  buf.resize(2);
+  EXPECT_THROW(decode_delete(buf), net::WireError);
+  EXPECT_THROW(peek_op(sim::Payload{}), net::WireError);
+}
+
+TEST(PbsProtocol, StatusStrings) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kUnknownJob), "unknown job");
+  EXPECT_EQ(to_string(Status::kUnsupported), "operation not supported");
+}
+
+}  // namespace

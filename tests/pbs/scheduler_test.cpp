@@ -1,0 +1,184 @@
+#include "pbs/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pbs;
+
+Job make_job(JobId id, uint64_t rank, uint32_t nodes = 1,
+             JobState state = JobState::kQueued,
+             sim::Duration walltime = sim::minutes(10)) {
+  Job j;
+  j.id = id;
+  j.queue_rank = rank;
+  j.spec.nodes = nodes;
+  j.spec.walltime = walltime;
+  j.state = state;
+  return j;
+}
+
+std::vector<NodeState> make_nodes(int n) {
+  std::vector<NodeState> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back({static_cast<sim::HostId>(i), true, kInvalidJob});
+  return nodes;
+}
+
+TEST(SchedulerFifo, ExclusiveClusterOneJobAtATime) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, true});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1);
+  jobs[2] = make_job(2, 2);
+  auto decisions = sched.cycle(jobs, make_nodes(2), sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 1u);
+  EXPECT_EQ(decisions[0].nodes.size(), 2u) << "whole cluster allocated";
+}
+
+TEST(SchedulerFifo, ExclusiveBlocksWhileAnyNodeBusy) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, true});
+  std::map<JobId, Job> jobs;
+  jobs[2] = make_job(2, 2);
+  auto nodes = make_nodes(2);
+  nodes[1].running = 1;
+  EXPECT_TRUE(sched.cycle(jobs, nodes, sim::Time{0}).empty());
+}
+
+TEST(SchedulerFifo, FifoOrderByRankNotId) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, true});
+  std::map<JobId, Job> jobs;
+  jobs[5] = make_job(5, 1);  // earlier rank, higher id
+  jobs[2] = make_job(2, 2);
+  auto decisions = sched.cycle(jobs, make_nodes(1), sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 5u);
+}
+
+TEST(SchedulerFifo, SkipsHeldAndTerminalJobs) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, true});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1, 1, JobState::kHeld);
+  jobs[2] = make_job(2, 2, 1, JobState::kComplete);
+  jobs[3] = make_job(3, 3);
+  auto decisions = sched.cycle(jobs, make_nodes(1), sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 3u);
+}
+
+TEST(SchedulerFifo, NonExclusivePacksMultipleJobs) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, false});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1, 2);
+  jobs[2] = make_job(2, 2, 1);
+  jobs[3] = make_job(3, 3, 2);  // does not fit after 1+2
+  auto decisions = sched.cycle(jobs, make_nodes(4), sim::Time{0});
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].job, 1u);
+  EXPECT_EQ(decisions[0].nodes.size(), 2u);
+  EXPECT_EQ(decisions[1].job, 2u);
+}
+
+TEST(SchedulerFifo, StrictFifoHeadBlocksTail) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, false});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1, 4);  // needs 4, only 2 free
+  jobs[2] = make_job(2, 2, 1);  // would fit, but FIFO blocks
+  EXPECT_TRUE(sched.cycle(jobs, make_nodes(2), sim::Time{0}).empty());
+}
+
+TEST(SchedulerFifo, DownNodesNotAllocated) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, false});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1, 2);
+  auto nodes = make_nodes(2);
+  nodes[0].up = false;
+  EXPECT_TRUE(sched.cycle(jobs, nodes, sim::Time{0}).empty());
+  jobs[1].spec.nodes = 1;
+  auto decisions = sched.cycle(jobs, nodes, sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].nodes[0], 1u) << "only the up node";
+}
+
+TEST(SchedulerBackfill, SmallJobFillsHole) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifoBackfill, false});
+  std::map<JobId, Job> jobs;
+  // Running job holds 2 of 4 nodes for another ~60s.
+  Job running = make_job(1, 1, 2, JobState::kRunning, sim::seconds(60));
+  running.start_time = sim::Time{0};
+  jobs[1] = running;
+  jobs[2] = make_job(2, 2, 4, JobState::kQueued, sim::minutes(10));  // blocked
+  // Short small job fits before the blocked job's shadow time.
+  jobs[3] = make_job(3, 3, 1, JobState::kQueued, sim::seconds(30));
+  auto nodes = make_nodes(4);
+  nodes[0].running = 1;
+  nodes[1].running = 1;
+  auto decisions = sched.cycle(jobs, nodes, sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 3u);
+}
+
+TEST(SchedulerBackfill, LongJobDoesNotDelayReservation) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifoBackfill, false});
+  std::map<JobId, Job> jobs;
+  Job running = make_job(1, 1, 2, JobState::kRunning, sim::seconds(60));
+  running.start_time = sim::Time{0};
+  jobs[1] = running;
+  jobs[2] = make_job(2, 2, 4, JobState::kQueued, sim::minutes(10));
+  // Long job (10 min) on 1 node would outlive the shadow and the blocked
+  // job needs all 4 nodes: must NOT backfill.
+  jobs[3] = make_job(3, 3, 1, JobState::kQueued, sim::minutes(10));
+  auto nodes = make_nodes(4);
+  nodes[0].running = 1;
+  nodes[1].running = 1;
+  EXPECT_TRUE(sched.cycle(jobs, nodes, sim::Time{0}).empty());
+}
+
+TEST(SchedulerBackfill, LongJobAllowedOnSpareNodes) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifoBackfill, false});
+  std::map<JobId, Job> jobs;
+  // 5 nodes; a 2-node job runs, so 3 are free. The head job needs 4 and
+  // blocks. At the shadow instant 5 nodes free up, the head takes 4,
+  // leaving 1 spare -- a long 1-node job may run on it indefinitely.
+  Job running = make_job(1, 1, 2, JobState::kRunning, sim::seconds(60));
+  running.start_time = sim::Time{0};
+  jobs[1] = running;
+  jobs[2] = make_job(2, 2, 4, JobState::kQueued, sim::minutes(10));
+  jobs[3] = make_job(3, 3, 1, JobState::kQueued, sim::hours(1));
+  auto nodes = make_nodes(5);
+  nodes[0].running = 1;
+  nodes[1].running = 1;
+  auto decisions = sched.cycle(jobs, nodes, sim::Time{0});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 3u) << "spare capacity at shadow time";
+}
+
+TEST(SchedulerDeterminism, SameInputsSameDecisions) {
+  // The paper's requirement: identical state at every head must produce
+  // identical launch decisions.
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifoBackfill, false});
+  std::map<JobId, Job> jobs;
+  for (JobId id = 1; id <= 20; ++id)
+    jobs[id] = make_job(id, id, static_cast<uint32_t>(1 + id % 3));
+  auto nodes = make_nodes(6);
+  auto d1 = sched.cycle(jobs, nodes, sim::Time{12345});
+  auto d2 = sched.cycle(jobs, nodes, sim::Time{12345});
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].job, d2[i].job);
+    EXPECT_EQ(d1[i].nodes, d2[i].nodes);
+  }
+}
+
+TEST(SchedulerEdge, NoJobsNoDecisions) {
+  Scheduler sched(SchedulerConfig{});
+  EXPECT_TRUE(sched.cycle({}, make_nodes(2), sim::Time{0}).empty());
+}
+
+TEST(SchedulerEdge, NoNodesNoDecisions) {
+  Scheduler sched(SchedulerConfig{SchedPolicy::kFifo, false});
+  std::map<JobId, Job> jobs;
+  jobs[1] = make_job(1, 1, 1);
+  EXPECT_TRUE(sched.cycle(jobs, {}, sim::Time{0}).empty());
+}
+
+}  // namespace

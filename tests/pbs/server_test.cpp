@@ -1,0 +1,260 @@
+#include "pbs/server.h"
+
+#include <gtest/gtest.h>
+
+#include "pbs/pbs_harness.h"
+
+namespace {
+
+using pbstest::PbsHarness;
+using namespace pbs;
+
+TEST(PbsServer, SubmitRunsToCompletion) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId id = h.submit(client, h.quick_job());
+  ASSERT_NE(id, kInvalidJob);
+  EXPECT_TRUE(h.wait_state(id, JobState::kComplete));
+  Job job = *h.server->find_job(id);
+  EXPECT_EQ(job.exit_code, 0);
+  EXPECT_GT(job.end_time, job.start_time);
+  EXPECT_GE(job.start_time, job.submit_time);
+  EXPECT_EQ(h.moms[0]->jobs_executed() + h.moms[1]->jobs_executed(), 1u);
+}
+
+TEST(PbsServer, JobIdsMonotonic) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId a = h.submit(client, h.quick_job());
+  JobId b = h.submit(client, h.quick_job());
+  JobId c = h.submit(client, h.quick_job());
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1);
+}
+
+TEST(PbsServer, FifoExclusiveRunsSequentially) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId a = h.submit(client, h.quick_job(sim::msec(300)));
+  JobId b = h.submit(client, h.quick_job(sim::msec(300)));
+  ASSERT_TRUE(h.wait_state(b, JobState::kComplete));
+  Job ja = *h.server->find_job(a);
+  Job jb = *h.server->find_job(b);
+  EXPECT_GE(jb.start_time, ja.end_time)
+      << "exclusive cluster: b must wait for a";
+}
+
+TEST(PbsServer, StatAllAndSingle) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId a = h.submit(client, h.quick_job());
+  h.submit(client, h.quick_job());
+
+  std::optional<StatResponse> all;
+  client.qstat(StatRequest{}, [&](auto r) { all = r; });
+  testutil::run_until(h.sim, [&] { return all.has_value(); });
+  EXPECT_EQ(all->jobs.size(), 2u);
+
+  std::optional<StatResponse> one;
+  client.qstat(StatRequest{a, true}, [&](auto r) { one = r; });
+  testutil::run_until(h.sim, [&] { return one.has_value(); });
+  ASSERT_EQ(one->jobs.size(), 1u);
+  EXPECT_EQ(one->jobs[0].id, a);
+
+  std::optional<StatResponse> missing;
+  client.qstat(StatRequest{999, true}, [&](auto r) { missing = r; });
+  testutil::run_until(h.sim, [&] { return missing.has_value(); });
+  EXPECT_EQ(missing->status, Status::kUnknownJob);
+}
+
+TEST(PbsServer, StatExcludesCompleteWhenAsked) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId a = h.submit(client, h.quick_job(sim::msec(100)));
+  ASSERT_TRUE(h.wait_state(a, JobState::kComplete));
+  h.submit(client, h.quick_job(sim::seconds(30)));
+  std::optional<StatResponse> active;
+  client.qstat(StatRequest{kInvalidJob, false}, [&](auto r) { active = r; });
+  testutil::run_until(h.sim, [&] { return active.has_value(); });
+  ASSERT_EQ(active->jobs.size(), 1u);
+  EXPECT_NE(active->jobs[0].id, a);
+}
+
+TEST(PbsServer, DeleteQueuedJob) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId blocker = h.submit(client, h.quick_job(sim::seconds(60)));
+  JobId victim = h.submit(client, h.quick_job());
+  (void)blocker;
+  std::optional<SimpleResponse> resp;
+  client.qdel(victim, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kOk);
+  Job job = *h.server->find_job(victim);
+  EXPECT_EQ(job.state, JobState::kComplete);
+  EXPECT_TRUE(job.cancelled);
+}
+
+TEST(PbsServer, DeleteRunningJobKillsOnMom) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId id = h.submit(client, h.quick_job(sim::seconds(60)));
+  ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
+  std::optional<SimpleResponse> resp;
+  client.qdel(id, [&](auto r) { resp = r; });
+  ASSERT_TRUE(h.wait_state(id, JobState::kComplete, sim::seconds(30)));
+  Job job = *h.server->find_job(id);
+  EXPECT_TRUE(job.cancelled);
+  EXPECT_EQ(job.exit_code, 271) << "TORQUE signal-death convention";
+}
+
+TEST(PbsServer, DeleteUnknownAndDoubleDelete) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  std::optional<SimpleResponse> resp;
+  client.qdel(42, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kUnknownJob);
+
+  JobId id = h.submit(client, h.quick_job(sim::msec(100)));
+  ASSERT_TRUE(h.wait_state(id, JobState::kComplete));
+  resp.reset();
+  client.qdel(id, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kInvalidState) << "already complete";
+}
+
+TEST(PbsServer, HoldPreventsStartUntilRelease) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  // Block the cluster briefly so the hold lands while queued.
+  JobId blocker = h.submit(client, h.quick_job(sim::seconds(5)));
+  (void)blocker;
+  JobId id = h.submit(client, h.quick_job(sim::msec(100)));
+  std::optional<SimpleResponse> resp;
+  client.qhold(id, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kOk);
+  // The blocker finishes; the held job must NOT start.
+  ASSERT_TRUE(h.wait_state(blocker, JobState::kComplete, sim::seconds(30)));
+  h.sim.run_for(sim::seconds(2));
+  EXPECT_EQ(h.server->find_job(id)->state, JobState::kHeld);
+
+  resp.reset();
+  client.qrls(id, [&](auto r) { resp = r; });
+  EXPECT_TRUE(h.wait_state(id, JobState::kComplete, sim::seconds(30)));
+}
+
+TEST(PbsServer, HoldRunningJobRejected) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId id = h.submit(client, h.quick_job(sim::seconds(60)));
+  ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
+  std::optional<SimpleResponse> resp;
+  client.qhold(id, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kInvalidState);
+}
+
+TEST(PbsServer, SignalTerminatesRunningJob) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId id = h.submit(client, h.quick_job(sim::seconds(60)));
+  ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
+  std::optional<SimpleResponse> resp;
+  client.qsig(id, 15, [&](auto r) { resp = r; });
+  EXPECT_TRUE(h.wait_state(id, JobState::kComplete, sim::seconds(30)));
+  EXPECT_TRUE(h.server->find_job(id)->cancelled);
+}
+
+TEST(PbsServer, BenignSignalDoesNotKill) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId id = h.submit(client, h.quick_job(sim::seconds(2)));
+  ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
+  std::optional<SimpleResponse> resp;
+  client.qsig(id, 10 /*SIGUSR1*/, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  EXPECT_EQ(resp->status, Status::kOk);
+  EXPECT_EQ(h.server->find_job(id)->state, JobState::kRunning);
+  EXPECT_TRUE(h.wait_state(id, JobState::kComplete));
+  EXPECT_FALSE(h.server->find_job(id)->cancelled);
+}
+
+TEST(PbsServer, MultiNodeJobAllocatesRequestedNodes) {
+  auto tweak = [](ServerConfig& cfg) {
+    cfg.sched.exclusive_cluster = false;
+  };
+  PbsHarness h(3, 1, tweak);
+  Client& client = h.make_client();
+  JobSpec spec = h.quick_job(sim::seconds(1));
+  spec.nodes = 2;
+  JobId id = h.submit(client, spec);
+  ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
+  int busy = 0;
+  for (const NodeState& n : h.server->nodes())
+    if (n.running == id) ++busy;
+  EXPECT_EQ(busy, 2);
+  ASSERT_TRUE(h.wait_state(id, JobState::kComplete));
+  for (const NodeState& n : h.server->nodes())
+    EXPECT_EQ(n.running, kInvalidJob);
+}
+
+TEST(PbsServer, RestartRecoversQueueAndRequeuesRunning) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobId running = h.submit(client, h.quick_job(sim::seconds(120)));
+  JobId queued = h.submit(client, h.quick_job(sim::msec(200)));
+  ASSERT_TRUE(h.wait_state(running, JobState::kRunning));
+
+  h.net.crash_host(h.head);
+  h.sim.run_for(sim::seconds(1));
+  h.net.restart_host(h.head);
+
+  // Recovered queue: both jobs exist; the one that was running has been
+  // requeued (restart semantics after failover).
+  auto r = h.server->find_job(running);
+  auto q = h.server->find_job(queued);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_NE(r->state, JobState::kComplete);
+  // Everything eventually completes after recovery.
+  EXPECT_TRUE(h.wait_state(queued, JobState::kComplete, sim::seconds(400)));
+  EXPECT_TRUE(h.wait_state(running, JobState::kComplete, sim::seconds(400)));
+}
+
+TEST(PbsServer, DumpAndLoadStateRoundTrip) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  h.submit(client, h.quick_job(sim::seconds(60)));
+  h.submit(client, h.quick_job(sim::seconds(60)));
+
+  std::optional<DumpStateResponse> dump;
+  client.dump_state([&](auto r) { dump = r; });
+  testutil::run_until(h.sim, [&] { return dump.has_value(); });
+  ASSERT_EQ(dump->status, Status::kOk);
+
+  // Load into a second, fresh server.
+  sim::HostId head2 = h.net.add_host("head2").id();
+  pbs::ServerConfig cfg = pbs::server_config_from(sim::fast_calibration());
+  cfg.port = 15001;
+  cfg.persist = false;
+  pbs::Server server2(h.net, head2, cfg);
+  server2.load_state_blob(dump->state);
+  EXPECT_EQ(server2.jobs().size(), 2u);
+  EXPECT_EQ(server2.submissions(), h.server->submissions());
+}
+
+TEST(PbsServer, CountInStateAndSubmissions) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  h.submit(client, h.quick_job(sim::seconds(60)));
+  h.submit(client, h.quick_job(sim::seconds(60)));
+  EXPECT_EQ(h.server->submissions(), 2u);
+  testutil::run_until(h.sim, [&] {
+    return h.server->count_in_state(JobState::kRunning) == 1;
+  });
+  EXPECT_EQ(h.server->count_in_state(JobState::kQueued), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : sim_(1), net_(sim_, sim::NetworkConfig{}), faults_(net_) {
+    a_ = net_.add_host("a").id();
+    b_ = net_.add_host("b").id();
+  }
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::FailureInjector faults_;
+  sim::HostId a_, b_;
+};
+
+TEST_F(FailureTest, ScriptedCrashAndRestart) {
+  faults_.crash_at(a_, sim::Time{1000});
+  faults_.restart_at(a_, sim::Time{5000});
+  sim_.run_until(sim::Time{2000});
+  EXPECT_FALSE(net_.host(a_).up());
+  sim_.run_until(sim::Time{6000});
+  EXPECT_TRUE(net_.host(a_).up());
+}
+
+TEST_F(FailureTest, OutageHelper) {
+  faults_.outage(a_, sim::Time{1000}, sim::msec(4));
+  sim_.run_until(sim::Time{3000});
+  EXPECT_FALSE(net_.host(a_).up());
+  sim_.run_until(sim::Time{10000});
+  EXPECT_TRUE(net_.host(a_).up());
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 4000);
+}
+
+TEST_F(FailureTest, PartitionAndHeal) {
+  faults_.partition(b_, 1, sim::Time{1000}, sim::Time{5000});
+  sim_.run_until(sim::Time{2000});
+  EXPECT_EQ(net_.host(b_).partition(), 1);
+  sim_.run_until(sim::Time{6000});
+  EXPECT_EQ(net_.host(b_).partition(), 0);
+}
+
+TEST_F(FailureTest, RandomFailuresRespectHorizon) {
+  int count = faults_.random_failures(a_, sim::hours(1), sim::minutes(5),
+                                      sim::Time{0} + sim::hours(24));
+  EXPECT_GT(count, 5);
+  sim_.run();
+  EXPECT_TRUE(net_.host(a_).up()) << "every outage was repaired by horizon";
+  // Downtime should be roughly count * 5 minutes.
+  double mean_down = faults_.recorded_downtime(a_).seconds() / count;
+  EXPECT_GT(mean_down, 30.0);
+  EXPECT_LT(mean_down, 1800.0);
+}
+
+TEST_F(FailureTest, RandomFailuresDeterministicPerSeed) {
+  sim::Simulation s2(1);
+  sim::Network n2(s2, sim::NetworkConfig{});
+  n2.add_host("a");
+  n2.add_host("b");
+  sim::FailureInjector f2(n2);
+  int c1 = faults_.random_failures(a_, sim::hours(10), sim::hours(1),
+                                   sim::Time{0} + sim::hours(100));
+  int c2 = f2.random_failures(0, sim::hours(10), sim::hours(1),
+                              sim::Time{0} + sim::hours(100));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST_F(FailureTest, OutagesRecorded) {
+  faults_.outage(a_, sim::Time{1000}, sim::msec(1));
+  faults_.crash_at(b_, sim::Time{2000});
+  ASSERT_EQ(faults_.outages().size(), 2u);
+  EXPECT_EQ(faults_.outages()[0].host, a_);
+  EXPECT_EQ(faults_.outages()[1].up, sim::kTimeInfinity);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "sim/process.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+class Echo : public sim::Process {
+ public:
+  Echo(sim::Network& net, sim::HostId host, sim::Port port,
+       bool replies = false)
+      : sim::Process(net, host, port, "echo"), replies_(replies) {}
+  void on_packet(sim::Packet packet) override {
+    ++packets;
+    if (replies_) send(packet.src, packet.data);
+  }
+  void on_crash() override { ++crashes; }
+  void on_restart() override { ++restarts; }
+  int packets = 0;
+  int crashes = 0;
+  int restarts = 0;
+
+ private:
+  bool replies_;
+};
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest() : sim_(1), net_(sim_, sim::NetworkConfig{}) {
+    a_ = net_.add_host("a").id();
+    b_ = net_.add_host("b").id();
+  }
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::HostId a_, b_;
+};
+
+TEST_F(ProcessTest, EchoRoundTrip) {
+  Echo pa(net_, a_, 10);
+  Echo pb(net_, b_, 10, /*replies=*/true);
+  pa.send({b_, 10}, {1, 2, 3});
+  sim_.run();
+  EXPECT_EQ(pb.packets, 1);
+  EXPECT_EQ(pa.packets, 1) << "reply came back";
+}
+
+TEST_F(ProcessTest, TimerFires) {
+  Echo p(net_, a_, 10);
+  bool fired = false;
+  p.set_timer(sim::msec(5), [&] { fired = true; });
+  sim_.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim_.now().us, 5000);
+}
+
+TEST_F(ProcessTest, TimerCancellable) {
+  Echo p(net_, a_, 10);
+  bool fired = false;
+  sim::TimerId id = p.set_timer(sim::msec(5), [&] { fired = true; });
+  p.cancel_timer(id);
+  sim_.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(ProcessTest, TimersCancelledOnCrash) {
+  Echo p(net_, a_, 10);
+  bool fired = false;
+  p.set_timer(sim::msec(5), [&] { fired = true; });
+  net_.crash_host(a_);
+  sim_.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(p.crashes, 1);
+}
+
+TEST_F(ProcessTest, RestartNotifies) {
+  Echo p(net_, a_, 10);
+  net_.crash_host(a_);
+  net_.restart_host(a_);
+  EXPECT_EQ(p.crashes, 1);
+  EXPECT_EQ(p.restarts, 1);
+}
+
+TEST_F(ProcessTest, DestructorUnbindsPort) {
+  {
+    Echo p(net_, a_, 10);
+  }
+  Echo p2(net_, a_, 10);  // rebind must succeed
+  SUCCEED();
+}
+
+TEST_F(ProcessTest, TimerSelfCleanupAllowsManyTimers) {
+  Echo p(net_, a_, 10);
+  int fired = 0;
+  for (int i = 1; i <= 100; ++i)
+    p.set_timer(sim::msec(i), [&] { ++fired; });
+  sim_.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST_F(ProcessTest, EndpointAccessors) {
+  Echo p(net_, a_, 10);
+  EXPECT_EQ(p.endpoint().host, a_);
+  EXPECT_EQ(p.endpoint().port, 10);
+  EXPECT_TRUE(p.host_up());
+  net_.crash_host(a_);
+  EXPECT_FALSE(p.host_up());
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using sim::Simulation;
+
+TEST(Simulation, StartsAtZero) {
+  Simulation s;
+  EXPECT_EQ(s.now().us, 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulation, EventsFireAtScheduledTimes) {
+  Simulation s;
+  std::vector<int64_t> fired;
+  s.schedule(sim::msec(5), [&] { fired.push_back(s.now().us); });
+  s.schedule(sim::msec(2), [&] { fired.push_back(s.now().us); });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int64_t>{2000, 5000}));
+  EXPECT_EQ(s.now().us, 5000);
+}
+
+TEST(Simulation, SameTimeFifoOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule(sim::msec(1), [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule(sim::msec(1), recurse);
+  };
+  s.schedule(sim::msec(1), recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now().us, 5000);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  sim::EventId id = s.schedule(sim::msec(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation s;
+  sim::EventId id = s.schedule(sim::msec(1), [] {});
+  s.run();
+  s.cancel(id);  // already fired: no-op
+  s.cancel(999999);  // never existed: no-op
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation s;
+  s.run_until(sim::Time{100000});
+  EXPECT_EQ(s.now().us, 100000);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsPending) {
+  Simulation s;
+  bool early = false, late = false;
+  s.schedule(sim::msec(10), [&] { early = true; });
+  s.schedule(sim::msec(100), [&] { late = true; });
+  s.run_for(sim::msec(50));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulation, StopAbortsRun) {
+  Simulation s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    s.schedule(sim::msec(i), [&] {
+      if (++count == 3) s.stop();
+    });
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, RejectsNegativeDelayAndPastTime) {
+  Simulation s;
+  EXPECT_THROW(s.schedule(sim::Duration{-1}, [] {}), std::invalid_argument);
+  s.run_until(sim::Time{1000});
+  EXPECT_THROW(s.schedule_at(sim::Time{500}, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EventCountTracked) {
+  Simulation s;
+  for (int i = 0; i < 4; ++i) s.schedule(sim::msec(1), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 4u);
+}
+
+TEST(SimTime, ArithmeticAndComparisons) {
+  sim::Time t{1000};
+  sim::Duration d = sim::msec(2);
+  EXPECT_EQ((t + d).us, 3000);
+  EXPECT_EQ(((t + d) - t).us, 2000);
+  EXPECT_LT(t, t + d);
+  EXPECT_EQ(sim::seconds(1).us, 1000000);
+  EXPECT_EQ(sim::seconds_f(0.5).us, 500000);
+  EXPECT_EQ(sim::minutes(2).us, 120000000);
+  EXPECT_EQ(sim::hours(1).us, 3600000000LL);
+  EXPECT_DOUBLE_EQ(sim::msec(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(sim::msec(1500).millis(), 1500.0);
+  EXPECT_EQ((sim::msec(10) * 3).us, 30000);
+  EXPECT_EQ((sim::msec(10) / 2).us, 5000);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sim::Trace;
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.record(sim::Time{1000}, "gcs", "view 1 installed");
+  trace.record(sim::Time{2000}, "pbs", "job 1 queued");
+  ASSERT_EQ(trace.entries().size(), 2u);
+  EXPECT_EQ(trace.entries()[0].category, "gcs");
+  EXPECT_EQ(trace.entries()[1].at, sim::Time{2000});
+}
+
+TEST(Trace, CategoryFilter) {
+  Trace trace;
+  trace.record(sim::Time{1}, "a", "one");
+  trace.record(sim::Time{2}, "b", "two");
+  trace.record(sim::Time{3}, "a", "three");
+  auto only_a = trace.in_category("a");
+  ASSERT_EQ(only_a.size(), 2u);
+  EXPECT_EQ(only_a[1].text, "three");
+  EXPECT_TRUE(trace.in_category("zzz").empty());
+}
+
+TEST(Trace, ContainsSearchesText) {
+  Trace trace;
+  trace.record(sim::Time{1}, "pbs", "job 42 complete");
+  EXPECT_TRUE(trace.contains("job 42"));
+  EXPECT_FALSE(trace.contains("job 43"));
+}
+
+TEST(Trace, RenderFormatsSeconds) {
+  Trace trace;
+  trace.record(sim::Time{1500000}, "x", "hello");
+  std::string out = trace.render();
+  EXPECT_NE(out.find("t=1.500000"), std::string::npos);
+  EXPECT_NE(out.find("[x] hello"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.record(sim::Time{1}, "x", "y");
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+}
+
+}  // namespace

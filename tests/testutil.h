@@ -1,0 +1,23 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.h"
+
+namespace testutil {
+
+/// Run the simulation in small slices until `pred` holds or `deadline`
+/// simulated time passes. Returns whether the predicate held.
+inline bool run_until(sim::Simulation& sim, const std::function<bool()>& pred,
+                      sim::Duration deadline = sim::seconds(60),
+                      sim::Duration slice = sim::msec(10)) {
+  sim::Time limit = sim.now() + deadline;
+  while (sim.now() < limit) {
+    if (pred()) return true;
+    sim.run_for(slice);
+  }
+  return pred();
+}
+
+}  // namespace testutil

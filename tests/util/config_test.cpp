@@ -1,0 +1,134 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using jutil::Config;
+using jutil::ConfigError;
+
+TEST(ConfigParse, Scalars) {
+  Config cfg = Config::parse(R"(
+    # JOSHUA style configuration
+    port = 17000
+    name = "head node A"
+    rate = 0.25
+    debug = true
+  )");
+  EXPECT_EQ(cfg.get_int("port"), 17000);
+  EXPECT_EQ(cfg.get_string("name"), "head node A");
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate"), 0.25);
+  EXPECT_TRUE(cfg.get_bool("debug"));
+}
+
+TEST(ConfigParse, Defaults) {
+  Config cfg = Config::parse("a = 1");
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(ConfigParse, Lists) {
+  Config cfg = Config::parse(R"(heads = {head0, head1, "head 2"})");
+  EXPECT_EQ(cfg.get_list("heads"),
+            (std::vector<std::string>{"head0", "head1", "head 2"}));
+}
+
+TEST(ConfigParse, EmptyListAndScalarAsList) {
+  Config cfg = Config::parse("empty = {}\nsingle = abc");
+  EXPECT_TRUE(cfg.get_list("empty").empty());
+  EXPECT_EQ(cfg.get_list("single"), (std::vector<std::string>{"abc"}));
+  EXPECT_TRUE(cfg.get_list("missing").empty());
+}
+
+TEST(ConfigParse, NamedSections) {
+  Config cfg = Config::parse(R"(
+    node head0 {
+      port = 1
+    }
+    node head1 {
+      port = 2
+    }
+  )");
+  ASSERT_NE(cfg.section("node", "head0"), nullptr);
+  EXPECT_EQ(cfg.section("node", "head0")->get_int("port"), 1);
+  EXPECT_EQ(cfg.section("node", "head1")->get_int("port"), 2);
+  EXPECT_EQ(cfg.section("node", "nope"), nullptr);
+  EXPECT_EQ(cfg.section_titles("node"),
+            (std::vector<std::string>{"head0", "head1"}));
+}
+
+TEST(ConfigParse, AnonymousAndNestedSections) {
+  Config cfg = Config::parse(R"(
+    gcs {
+      timeouts {
+        suspect = 500
+      }
+    }
+  )");
+  const Config* gcs = cfg.section("gcs", "");
+  ASSERT_NE(gcs, nullptr);
+  const Config* timeouts = gcs->section("timeouts", "");
+  ASSERT_NE(timeouts, nullptr);
+  EXPECT_EQ(timeouts->get_int("suspect"), 500);
+}
+
+TEST(ConfigParse, QuotedEscapes) {
+  Config cfg = Config::parse(R"(s = "a\"b\\c\n\t")");
+  EXPECT_EQ(cfg.get_string("s"), "a\"b\\c\n\t");
+}
+
+TEST(ConfigParse, CommentsEverywhere) {
+  Config cfg = Config::parse("a = 1 # trailing\n# full line\nb = 2");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_int("b"), 2);
+}
+
+TEST(ConfigParse, SyntaxErrorsCarryLineNumbers) {
+  try {
+    Config::parse("a = 1\nb = ");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigParse, RejectsUnterminatedConstructs) {
+  EXPECT_THROW(Config::parse("s = \"abc"), ConfigError);
+  EXPECT_THROW(Config::parse("l = {a, b"), ConfigError);
+  EXPECT_THROW(Config::parse("sec {"), ConfigError);
+  EXPECT_THROW(Config::parse("}"), ConfigError);
+}
+
+TEST(ConfigTypes, ConversionFailuresThrow) {
+  Config cfg = Config::parse("s = hello");
+  EXPECT_THROW(cfg.get_int("s"), ConfigError);
+  EXPECT_THROW(cfg.get_bool("s"), ConfigError);
+  EXPECT_THROW(cfg.get_double("s"), ConfigError);
+  EXPECT_THROW(cfg.get_string("missing"), ConfigError);
+}
+
+TEST(ConfigRoundTrip, SerializeAndReparse) {
+  Config cfg;
+  cfg.set("port", "17000");
+  cfg.set("name", "head node");
+  cfg.set_list("heads", {"a", "b c"});
+  Config& sub = cfg.add_section("node", "head0");
+  sub.set("port", "1");
+
+  Config back = Config::parse(cfg.to_string());
+  EXPECT_EQ(back.get_int("port"), 17000);
+  EXPECT_EQ(back.get_string("name"), "head node");
+  EXPECT_EQ(back.get_list("heads"), (std::vector<std::string>{"a", "b c"}));
+  ASSERT_NE(back.section("node", "head0"), nullptr);
+  EXPECT_EQ(back.section("node", "head0")->get_int("port"), 1);
+}
+
+TEST(ConfigRoundTrip, KeysPreserveDeclarationOrder) {
+  Config cfg = Config::parse("z = 1\na = 2\nm = 3");
+  EXPECT_EQ(cfg.keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+}  // namespace

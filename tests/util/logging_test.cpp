@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using jutil::Logger;
+using jutil::LogLevel;
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view line) {
+          captured_.emplace_back(level, std::string(line));
+        });
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_clock(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, EmitsFormattedLine) {
+  JLOG(kInfo, "test") << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured_[0].second.find("[test]"), std::string::npos);
+  EXPECT_NE(captured_[0].second.find("hello 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kError);
+  JLOG(kInfo, "test") << "dropped";
+  JLOG(kError, "test") << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("kept"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  JLOG(kError, "test") << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, InjectedClockStampsSimTime) {
+  Logger::instance().set_clock([] { return int64_t{2500000}; });  // 2.5 s
+  JLOG(kInfo, "test") << "stamped";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("2.500000"), std::string::npos)
+      << captured_[0].second;
+}
+
+TEST_F(LoggingTest, StreamNotEvaluatedWhenDisabled) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto evaluate = [&] {
+    ++evaluations;
+    return 1;
+  };
+  JLOG(kDebug, "test") << evaluate();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using jutil::Histogram;
+using jutil::Samples;
+
+TEST(Samples, EmptyIsSafe) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Samples, MeanMinMax) {
+  Samples s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(Samples, StddevMatchesHandComputation) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample stddev (n-1) of this classic set is ~2.138.
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Samples, PercentileRangeChecked) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::out_of_range);
+  EXPECT_THROW(s.percentile(101), std::out_of_range);
+}
+
+TEST(Samples, AddAfterQueryKeepsWorking) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  s.add(1.0);  // sorted-state invalidation
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Samples, ClearResets) {
+  Samples s;
+  s.add(5.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 3);  // [0,10) [10,20) [20,30)
+  h.add(5.0);
+  h.add(15.0);
+  h.add(25.0);
+  h.add(-100.0);  // clamps low
+  h.add(1000.0);  // clamps high
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 10.0);
+}
+
+TEST(Histogram, RejectsBadShape) {
+  EXPECT_THROW(Histogram(0, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderIsNonEmptyAndProportional) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  std::string render = h.render(10);
+  EXPECT_NE(render.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(render.find("#####"), std::string::npos);       // half bucket
+}
+
+}  // namespace

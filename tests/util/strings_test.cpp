@@ -1,0 +1,90 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using jutil::join;
+using jutil::parse_bool;
+using jutil::parse_num;
+using jutil::split;
+using jutil::split_ws;
+using jutil::starts_with;
+using jutil::to_lower;
+using jutil::trim;
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWs, DropsAllWhitespaceRuns) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWs, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(starts_with("foo", ""));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-9"), "abc-9"); }
+
+TEST(ParseNum, ValidIntegers) {
+  EXPECT_EQ(parse_num<int>("42"), 42);
+  EXPECT_EQ(parse_num<int64_t>("-7"), -7);
+  EXPECT_EQ(parse_num<uint64_t>("18446744073709551615"),
+            18446744073709551615ull);
+}
+
+TEST(ParseNum, RejectsGarbage) {
+  EXPECT_FALSE(parse_num<int>("42x").has_value());
+  EXPECT_FALSE(parse_num<int>("").has_value());
+  EXPECT_FALSE(parse_num<int>("4 2").has_value());
+}
+
+TEST(ParseNum, RejectsOverflow) {
+  EXPECT_FALSE(parse_num<int8_t>("300").has_value());
+}
+
+TEST(ParseBool, AllSpellings) {
+  for (const char* s : {"true", "YES", "on", "1"})
+    EXPECT_EQ(parse_bool(s), true) << s;
+  for (const char* s : {"false", "No", "OFF", "0"})
+    EXPECT_EQ(parse_bool(s), false) << s;
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+  EXPECT_EQ(parse_bool(" true "), true) << "trims whitespace";
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+#include "util/timefmt.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using jutil::count_nines;
+using jutil::format_availability;
+using jutil::format_duration_coarse;
+
+// The paper's Figure 12 downtime column, verbatim.
+TEST(FormatDuration, PaperFigure12Rows) {
+  // 1 head: 5d 4h 21min
+  double one_head = 8760.0 * 3600.0 * (1.0 - 5000.0 / 5072.0);
+  EXPECT_EQ(format_duration_coarse(one_head), "5d 4h 21min");
+  // 2 heads: 1h 45min
+  double a2 = 1.0 - (72.0 / 5072.0) * (72.0 / 5072.0);
+  EXPECT_EQ(format_duration_coarse(8760.0 * 3600.0 * (1.0 - a2)), "1h 45min");
+  // 3 heads: 1min 30s
+  double u = 72.0 / 5072.0;
+  double a3 = 1.0 - u * u * u;
+  EXPECT_EQ(format_duration_coarse(8760.0 * 3600.0 * (1.0 - a3)), "1min 30s");
+  // 4 heads: 1s
+  double a4 = 1.0 - u * u * u * u;
+  EXPECT_EQ(format_duration_coarse(8760.0 * 3600.0 * (1.0 - a4)), "1s");
+}
+
+TEST(FormatDuration, SubSecondAsMillis) {
+  EXPECT_EQ(format_duration_coarse(0.25), "250ms");
+  EXPECT_EQ(format_duration_coarse(0.0), "0ms");
+}
+
+TEST(FormatDuration, NegativeClampsToZero) {
+  EXPECT_EQ(format_duration_coarse(-5.0), "0ms");
+}
+
+TEST(FormatDuration, PlainUnits) {
+  EXPECT_EQ(format_duration_coarse(90.0), "1min 30s");
+  EXPECT_EQ(format_duration_coarse(3600.0), "1h");
+  EXPECT_EQ(format_duration_coarse(86400.0), "1d");
+  EXPECT_EQ(format_duration_coarse(1.0), "1s");
+}
+
+// The paper counts 98.6% -> 1 nine, 99.98% -> 3, 99.9997% -> 5,
+// 99.999996% -> 7.
+TEST(CountNines, PaperFigure12Column) {
+  EXPECT_EQ(count_nines(0.986), 1);
+  EXPECT_EQ(count_nines(0.9998), 3);
+  EXPECT_EQ(count_nines(0.999997), 5);
+  EXPECT_EQ(count_nines(0.99999996), 7);
+}
+
+TEST(CountNines, Extremes) {
+  EXPECT_EQ(count_nines(0.0), 0);
+  EXPECT_EQ(count_nines(0.5), 0);
+  EXPECT_EQ(count_nines(1.0), 15);
+}
+
+TEST(FormatAvailability, ShowsNinesStructure) {
+  EXPECT_EQ(format_availability(0.9998), "99.98%");
+  EXPECT_EQ(format_availability(0.986), "98.6%");
+}
+
+}  // namespace
