@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvfs.dir/bench_pvfs.cpp.o"
+  "CMakeFiles/bench_pvfs.dir/bench_pvfs.cpp.o.d"
+  "bench_pvfs"
+  "bench_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_throughput_campaign.dir/high_throughput_campaign.cpp.o"
+  "CMakeFiles/high_throughput_campaign.dir/high_throughput_campaign.cpp.o.d"
+  "high_throughput_campaign"
+  "high_throughput_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_throughput_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

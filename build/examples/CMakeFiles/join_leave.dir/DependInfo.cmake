@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/join_leave.cpp" "examples/CMakeFiles/join_leave.dir/join_leave.cpp.o" "gcc" "examples/CMakeFiles/join_leave.dir/join_leave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/joshua/CMakeFiles/jjoshua.dir/DependInfo.cmake"
+  "/root/repo/build/src/ha/CMakeFiles/jha.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/jpvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/jrsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/jpbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/jgcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

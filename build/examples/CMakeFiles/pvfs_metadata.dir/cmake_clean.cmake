@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_metadata.dir/pvfs_metadata.cpp.o"
+  "CMakeFiles/pvfs_metadata.dir/pvfs_metadata.cpp.o.d"
+  "pvfs_metadata"
+  "pvfs_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

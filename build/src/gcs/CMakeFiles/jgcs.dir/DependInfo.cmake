@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/group_member.cpp" "src/gcs/CMakeFiles/jgcs.dir/group_member.cpp.o" "gcc" "src/gcs/CMakeFiles/jgcs.dir/group_member.cpp.o.d"
+  "/root/repo/src/gcs/messages.cpp" "src/gcs/CMakeFiles/jgcs.dir/messages.cpp.o" "gcc" "src/gcs/CMakeFiles/jgcs.dir/messages.cpp.o.d"
+  "/root/repo/src/gcs/ordering.cpp" "src/gcs/CMakeFiles/jgcs.dir/ordering.cpp.o" "gcc" "src/gcs/CMakeFiles/jgcs.dir/ordering.cpp.o.d"
+  "/root/repo/src/gcs/types.cpp" "src/gcs/CMakeFiles/jgcs.dir/types.cpp.o" "gcc" "src/gcs/CMakeFiles/jgcs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

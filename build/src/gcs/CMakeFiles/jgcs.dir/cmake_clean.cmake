@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgcs.dir/group_member.cpp.o"
+  "CMakeFiles/jgcs.dir/group_member.cpp.o.d"
+  "CMakeFiles/jgcs.dir/messages.cpp.o"
+  "CMakeFiles/jgcs.dir/messages.cpp.o.d"
+  "CMakeFiles/jgcs.dir/ordering.cpp.o"
+  "CMakeFiles/jgcs.dir/ordering.cpp.o.d"
+  "CMakeFiles/jgcs.dir/types.cpp.o"
+  "CMakeFiles/jgcs.dir/types.cpp.o.d"
+  "libjgcs.a"
+  "libjgcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ha/active_standby.cpp" "src/ha/CMakeFiles/jha.dir/active_standby.cpp.o" "gcc" "src/ha/CMakeFiles/jha.dir/active_standby.cpp.o.d"
+  "/root/repo/src/ha/asymmetric.cpp" "src/ha/CMakeFiles/jha.dir/asymmetric.cpp.o" "gcc" "src/ha/CMakeFiles/jha.dir/asymmetric.cpp.o.d"
+  "/root/repo/src/ha/availability.cpp" "src/ha/CMakeFiles/jha.dir/availability.cpp.o" "gcc" "src/ha/CMakeFiles/jha.dir/availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbs/CMakeFiles/jpbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jha.dir/active_standby.cpp.o"
+  "CMakeFiles/jha.dir/active_standby.cpp.o.d"
+  "CMakeFiles/jha.dir/asymmetric.cpp.o"
+  "CMakeFiles/jha.dir/asymmetric.cpp.o.d"
+  "CMakeFiles/jha.dir/availability.cpp.o"
+  "CMakeFiles/jha.dir/availability.cpp.o.d"
+  "libjha.a"
+  "libjha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/joshua/client.cpp" "src/joshua/CMakeFiles/jjoshua.dir/client.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/client.cpp.o.d"
+  "/root/repo/src/joshua/cluster.cpp" "src/joshua/CMakeFiles/jjoshua.dir/cluster.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/cluster.cpp.o.d"
+  "/root/repo/src/joshua/config_file.cpp" "src/joshua/CMakeFiles/jjoshua.dir/config_file.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/config_file.cpp.o.d"
+  "/root/repo/src/joshua/mom_plugin.cpp" "src/joshua/CMakeFiles/jjoshua.dir/mom_plugin.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/mom_plugin.cpp.o.d"
+  "/root/repo/src/joshua/protocol.cpp" "src/joshua/CMakeFiles/jjoshua.dir/protocol.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/protocol.cpp.o.d"
+  "/root/repo/src/joshua/server.cpp" "src/joshua/CMakeFiles/jjoshua.dir/server.cpp.o" "gcc" "src/joshua/CMakeFiles/jjoshua.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcs/CMakeFiles/jgcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/jpbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

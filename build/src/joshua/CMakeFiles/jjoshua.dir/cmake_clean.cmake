@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jjoshua.dir/client.cpp.o"
+  "CMakeFiles/jjoshua.dir/client.cpp.o.d"
+  "CMakeFiles/jjoshua.dir/cluster.cpp.o"
+  "CMakeFiles/jjoshua.dir/cluster.cpp.o.d"
+  "CMakeFiles/jjoshua.dir/config_file.cpp.o"
+  "CMakeFiles/jjoshua.dir/config_file.cpp.o.d"
+  "CMakeFiles/jjoshua.dir/mom_plugin.cpp.o"
+  "CMakeFiles/jjoshua.dir/mom_plugin.cpp.o.d"
+  "CMakeFiles/jjoshua.dir/protocol.cpp.o"
+  "CMakeFiles/jjoshua.dir/protocol.cpp.o.d"
+  "CMakeFiles/jjoshua.dir/server.cpp.o"
+  "CMakeFiles/jjoshua.dir/server.cpp.o.d"
+  "libjjoshua.a"
+  "libjjoshua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jjoshua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

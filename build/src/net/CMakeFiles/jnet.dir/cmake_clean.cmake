@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jnet.dir/rpc.cpp.o"
+  "CMakeFiles/jnet.dir/rpc.cpp.o.d"
+  "libjnet.a"
+  "libjnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

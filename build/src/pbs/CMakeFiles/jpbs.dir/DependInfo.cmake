@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbs/client.cpp" "src/pbs/CMakeFiles/jpbs.dir/client.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/client.cpp.o.d"
+  "/root/repo/src/pbs/job.cpp" "src/pbs/CMakeFiles/jpbs.dir/job.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/job.cpp.o.d"
+  "/root/repo/src/pbs/mom.cpp" "src/pbs/CMakeFiles/jpbs.dir/mom.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/mom.cpp.o.d"
+  "/root/repo/src/pbs/protocol.cpp" "src/pbs/CMakeFiles/jpbs.dir/protocol.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/protocol.cpp.o.d"
+  "/root/repo/src/pbs/scheduler.cpp" "src/pbs/CMakeFiles/jpbs.dir/scheduler.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/scheduler.cpp.o.d"
+  "/root/repo/src/pbs/server.cpp" "src/pbs/CMakeFiles/jpbs.dir/server.cpp.o" "gcc" "src/pbs/CMakeFiles/jpbs.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpbs.dir/client.cpp.o"
+  "CMakeFiles/jpbs.dir/client.cpp.o.d"
+  "CMakeFiles/jpbs.dir/job.cpp.o"
+  "CMakeFiles/jpbs.dir/job.cpp.o.d"
+  "CMakeFiles/jpbs.dir/mom.cpp.o"
+  "CMakeFiles/jpbs.dir/mom.cpp.o.d"
+  "CMakeFiles/jpbs.dir/protocol.cpp.o"
+  "CMakeFiles/jpbs.dir/protocol.cpp.o.d"
+  "CMakeFiles/jpbs.dir/scheduler.cpp.o"
+  "CMakeFiles/jpbs.dir/scheduler.cpp.o.d"
+  "CMakeFiles/jpbs.dir/server.cpp.o"
+  "CMakeFiles/jpbs.dir/server.cpp.o.d"
+  "libjpbs.a"
+  "libjpbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

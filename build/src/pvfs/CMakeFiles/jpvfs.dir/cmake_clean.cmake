@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpvfs.dir/metadata.cpp.o"
+  "CMakeFiles/jpvfs.dir/metadata.cpp.o.d"
+  "libjpvfs.a"
+  "libjpvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

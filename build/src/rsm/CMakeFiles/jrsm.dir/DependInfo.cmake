@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsm/replicated_service.cpp" "src/rsm/CMakeFiles/jrsm.dir/replicated_service.cpp.o" "gcc" "src/rsm/CMakeFiles/jrsm.dir/replicated_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcs/CMakeFiles/jgcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

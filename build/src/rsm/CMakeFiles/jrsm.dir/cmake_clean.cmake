@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrsm.dir/replicated_service.cpp.o"
+  "CMakeFiles/jrsm.dir/replicated_service.cpp.o.d"
+  "libjrsm.a"
+  "libjrsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsim.dir/calibration.cpp.o"
+  "CMakeFiles/jsim.dir/calibration.cpp.o.d"
+  "CMakeFiles/jsim.dir/failure.cpp.o"
+  "CMakeFiles/jsim.dir/failure.cpp.o.d"
+  "CMakeFiles/jsim.dir/network.cpp.o"
+  "CMakeFiles/jsim.dir/network.cpp.o.d"
+  "CMakeFiles/jsim.dir/process.cpp.o"
+  "CMakeFiles/jsim.dir/process.cpp.o.d"
+  "CMakeFiles/jsim.dir/simulation.cpp.o"
+  "CMakeFiles/jsim.dir/simulation.cpp.o.d"
+  "libjsim.a"
+  "libjsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

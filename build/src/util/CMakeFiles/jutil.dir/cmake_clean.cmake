@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jutil.dir/config.cpp.o"
+  "CMakeFiles/jutil.dir/config.cpp.o.d"
+  "CMakeFiles/jutil.dir/logging.cpp.o"
+  "CMakeFiles/jutil.dir/logging.cpp.o.d"
+  "CMakeFiles/jutil.dir/stats.cpp.o"
+  "CMakeFiles/jutil.dir/stats.cpp.o.d"
+  "CMakeFiles/jutil.dir/strings.cpp.o"
+  "CMakeFiles/jutil.dir/strings.cpp.o.d"
+  "CMakeFiles/jutil.dir/timefmt.cpp.o"
+  "CMakeFiles/jutil.dir/timefmt.cpp.o.d"
+  "libjutil.a"
+  "libjutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

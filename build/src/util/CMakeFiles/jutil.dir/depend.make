@@ -1,0 +1,2 @@
+# Empty dependencies file for jutil.
+# This may be replaced when dependencies are built.

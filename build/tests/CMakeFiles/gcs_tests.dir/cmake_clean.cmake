@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_tests.dir/gcs/delivery_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/delivery_test.cpp.o.d"
+  "CMakeFiles/gcs_tests.dir/gcs/membership_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/membership_test.cpp.o.d"
+  "CMakeFiles/gcs_tests.dir/gcs/messages_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/messages_test.cpp.o.d"
+  "CMakeFiles/gcs_tests.dir/gcs/ordering_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/ordering_test.cpp.o.d"
+  "CMakeFiles/gcs_tests.dir/gcs/property_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/property_test.cpp.o.d"
+  "CMakeFiles/gcs_tests.dir/gcs/state_transfer_test.cpp.o"
+  "CMakeFiles/gcs_tests.dir/gcs/state_transfer_test.cpp.o.d"
+  "gcs_tests"
+  "gcs_tests.pdb"
+  "gcs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

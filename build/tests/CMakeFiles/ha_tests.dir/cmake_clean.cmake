@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ha_tests.dir/ha/active_standby_test.cpp.o"
+  "CMakeFiles/ha_tests.dir/ha/active_standby_test.cpp.o.d"
+  "CMakeFiles/ha_tests.dir/ha/asymmetric_test.cpp.o"
+  "CMakeFiles/ha_tests.dir/ha/asymmetric_test.cpp.o.d"
+  "CMakeFiles/ha_tests.dir/ha/availability_test.cpp.o"
+  "CMakeFiles/ha_tests.dir/ha/availability_test.cpp.o.d"
+  "ha_tests"
+  "ha_tests.pdb"
+  "ha_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ha_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joshua_tests.dir/joshua/config_file_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/config_file_test.cpp.o.d"
+  "CMakeFiles/joshua_tests.dir/joshua/failover_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/failover_test.cpp.o.d"
+  "CMakeFiles/joshua_tests.dir/joshua/interceptor_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/interceptor_test.cpp.o.d"
+  "CMakeFiles/joshua_tests.dir/joshua/jmutex_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/jmutex_test.cpp.o.d"
+  "CMakeFiles/joshua_tests.dir/joshua/join_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/join_test.cpp.o.d"
+  "CMakeFiles/joshua_tests.dir/joshua/protocol_test.cpp.o"
+  "CMakeFiles/joshua_tests.dir/joshua/protocol_test.cpp.o.d"
+  "joshua_tests"
+  "joshua_tests.pdb"
+  "joshua_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joshua_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_tests.dir/pvfs/metadata_test.cpp.o"
+  "CMakeFiles/rsm_tests.dir/pvfs/metadata_test.cpp.o.d"
+  "CMakeFiles/rsm_tests.dir/rsm/replicated_service_test.cpp.o"
+  "CMakeFiles/rsm_tests.dir/rsm/replicated_service_test.cpp.o.d"
+  "rsm_tests"
+  "rsm_tests.pdb"
+  "rsm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
