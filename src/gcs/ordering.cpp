@@ -11,30 +11,30 @@ void OrderingBuffer::reset(const View& view, MemberId self) {
   out_of_order_.clear();
   // received/delivered counters persist across views: sequence numbers are
   // global per sender, and a new view's first message continues the stream.
+  //
+  // Single merge pass: view_.members is sorted and peers_ is an ordered
+  // map, so one walk both inserts the new members and erases departed
+  // peers (whose silence must not block delivery conditions).
+  auto it = peers_.begin();
   for (MemberId m : view_.members) {
+    while (it != peers_.end() && it->first < m) it = peers_.erase(it);
+    if (it == peers_.end() || it->first != m)
+      it = peers_.emplace_hint(it, m, PeerState{});
+    ++it;
     received_upto_.try_emplace(m, 0);
     delivered_.try_emplace(m, 0);
-    peers_.try_emplace(m, PeerState{});
   }
-  // Forget peers no longer in the view so their silence cannot block
-  // delivery conditions.
-  for (auto it = peers_.begin(); it != peers_.end();) {
-    if (!view_.contains(it->first)) {
-      it = peers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  while (it != peers_.end()) it = peers_.erase(it);
 }
 
 bool OrderingBuffer::insert(const DataMsg& m) {
   uint64_t& upto = received_upto_[m.id.sender];
+  // The per-sender watermark is the whole duplicate check: every message in
+  // pending_ was contiguous when it arrived (seq <= upto by construction),
+  // so `seq <= upto` subsumes the old O(pending) scan; anything above the
+  // watermark can only collide inside out_of_order_.
   if (m.id.seq <= upto) return false;  // duplicate of something contiguous
   if (out_of_order_.count(m.id)) return false;
-  for (const auto& [key, held] : pending_) {
-    (void)key;
-    if (held.id == m.id) return false;
-  }
   if (m.id.seq == upto + 1) {
     upto = m.id.seq;
     pending_.emplace(order_key(m), m);

@@ -54,7 +54,8 @@ class Writer {
     for (const T& item : items) encode_one(*this, item);
   }
 
-  Payload take() { return std::move(buf_); }
+  /// Freeze the built bytes into an immutable shared Payload (no copy).
+  Payload take() { return Payload::adopt(std::move(buf_)); }
   size_t size() const { return buf_.size(); }
 
  private:
@@ -62,7 +63,7 @@ class Writer {
     const auto* b = static_cast<const uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
-  Payload buf_;
+  std::vector<uint8_t> buf_;
 };
 
 class Reader {
@@ -85,11 +86,11 @@ class Reader {
     return s;
   }
 
+  /// Nested message body: a zero-copy slice sharing the parent buffer.
   Payload bytes() {
     uint32_t n = u32();
     check(n);
-    Payload b(buf_.begin() + static_cast<ptrdiff_t>(pos_),
-              buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    Payload b = buf_.slice(pos_, n);
     pos_ += n;
     return b;
   }

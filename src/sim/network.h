@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/payload.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -39,8 +40,6 @@ struct Endpoint {
   Port port = 0;
   auto operator<=>(const Endpoint&) const = default;
 };
-
-using Payload = std::vector<uint8_t>;
 
 struct Packet {
   Endpoint src;

@@ -1,0 +1,111 @@
+// Immutable, cheaply shareable byte buffer.
+//
+// Payload is the unit of data carried by every simulated packet and stored in
+// every retention log. It used to be a plain std::vector<uint8_t>, which made
+// a broadcast to N hosts cost N full buffer copies; now the bytes live in one
+// shared, immutable allocation and a Payload is a (refcounted owner, span)
+// view onto it. Copying a Payload bumps a refcount; slicing (net::Reader
+// extracting a nested message body) shares the parent's storage with zero
+// copies. The byte contents are immutable after construction -- the only
+// mutation ever needed by the codebase is resize(), where shrinking is O(1)
+// view-narrowing and growth (test-only) copies out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+class Payload {
+ public:
+  using value_type = uint8_t;
+  using const_iterator = const uint8_t*;
+
+  Payload() = default;
+
+  Payload(std::initializer_list<uint8_t> init) {
+    adopt_vector(std::vector<uint8_t>(init));
+  }
+
+  Payload(size_t n, uint8_t fill) {
+    adopt_vector(std::vector<uint8_t>(n, fill));
+  }
+
+  template <typename It>
+  Payload(It first, It last) {
+    adopt_vector(std::vector<uint8_t>(first, last));
+  }
+
+  /// Take ownership of an already-built buffer without copying it (the
+  /// net::Writer fast path).
+  static Payload adopt(std::vector<uint8_t>&& bytes) {
+    Payload p;
+    p.adopt_vector(std::move(bytes));
+    return p;
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+  uint8_t front() const { return data_[0]; }
+  uint8_t back() const { return data_[size_ - 1]; }
+
+  /// Sub-range view sharing this payload's storage (no copy). The slice
+  /// keeps the whole underlying buffer alive.
+  Payload slice(size_t offset, size_t len) const {
+    Payload p;
+    p.owner_ = owner_;
+    p.data_ = data_ + offset;
+    p.size_ = len;
+    return p;
+  }
+
+  /// Shrinking narrows the view in O(1); growing copies into fresh storage
+  /// (zero-filled tail), which only tests exercise.
+  void resize(size_t n) {
+    if (n <= size_) {
+      size_ = n;
+      return;
+    }
+    std::vector<uint8_t> bytes(n, 0);
+    std::memcpy(bytes.data(), data_, size_);
+    adopt_vector(std::move(bytes));
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    if (a.size_ != b.size_) return false;
+    if (a.size_ == 0 || a.data_ == b.data_) return true;
+    return std::memcmp(a.data_, b.data_, a.size_) == 0;
+  }
+  friend bool operator!=(const Payload& a, const Payload& b) {
+    return !(a == b);
+  }
+
+ private:
+  void adopt_vector(std::vector<uint8_t>&& bytes) {
+    if (bytes.empty()) {
+      owner_.reset();
+      data_ = nullptr;
+      size_ = 0;
+      return;
+    }
+    auto owned = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+
+  std::shared_ptr<const std::vector<uint8_t>> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sim

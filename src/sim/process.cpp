@@ -21,16 +21,17 @@ void Process::multicast(Port dst_port, Payload data,
   net_.multicast(endpoint(), dst_port, std::move(data), dsts);
 }
 
-TimerId Process::set_timer(Duration delay, std::function<void()> fn) {
-  // The wrapper must erase its own id on fire; the id is only known after
-  // scheduling, so route it through a shared holder.
-  auto holder = std::make_shared<TimerId>(0);
-  TimerId id = sim().schedule(delay, [this, holder, fn = std::move(fn)] {
-    timers_.erase(*holder);
-    fn();
-  });
-  *holder = id;
+TimerId Process::set_timer(Duration delay, EventFn fn) {
+  // No wrapper: event ids are generation-tagged, so cancelling a fired
+  // timer on crash is a safe no-op. Fired ids linger in timers_ until the
+  // amortized sweep below evicts them.
+  TimerId id = sim().schedule(delay, std::move(fn));
   timers_.insert(id);
+  if (timers_.size() >= 64) {
+    for (auto it = timers_.begin(); it != timers_.end();) {
+      it = sim().event_pending(*it) ? std::next(it) : timers_.erase(it);
+    }
+  }
   return id;
 }
 

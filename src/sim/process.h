@@ -44,7 +44,7 @@ class Process : public IPacketHandler {
   // -- timers --------------------------------------------------------------
 
   /// One-shot timer; auto-cancelled if the host crashes first.
-  TimerId set_timer(Duration delay, std::function<void()> fn);
+  TimerId set_timer(Duration delay, EventFn fn);
   void cancel_timer(TimerId id);
 
   /// Charge CPU time on this host, then run fn (discarded on crash).

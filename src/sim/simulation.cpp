@@ -2,55 +2,136 @@
 
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace sim {
 
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 Simulation::~Simulation() = default;
 
-EventId Simulation::enqueue(Time at, std::function<void()> fn) {
-  auto event = std::make_shared<Event>();
-  event->at = at;
-  event->id = next_id_++;
-  event->fn = std::move(fn);
-  queue_.push(QueueRef{at, event->id, event});
-  index_[event->id] = event;
-  return event->id;
+uint32_t Simulation::alloc_slot() {
+  if (free_head_ != kNilSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
 }
 
-EventId Simulation::schedule(Duration delay, std::function<void()> fn) {
+void Simulation::free_slot(uint32_t slot) {
+  Slot& s = pool_[slot];
+  s.fn.reset();
+  s.armed = false;
+  s.cancelled = false;
+  ++s.gen;  // invalidate every id handed out for the previous occupancy
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulation::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulation::heap_pop_root() {
+  HeapEntry back = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down_hole(0, back);
+}
+
+void Simulation::sift_up(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (e.key >= heap_[parent].key) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::sift_down_hole(size_t i, HeapEntry displaced) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t child = 4 * i + 1;
+    if (child >= n) break;
+    size_t last = child + 4 < n ? child + 4 : n;
+    size_t best = child;
+    HeapKey best_key = heap_[child].key;
+    for (size_t j = child + 1; j < last; ++j) {
+      if (heap_[j].key < best_key) {
+        best = j;
+        best_key = heap_[j].key;
+      }
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  // The hole is now a leaf; bubble the displaced element up to its place.
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (displaced.key >= heap_[parent].key) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = displaced;
+}
+
+EventId Simulation::enqueue(Time at, EventFn fn) {
+  uint32_t slot = alloc_slot();
+  Slot& s = pool_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  s.cancelled = false;
+  heap_push(HeapEntry{make_key(at, next_seq_++), slot});
+  ++live_;
+  return make_id(slot, s.gen);
+}
+
+EventId Simulation::schedule(Duration delay, EventFn fn) {
   if (delay.us < 0) throw std::invalid_argument("schedule: negative delay");
   return enqueue(now_ + delay, std::move(fn));
 }
 
-EventId Simulation::schedule_at(Time at, std::function<void()> fn) {
+EventId Simulation::schedule_at(Time at, EventFn fn) {
   if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
   return enqueue(at, std::move(fn));
 }
 
 void Simulation::cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  it->second->cancelled = true;
-  it->second->fn = nullptr;
-  index_.erase(it);
-  ++cancelled_pending_;
+  uint32_t slot = static_cast<uint32_t>(id);
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= pool_.size()) return;
+  Slot& s = pool_[slot];
+  if (!s.armed || s.gen != gen || s.cancelled) return;
+  s.cancelled = true;
+  s.fn.reset();  // release captures now; the heap entry dies lazily
+  --live_;
+}
+
+bool Simulation::event_pending(EventId id) const {
+  uint32_t slot = static_cast<uint32_t>(id);
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= pool_.size()) return false;
+  const Slot& s = pool_[slot];
+  return s.armed && s.gen == gen && !s.cancelled;
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    QueueRef top = queue_.top();
-    queue_.pop();
-    if (top.event->cancelled) {
-      --cancelled_pending_;
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.front();
+    heap_pop_root();
+    Slot& s = pool_[top.slot];
+    if (s.cancelled) {
+      free_slot(top.slot);
       continue;
     }
-    index_.erase(top.id);
-    assert(top.at >= now_);
-    now_ = top.at;
+    assert(key_time(top.key) >= now_);
+    now_ = key_time(top.key);
     ++executed_;
-    auto fn = std::move(top.event->fn);
+    --live_;
+    EventFn fn = std::move(s.fn);
+    free_slot(top.slot);
     fn();
     return true;
   }
@@ -63,23 +144,20 @@ void Simulation::run() {
   }
 }
 
-void Simulation::run_until(Time t) {
-  stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    QueueRef top = queue_.top();
-    if (top.event->cancelled) {
-      queue_.pop();
-      --cancelled_pending_;
-      continue;
-    }
-    if (top.at > t) break;
-    step();
+Time Simulation::next_event_time() {
+  while (!heap_.empty() && pool_[heap_.front().slot].cancelled) {
+    uint32_t slot = heap_.front().slot;
+    heap_pop_root();
+    free_slot(slot);
   }
-  if (!stopped_ && now_ < t) now_ = t;
+  return heap_.empty() ? kTimeInfinity : key_time(heap_.front().key);
 }
 
-size_t Simulation::pending_events() const {
-  return queue_.size() - cancelled_pending_;
+void Simulation::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && next_event_time() <= t && step()) {
+  }
+  if (!stopped_ && now_ < t) now_ = t;
 }
 
 }  // namespace sim

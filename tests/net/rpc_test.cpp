@@ -18,8 +18,9 @@ class TestServer : public net::RpcNode {
       drop_next = false;
       return;
     }
-    sim::Payload reply = request;
-    reply.push_back(0xff);
+    std::vector<uint8_t> bytes(request.begin(), request.end());
+    bytes.push_back(0xff);
+    sim::Payload reply = sim::Payload::adopt(std::move(bytes));
     if (delay.us > 0) {
       set_timer(delay, [this, from, rpc_id, reply] {
         respond(from, rpc_id, reply);
