@@ -1,0 +1,220 @@
+// Telemetry hot-path microbenchmarks: counter add, histogram record, and
+// trace-ring push must all be allocation-free at steady state -- telemetry
+// rides on every simulated packet and scheduler cycle, so a single
+// allocation per update would dominate the event core the previous PR made
+// allocation-free.
+//
+// Like bench_simcore, main() FAILS (exit 1) if any steady-state path
+// allocates, and the focused wall-clock numbers land in
+// BENCH_telemetry.json (ScenarioReport shape).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "telemetry/hub.h"
+#include "telemetry/scenario_report.h"
+
+// -- allocation counter -------------------------------------------------------
+
+static std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
+
+double g_counter_allocs_per_op = -1.0;
+double g_histogram_allocs_per_op = -1.0;
+double g_trace_allocs_per_op = -1.0;
+double g_lookup_allocs_per_op = -1.0;
+double g_counter_ops_per_sec = 0.0;
+double g_histogram_ops_per_sec = 0.0;
+double g_trace_ops_per_sec = 0.0;
+
+void BM_CounterAdd(benchmark::State& state) {
+  telemetry::Registry reg;
+  telemetry::Counter c = reg.counter("bench.counter");
+  uint64_t alloc_before = allocs();
+  for (auto _ : state) c.add(1);
+  uint64_t alloc_after = allocs();
+  benchmark::DoNotOptimize(c.value());
+  state.counters["allocs/op"] =
+      static_cast<double>(alloc_after - alloc_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  telemetry::Registry reg;
+  telemetry::Histogram h = reg.histogram("bench.histogram");
+  int64_t v = 1;
+  uint64_t alloc_before = allocs();
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 31 + 7) & 0xfffff;  // spread across buckets
+  }
+  uint64_t alloc_after = allocs();
+  state.counters["allocs/op"] =
+      static_cast<double>(alloc_after - alloc_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// Re-resolving an already-interned metric by name must not allocate either
+/// (transparent string_view lookup) -- instrumented ctors do this freely.
+void BM_RegistryLookup(benchmark::State& state) {
+  telemetry::Registry reg;
+  reg.counter("bench.lookup.counter");
+  uint64_t alloc_before = allocs();
+  for (auto _ : state) {
+    telemetry::Counter c = reg.counter("bench.lookup.counter");
+    benchmark::DoNotOptimize(c);
+  }
+  uint64_t alloc_after = allocs();
+  state.counters["allocs/op"] =
+      static_cast<double>(alloc_after - alloc_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_TraceInstant(benchmark::State& state) {
+  telemetry::TraceBuffer trace;
+  trace.set_capacity(1 << 12);
+  uint16_t cat = trace.intern("bench.event");
+  // Fill the ring so every push in the measured loop overwrites (the
+  // steady state of a long run).
+  for (size_t i = 0; i < trace.capacity(); ++i)
+    trace.instant(static_cast<int64_t>(i), 0, cat);
+  int64_t ts = 0;
+  uint64_t alloc_before = allocs();
+  for (auto _ : state) trace.instant(++ts, 1, cat, 42, 43);
+  uint64_t alloc_after = allocs();
+  benchmark::DoNotOptimize(trace.recorded());
+  state.counters["allocs/op"] =
+      static_cast<double>(alloc_after - alloc_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TraceInstant);
+
+// -- focused wall-clock runs for BENCH_telemetry.json -------------------------
+
+void measure_for_json() {
+  using clock = std::chrono::steady_clock;
+  constexpr int kOps = 20'000'000;
+  {
+    telemetry::Registry reg;
+    telemetry::Counter c = reg.counter("bench.counter");
+    uint64_t alloc_before = allocs();
+    auto t0 = clock::now();
+    for (int i = 0; i < kOps; ++i) c.add(1);
+    auto t1 = clock::now();
+    g_counter_allocs_per_op =
+        static_cast<double>(allocs() - alloc_before) / kOps;
+    g_counter_ops_per_sec =
+        kOps / std::chrono::duration<double>(t1 - t0).count();
+    benchmark::DoNotOptimize(c.value());
+  }
+  {
+    telemetry::Registry reg;
+    telemetry::Histogram h = reg.histogram("bench.histogram");
+    int64_t v = 1;
+    uint64_t alloc_before = allocs();
+    auto t0 = clock::now();
+    for (int i = 0; i < kOps; ++i) {
+      h.record(v);
+      v = (v * 31 + 7) & 0xfffff;
+    }
+    auto t1 = clock::now();
+    g_histogram_allocs_per_op =
+        static_cast<double>(allocs() - alloc_before) / kOps;
+    g_histogram_ops_per_sec =
+        kOps / std::chrono::duration<double>(t1 - t0).count();
+  }
+  {
+    telemetry::TraceBuffer trace;
+    trace.set_capacity(1 << 14);
+    uint16_t cat = trace.intern("bench.event");
+    for (size_t i = 0; i < trace.capacity(); ++i)
+      trace.instant(static_cast<int64_t>(i), 0, cat);
+    uint64_t alloc_before = allocs();
+    auto t0 = clock::now();
+    for (int i = 0; i < kOps; ++i)
+      trace.instant(i, static_cast<uint32_t>(i & 3), cat,
+                    static_cast<uint64_t>(i));
+    auto t1 = clock::now();
+    g_trace_allocs_per_op =
+        static_cast<double>(allocs() - alloc_before) / kOps;
+    g_trace_ops_per_sec =
+        kOps / std::chrono::duration<double>(t1 - t0).count();
+    benchmark::DoNotOptimize(trace.recorded());
+  }
+  {
+    telemetry::Registry reg;
+    reg.counter("bench.lookup.counter");
+    constexpr int kLookups = 2'000'000;
+    uint64_t alloc_before = allocs();
+    for (int i = 0; i < kLookups; ++i) {
+      telemetry::Counter c = reg.counter("bench.lookup.counter");
+      benchmark::DoNotOptimize(c);
+    }
+    g_lookup_allocs_per_op =
+        static_cast<double>(allocs() - alloc_before) / kLookups;
+  }
+}
+
+void write_json() {
+  telemetry::ScenarioReport report;
+  report.set("counter_add_ops_per_sec", g_counter_ops_per_sec);
+  report.set("counter_add_allocs_per_op", g_counter_allocs_per_op);
+  report.set("histogram_record_ops_per_sec", g_histogram_ops_per_sec);
+  report.set("histogram_record_allocs_per_op", g_histogram_allocs_per_op);
+  report.set("trace_instant_ops_per_sec", g_trace_ops_per_sec);
+  report.set("trace_instant_allocs_per_op", g_trace_allocs_per_op);
+  report.set("registry_lookup_allocs_per_op", g_lookup_allocs_per_op);
+  if (!report.write_file("BENCH_telemetry.json")) {
+    std::fprintf(stderr,
+                 "warning: cannot write BENCH_telemetry.json in the current "
+                 "directory; results printed above only\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  measure_for_json();
+  write_json();
+  std::printf("\ncounter add:      %.0f ops/s, %.6f allocs/op\n",
+              g_counter_ops_per_sec, g_counter_allocs_per_op);
+  std::printf("histogram record: %.0f ops/s, %.6f allocs/op\n",
+              g_histogram_ops_per_sec, g_histogram_allocs_per_op);
+  std::printf("trace instant:    %.0f ops/s, %.6f allocs/op\n",
+              g_trace_ops_per_sec, g_trace_allocs_per_op);
+  std::printf("registry lookup:  %.6f allocs/op\n", g_lookup_allocs_per_op);
+  if (g_counter_allocs_per_op != 0.0 || g_histogram_allocs_per_op != 0.0 ||
+      g_trace_allocs_per_op != 0.0 || g_lookup_allocs_per_op != 0.0) {
+    std::printf("FAIL: telemetry steady state must be allocation-free\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,11 +3,16 @@
 // on-demand cluster computing") -- a user scripts 100 short parameter-sweep
 // jobs through jsub, and a head node fails in the middle of the campaign.
 //
+// Prints the simulation's full metrics table and writes
+// campaign.report.json (ScenarioReport, the BENCH_*.json shape).
+//
 //   $ ./examples/high_throughput_campaign [jobs] [heads]
 #include <cstdio>
 #include <cstdlib>
 
 #include "joshua/cluster.h"
+#include "telemetry/scenario_report.h"
+#include "telemetry/snapshot.h"
 #include "util/stats.h"
 
 int main(int argc, char** argv) {
@@ -105,6 +110,24 @@ int main(int argc, char** argv) {
   bool pass = drained && accepted == jobs &&
               executed == static_cast<uint64_t>(total_jobs) &&
               total_jobs <= static_cast<size_t>(accepted) + 1;
+
+  // One coherent report over every instrumented layer of the run.
+  std::printf("\n%s\n",
+              telemetry::render_metrics_table(
+                  cluster.sim().telemetry().metrics()).c_str());
+  telemetry::ScenarioReport report;
+  report.set("jobs", jobs);
+  report.set("heads", heads);
+  report.set("jobs_accepted", accepted);
+  report.set("jobs_executed", static_cast<double>(executed));
+  report.set("submit_wall_s", submit_time.seconds());
+  report.set("drained", drained ? 1 : 0);
+  report.set("campaign_passed", pass ? 1 : 0);
+  report.note_samples("submit_latency_ms", latencies);
+  report.note_metrics(cluster.sim().telemetry().metrics());
+  if (report.write_file("campaign.report.json"))
+    std::printf("wrote campaign.report.json\n");
+
   std::printf("%s\n", pass ? "CAMPAIGN PASSED" : "CAMPAIGN FAILED");
   return pass ? 0 : 1;
 }

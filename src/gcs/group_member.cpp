@@ -36,6 +36,17 @@ GroupMember::GroupMember(sim::Network& net, sim::HostId host,
       config_.peers.end()) {
     throw std::invalid_argument("GroupMember: host not in peer universe");
   }
+  telemetry::Hub& hub = net.sim().telemetry();
+  telemetry::Registry& m = hub.metrics();
+  m_data_sent_ = m.counter("gcs.data_sent");
+  m_data_received_ = m.counter("gcs.data_received");
+  m_nacks_sent_ = m.counter("gcs.nacks_sent");
+  m_retransmits_served_ = m.counter("gcs.retransmits_served");
+  m_delivered_ = m.counter("gcs.delivered");
+  m_views_installed_ = m.counter("gcs.views_installed");
+  m_order_latency_ = m.histogram("gcs.order_latency_us");
+  tc_view_ = hub.trace().intern("gcs.view");
+  tc_flush_ = hub.trace().intern("gcs.flush");
 }
 
 // ---------------------------------------------------------------------------
@@ -84,6 +95,8 @@ void GroupMember::multicast(sim::Payload payload, Delivery level) {
   buffer_.insert(msg);
   buffer_.observe(id(), lamport_, my_seq_, buffer_.received_vector());
   ++stats_.data_sent;
+  m_data_sent_.add(1);
+  order_inflight_[msg.id.seq & 63] = {msg.id.seq, sim().now().us};
 
   if (view_.size() == 1) {
     execute(config_.self_deliver, [this] { deliver_ready(); });
@@ -192,6 +205,7 @@ void GroupMember::note_alive(MemberId peer) {
 void GroupMember::handle_data(DataWire m) {
   if (!is_member() || !view_.contains(m.header.from)) return;
   ++stats_.data_received;
+  m_data_received_.add(1);
   note_alive(m.header.from);
   tick_lamport(m.msg.lamport);
   buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
@@ -230,6 +244,7 @@ void GroupMember::handle_nack(NackWire m) {
   }
   if (reply.msgs.empty()) return;
   ++stats_.retransmits_served;
+  m_retransmits_served_.add(1);
   reply.header = make_header();
   sim::Payload buf = encode(reply);
   sim::Endpoint dst{m.header.from, config_.port};
@@ -257,6 +272,13 @@ void GroupMember::deliver_ready() {
 
 void GroupMember::deliver_to_app(const DataMsg& m) {
   ++stats_.delivered;
+  m_delivered_.add(1);
+  if (m.id.sender == id()) {
+    // Multicast -> own ordered delivery latency (the paper's "latency of
+    // the total-ordering protocol" metric).
+    const auto& [seq, sent_us] = order_inflight_[m.id.seq & 63];
+    if (seq == m.id.seq) m_order_latency_.record(sim().now().us - sent_us);
+  }
   Delivered d{m.id.sender, m.id.seq, m.level, m.payload};
   if (awaiting_state_) {
     held_deliveries_.push_back(std::move(d));
@@ -316,6 +338,7 @@ void GroupMember::check_gaps() {
         if (buffer_.received_upto(gap.sender) < gap.seq) m.missing.push_back(gap);
       if (m.missing.empty()) return;
       ++stats_.nacks_sent;
+      m_nacks_sent_.add(1);
       m.header = make_header();
       send(sim::Endpoint{sender, config_.port}, encode(m));
     });
@@ -420,6 +443,7 @@ void GroupMember::maybe_coordinate() {
 
 void GroupMember::begin_flush(std::vector<MemberId> membership) {
   state_ = State::kFlushing;
+  if (flush_started_us_ < 0) flush_started_us_ = sim().now().us;
   flush_coordinator_ = true;
   max_epoch_ = std::max(max_epoch_, view_.id.epoch) + 1;
   flush_proposed_ = ViewId{max_epoch_, id()};
@@ -470,6 +494,7 @@ void GroupMember::handle_vc_propose(VcProposeWire m, sim::Endpoint from) {
   max_epoch_ = std::max(max_epoch_, m.proposed.epoch);
   flush_proposed_ = m.proposed;
   if (state_ == State::kMember) state_ = State::kFlushing;
+  if (flush_started_us_ < 0) flush_started_us_ = sim().now().us;
 
   VcAckWire ack;
   ack.header = make_header();
@@ -613,6 +638,14 @@ void GroupMember::install_view(const VcCommitWire& commit) {
   for (MemberId m : view_.members) last_heard_[m] = now;
   state_ = State::kMember;
   ++stats_.views_installed;
+  m_views_installed_.add(1);
+  telemetry::TraceBuffer& tr = sim().telemetry().trace();
+  if (flush_started_us_ >= 0) {
+    tr.complete(flush_started_us_, now.us, host_id(), tc_flush_,
+                view_.id.epoch, view_.size());
+    flush_started_us_ = -1;
+  }
+  tr.instant(now.us, host_id(), tc_view_, view_.id.epoch, view_.size());
   if (join_timer_ != 0) {
     cancel_timer(join_timer_);
     join_timer_ = 0;
@@ -801,6 +834,7 @@ void GroupMember::become_down() {
   flush_coordinator_ = false;
   flush_acks_.clear();
   flush_membership_.clear();
+  flush_started_us_ = -1;
   pending_sends_.clear();
   awaiting_state_ = false;
   held_deliveries_.clear();

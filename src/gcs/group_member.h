@@ -24,17 +24,20 @@
 //     views to a majority component.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "gcs/messages.h"
 #include "gcs/ordering.h"
 #include "gcs/types.h"
 #include "sim/process.h"
+#include "telemetry/metrics.h"
 
 namespace sim {
 struct Calibration;
@@ -214,6 +217,25 @@ class GroupMember : public sim::Process {
 
   bool cut_scheduled_ = false;
   Stats stats_;
+
+  // Telemetry (registry cells shared by all members in one simulation;
+  // registered in the ctor body, updated next to the stats_ increments).
+  telemetry::Counter m_data_sent_;
+  telemetry::Counter m_data_received_;
+  telemetry::Counter m_nacks_sent_;
+  telemetry::Counter m_retransmits_served_;
+  telemetry::Counter m_delivered_;
+  telemetry::Counter m_views_installed_;
+  telemetry::Histogram m_order_latency_;
+  uint16_t tc_view_ = 0;   ///< trace category "gcs.view"
+  uint16_t tc_flush_ = 0;  ///< trace category "gcs.flush"
+  /// Start of the flush this member is currently in, or -1 (for the
+  /// "gcs.flush" complete-span emitted when the new view installs).
+  int64_t flush_started_us_ = -1;
+  /// Send timestamps of our own recent multicasts, keyed by seq & 63 --
+  /// fixed cost, approximate beyond 64 outstanding messages. Matched in
+  /// deliver_to_app to measure multicast -> total-order-delivery latency.
+  std::array<std::pair<uint64_t, int64_t>, 64> order_inflight_{};
 };
 
 }  // namespace gcs

@@ -20,6 +20,29 @@ sim::Payload error_response(pbs::Op op, pbs::Status status) {
       return pbs::encode_response(pbs::SimpleResponse{status});
   }
 }
+
+/// Did a replayed command produce the response the log implies it must?
+/// The compacted log only carries commands about live jobs, so a failure
+/// status here means the joiner's rebuilt PBS state diverged from the
+/// group's (the paper's replay-consistency hazard).
+bool replay_response_ok(const sim::Payload& request,
+                        const sim::Payload& response) {
+  try {
+    switch (pbs::peek_op(request)) {
+      case pbs::Op::kSubmit:
+        return pbs::decode_submit_response(response).status ==
+               pbs::Status::kOk;
+      case pbs::Op::kDelete:
+      case pbs::Op::kHold:
+      case pbs::Op::kRelease:
+        return pbs::decode_simple_response(response).status == pbs::Status::kOk;
+      default:
+        return true;
+    }
+  } catch (const net::WireError&) {
+    return false;
+  }
+}
 }  // namespace
 
 JoshuaConfig joshua_config_from(const sim::Calibration& cal,
@@ -59,6 +82,20 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
       if (previous) previous(job);
     };
   }
+  telemetry::Hub& hub = net.sim().telemetry();
+  telemetry::Registry& m = hub.metrics();
+  m_commands_intercepted_ = m.counter("joshua.commands_intercepted");
+  m_commands_executed_ = m.counter("joshua.commands_executed");
+  m_replays_applied_ = m.counter("joshua.replays_applied");
+  m_mutex_grants_ = m.counter("joshua.mutex_grants");
+  m_mutex_denials_ = m.counter("joshua.mutex_denials");
+  m_replay_divergence_ =
+      m.counter("joshua.replay_divergence." + net.host(host).name());
+  m_intercept_latency_ = m.histogram("joshua.intercept_to_reply_us");
+  m_jmutex_wait_ = m.histogram("joshua.jmutex_wait_us");
+  tc_command_ = hub.trace().intern("joshua.command");
+  tc_replay_ = hub.trace().intern("joshua.replay");
+  tc_jview_ = hub.trace().intern("joshua.view");
 }
 
 void Server::start() { group_.join(); }
@@ -141,11 +178,12 @@ void Server::handle_client_command(sim::Payload request, sim::Endpoint from,
     return;
   }
   ++stats_.commands_intercepted;
+  m_commands_intercepted_.add(1);
   GroupCommand cmd;
   cmd.origin = group_.id();
   cmd.cmd_seq = next_cmd_seq_++;
   cmd.pbs_request = std::move(request);
-  pending_replies_[cmd.cmd_seq] = PendingReply{from, rpc_id, op};
+  pending_replies_[cmd.cmd_seq] = PendingReply{from, rpc_id, op, sim().now()};
   group_.multicast(encode_group(cmd), gcs::Delivery::kAgreed);
 }
 
@@ -185,6 +223,7 @@ void Server::on_deliver(const gcs::Delivered& msg) {
 
 void Server::apply_group_command(GroupCommand cmd) {
   ++stats_.commands_executed;
+  m_commands_executed_.add(1);
   log_command(cmd);
   execute(config_.exec_proc, [this, cmd = std::move(cmd)] {
     net::CallOptions options;
@@ -212,7 +251,14 @@ void Server::finish_local_apply(const GroupCommand& cmd,
   }
   ++stats_.replies_relayed;
   execute(config_.relay_proc,
-          [this, reply, resp = std::move(*response)] {
+          [this, reply, seq = cmd.cmd_seq, resp = std::move(*response)] {
+            // The paper's client-visible latency: command intercepted here,
+            // totally ordered, applied to the local PBS, output relayed.
+            int64_t now_us = sim().now().us;
+            m_intercept_latency_.record(now_us - reply.intercepted.us);
+            sim().telemetry().trace().complete(
+                reply.intercepted.us, now_us, host_id(), tc_command_, seq,
+                static_cast<uint64_t>(reply.op));
             respond(reply.client, reply.rpc_id, resp);
           });
 }
@@ -379,10 +425,20 @@ void Server::replay_next() {
   pseudo.pbs_request = request;
   log_command(pseudo);
   ++stats_.replays_applied;
+  m_replays_applied_.add(1);
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_replay_,
+                                    stats_.replays_applied,
+                                    replay_queue_.size());
   net::CallOptions options;
   options.timeout = config_.local_rpc_timeout;
   call(local_pbs_endpoint(), std::move(request),
        [this, pseudo](std::optional<sim::Payload> response) {
+         if (!response.has_value() ||
+             !replay_response_ok(pseudo.pbs_request, *response)) {
+           m_replay_divergence_.add(1);
+           JLOG(kWarn, "joshua")
+               << name() << ": replayed command produced a divergent response";
+         }
          if (response.has_value()) note_command_result(pseudo, *response);
          replay_next();
        },
@@ -401,10 +457,13 @@ void Server::handle_jmutex(const JMutexRequest& req, sim::Endpoint from,
   if (it != mutexes_.end() && !it->second.order.empty()) {
     bool won = !it->second.done && it->second.order.front() == req.head;
     (won ? stats_.mutex_grants : stats_.mutex_denials)++;
+    (won ? m_mutex_grants_ : m_mutex_denials_).add(1);
+    if (won) m_jmutex_wait_.record(0);  // arbitration already settled
     respond(from, rpc_id, encode_jmutex_response(JMutexResponse{won}));
     return;
   }
-  mutex_waiters_.emplace(req.job, MutexWaiter{req.head, from, rpc_id});
+  mutex_waiters_.emplace(req.job,
+                         MutexWaiter{req.head, from, rpc_id, sim().now()});
   if (mutex_cast_.insert({req.job, req.head}).second) {
     group_.multicast(encode_group(GroupMutexReq{req.job, req.head}),
                      gcs::Delivery::kAgreed);
@@ -446,6 +505,8 @@ void Server::answer_mutex_waiters(pbs::JobId job) {
   for (auto w = begin; w != end; ++w) {
     bool won = !state.done && state.order.front() == w->second.head;
     (won ? stats_.mutex_grants : stats_.mutex_denials)++;
+    (won ? m_mutex_grants_ : m_mutex_denials_).add(1);
+    if (won) m_jmutex_wait_.record((sim().now() - w->second.asked).us);
     respond(w->second.from, w->second.rpc_id,
             encode_jmutex_response(JMutexResponse{won}));
   }
@@ -457,6 +518,9 @@ void Server::answer_mutex_waiters(pbs::JobId job) {
 // ---------------------------------------------------------------------------
 
 void Server::on_view(const gcs::View& view) {
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_jview_,
+                                    view.size(),
+                                    view.members.empty() ? 0 : 1);
   if (view.members.empty()) {
     JLOG(kWarn, "joshua") << name() << " out of service (excluded from view)";
     for (auto& [seq, reply] : pending_replies_) {

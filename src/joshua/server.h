@@ -137,6 +137,7 @@ class Server : public net::RpcNode {
     sim::Endpoint client;
     uint64_t rpc_id = 0;
     pbs::Op op = pbs::Op::kStat;
+    sim::Time intercepted{0};  ///< when the command entered this head
   };
   std::map<uint64_t, PendingReply> pending_replies_;
 
@@ -151,6 +152,7 @@ class Server : public net::RpcNode {
     gcs::MemberId head;
     sim::Endpoint from;
     uint64_t rpc_id;
+    sim::Time asked{0};  ///< when the jmutex request arrived
   };
   std::multimap<pbs::JobId, MutexWaiter> mutex_waiters_;
   std::set<std::pair<pbs::JobId, gcs::MemberId>> mutex_cast_;
@@ -169,6 +171,22 @@ class Server : public net::RpcNode {
   std::deque<GroupCommand> held_commands_;
 
   Stats stats_;
+
+  // Telemetry ("joshua.*" metrics; registered in the ctor body).
+  telemetry::Counter m_commands_intercepted_;
+  telemetry::Counter m_commands_executed_;
+  telemetry::Counter m_replays_applied_;
+  telemetry::Counter m_mutex_grants_;
+  telemetry::Counter m_mutex_denials_;
+  /// Per-head ("joshua.replay_divergence.<host>"): replayed commands whose
+  /// local PBS response disagreed with what the replayed log implies. Any
+  /// nonzero value means this head's rebuilt state drifted from the group.
+  telemetry::Counter m_replay_divergence_;
+  telemetry::Histogram m_intercept_latency_;  ///< intercept -> client reply
+  telemetry::Histogram m_jmutex_wait_;        ///< jmutex arrival -> grant
+  uint16_t tc_command_ = 0;  ///< trace category "joshua.command"
+  uint16_t tc_replay_ = 0;   ///< trace category "joshua.replay"
+  uint16_t tc_jview_ = 0;    ///< trace category "joshua.view"
 };
 
 }  // namespace joshua

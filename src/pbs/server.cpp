@@ -24,6 +24,16 @@ Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
   for (const sim::Endpoint& mom : config_.moms) {
     nodes_.push_back(NodeState{mom.host, true, kInvalidJob});
   }
+  telemetry::Hub& hub = net.sim().telemetry();
+  telemetry::Registry& m = hub.metrics();
+  m_jobs_queued_ = m.counter("pbs.jobs_queued");
+  m_jobs_launched_ = m.counter("pbs.jobs_launched");
+  m_jobs_completed_ = m.counter("pbs.jobs_completed");
+  m_sched_cycles_ = m.counter("pbs.sched_cycles");
+  m_queue_wait_ = m.histogram("pbs.queue_wait_us");
+  tc_sched_ = hub.trace().intern("pbs.sched_cycle");
+  tc_job_start_ = hub.trace().intern("pbs.job_start");
+  tc_job_complete_ = hub.trace().intern("pbs.job_complete");
   recover();
   arm_checkpoint_timer();
   sched_timer_ = set_timer(config_.sched_interval, [this] {
@@ -135,6 +145,7 @@ void Server::handle_submit(const SubmitRequest& req, sim::Endpoint from,
   job.queue_rank = next_rank_++;
   jobs_.emplace(job.id, job);
   ++submissions_;
+  m_jobs_queued_.add(1);
   persist();
   JLOG(kDebug, "pbs") << name() << ": queued job " << job.id << " ("
                       << job.spec.name << ")";
@@ -306,6 +317,9 @@ void Server::request_sched_cycle() {
 }
 
 void Server::run_sched_cycle() {
+  m_sched_cycles_.add(1);
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_sched_,
+                                    jobs_.size(), nodes_.size());
   for (const LaunchDecision& d : scheduler_.cycle(jobs_, nodes_, sim().now())) {
     auto it = jobs_.find(d.job);
     if (it == jobs_.end()) continue;
@@ -327,6 +341,10 @@ void Server::launch(Job& job, const std::vector<sim::HostId>& node_hosts) {
   for (sim::HostId h : node_hosts) {
     if (NodeState* n = node_by_host(h)) n->running = job.id;
   }
+  m_jobs_launched_.add(1);
+  m_queue_wait_.record((job.start_time - job.submit_time).us);
+  sim().telemetry().trace().instant(job.start_time.us, host_id(),
+                                    tc_job_start_, job.id, job.exec_host);
   persist();
   if (on_job_start) on_job_start(job);
 
@@ -382,6 +400,10 @@ void Server::complete_job(Job& job, const JobReport& report) {
   if (report.start_time.us > 0) job.start_time = report.start_time;
   job.end_time = report.end_time.us > 0 ? report.end_time : sim().now();
   free_nodes_of(job.id);
+  m_jobs_completed_.add(1);
+  sim().telemetry().trace().instant(
+      sim().now().us, host_id(), tc_job_complete_, job.id,
+      static_cast<uint64_t>(static_cast<int64_t>(job.exit_code)));
   persist();
   JLOG(kDebug, "pbs") << name() << ": job " << job.id << " complete (exit "
                       << job.exit_code << ")";

@@ -17,6 +17,7 @@
 #include "net/rpc.h"
 #include "pbs/protocol.h"
 #include "pbs/scheduler.h"
+#include "telemetry/metrics.h"
 
 namespace sim {
 struct Calibration;
@@ -140,6 +141,16 @@ class Server : public net::RpcNode {
   bool sched_pending_ = false;
   sim::TimerId sched_timer_ = 0;
   sim::TimerId checkpoint_timer_ = 0;
+
+  // Telemetry ("pbs.*" metrics; registered in the ctor body).
+  telemetry::Counter m_jobs_queued_;
+  telemetry::Counter m_jobs_launched_;
+  telemetry::Counter m_jobs_completed_;
+  telemetry::Counter m_sched_cycles_;
+  telemetry::Histogram m_queue_wait_;
+  uint16_t tc_sched_ = 0;         ///< trace category "pbs.sched_cycle"
+  uint16_t tc_job_start_ = 0;     ///< trace category "pbs.job_start"
+  uint16_t tc_job_complete_ = 0;  ///< trace category "pbs.job_complete"
 };
 
 }  // namespace pbs

@@ -1,6 +1,8 @@
 #include "sim/failure.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace sim {
 
@@ -53,12 +55,25 @@ int FailureInjector::random_failures(HostId host, Duration mttf, Duration mttr,
 }
 
 Duration FailureInjector::recorded_downtime(HostId host) const {
-  Duration total{0};
+  // Union of intervals: overlapping scripted outages must not double-count
+  // the overlap (a host is either down or up at any instant), and an outage
+  // without a scheduled restart extends to the current simulation time.
   Time now = net_.sim().now();
+  std::vector<std::pair<Time, Time>> spans;
   for (const Outage& o : outages_) {
     if (o.host != host) continue;
     Time up = o.up == kTimeInfinity ? now : o.up;
-    if (up > o.down) total += up - o.down;
+    if (up > o.down) spans.emplace_back(o.down, up);
+  }
+  std::sort(spans.begin(), spans.end());
+  Duration total{0};
+  Time covered_until = kTimeZero;
+  bool any = false;
+  for (const auto& [down, up] : spans) {
+    Time start = any ? std::max(down, covered_until) : down;
+    if (up > start) total += up - start;
+    covered_until = any ? std::max(covered_until, up) : up;
+    any = true;
   }
   return total;
 }

@@ -38,7 +38,10 @@ class FailureInjector {
   int random_failures(HostId host, Duration mttf, Duration mttr, Time until);
 
   /// Total downtime recorded so far for a host via this injector's
-  /// crash/restart pairs (valid after the simulation ran).
+  /// crash/restart pairs (valid after the simulation ran). Computed as the
+  /// union of the scripted intervals: overlapping outages are merged rather
+  /// than double-counted, and an outage with no scheduled restart extends to
+  /// the current simulation time.
   Duration recorded_downtime(HostId host) const;
 
   /// All (host, crash_time, restart_time) triples scheduled so far.

@@ -63,7 +63,15 @@ void Host::restart() {
 }
 
 Network::Network(Simulation& sim, NetworkConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config) {
+  telemetry::Registry& m = sim_.telemetry().metrics();
+  m_frames_sent_ = m.counter("net.frames_sent");
+  m_frames_dropped_ = m.counter("net.frames_dropped");
+  m_bytes_sent_ = m.counter("net.bytes_sent");
+  m_packets_delivered_ = m.counter("net.packets_delivered");
+  m_bytes_delivered_ = m.counter("net.bytes_delivered");
+  m_medium_wait_ = m.histogram("net.medium_wait_us");
+}
 
 Host& Network::add_host(const std::string& name, double cpu_scale) {
   auto id = static_cast<HostId>(hosts_.size());
@@ -103,15 +111,24 @@ void Network::deliver(Packet packet, Time at) {
                           << " on " << dst.name() << " dropped";
       return;
     }
+    m_packets_delivered_.add(1);
+    m_bytes_delivered_.add(packet.data.size());
     handler->handle_packet(std::move(packet));
   });
+}
+
+Time Network::acquire_medium(Duration tx) {
+  Time start = std::max(sim_.now(), medium_busy_until_);
+  m_medium_wait_.record((start - sim_.now()).us);
+  medium_busy_until_ = start + tx;
+  return medium_busy_until_;
 }
 
 void Network::send(Packet packet) {
   Host& src = host(packet.src.host);
   if (!src.up()) return;
   if (!has_host(packet.dst.host)) {
-    ++frames_dropped_;
+    m_frames_dropped_.add(1);
     return;
   }
   Host& dst = host(packet.dst.host);
@@ -122,25 +139,23 @@ void Network::send(Packet packet) {
     return;
   }
 
-  ++frames_sent_;
-  bytes_sent_ += packet.data.size() + config_.frame_overhead_bytes;
+  m_frames_sent_.add(1);
+  m_bytes_sent_.add(packet.data.size() + config_.frame_overhead_bytes);
 
   if (!dst.up() || dst.partition() != src.partition()) {
-    ++frames_dropped_;
+    m_frames_dropped_.add(1);
     return;  // the frame still left the sender; receiver never sees it
   }
   if (config_.loss_rate > 0.0 && sim_.rng().chance(config_.loss_rate)) {
-    ++frames_dropped_;
+    m_frames_dropped_.add(1);
     return;
   }
 
   Duration tx = medium_transmit(packet.data.size());
-  Time start = std::max(sim_.now(), medium_busy_until_);
-  medium_busy_until_ = start + tx;
   Duration jitter{config_.jitter.us > 0
                       ? sim_.rng().uniform(0, config_.jitter.us)
                       : 0};
-  Time arrival = medium_busy_until_ + config_.propagation +
+  Time arrival = acquire_medium(tx) + config_.propagation +
                  config_.stack_latency * 2 + jitter;
   deliver(std::move(packet), arrival);
 }
@@ -165,15 +180,13 @@ void Network::multicast(Endpoint src, Port dst_port, Payload data,
     if (!used_medium) {
       // One slot on the shared medium covers every remote receiver.
       used_medium = true;
-      ++frames_sent_;
-      bytes_sent_ += data.size() + config_.frame_overhead_bytes;
+      m_frames_sent_.add(1);
+      m_bytes_sent_.add(data.size() + config_.frame_overhead_bytes);
       if (config_.loss_rate > 0.0 && sim_.rng().chance(config_.loss_rate)) {
-        ++frames_dropped_;
+        m_frames_dropped_.add(1);
         return;  // the whole physical multicast is lost
       }
-      Time start = std::max(sim_.now(), medium_busy_until_);
-      medium_busy_until_ = start + tx;
-      medium_arrival = medium_busy_until_ + config_.propagation +
+      medium_arrival = acquire_medium(tx) + config_.propagation +
                        config_.stack_latency * 2;
     }
     Host& dst = host(dst_id);

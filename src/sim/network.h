@@ -161,22 +161,30 @@ class Network {
   void clear_partitions();
 
   // -- counters (for tests and benches) ----------------------------------
+  // Backed by the simulation's telemetry registry ("net.*" metrics), so
+  // exporters and these accessors read the same cells.
 
-  uint64_t frames_sent() const { return frames_sent_; }
-  uint64_t frames_dropped() const { return frames_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_sent() const { return m_frames_sent_.value(); }
+  uint64_t frames_dropped() const { return m_frames_dropped_.value(); }
+  uint64_t bytes_sent() const { return m_bytes_sent_.value(); }
 
  private:
   Duration medium_transmit(size_t payload_bytes);
   void deliver(Packet packet, Time at);
+  /// Reserve one serialization slot on the shared medium, recording how
+  /// long the frame had to wait behind earlier traffic.
+  Time acquire_medium(Duration tx);
 
   Simulation& sim_;
   NetworkConfig config_;
   std::vector<std::unique_ptr<Host>> hosts_;
   Time medium_busy_until_{0};
-  uint64_t frames_sent_ = 0;
-  uint64_t frames_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
+  telemetry::Counter m_frames_sent_;
+  telemetry::Counter m_frames_dropped_;
+  telemetry::Counter m_bytes_sent_;
+  telemetry::Counter m_packets_delivered_;
+  telemetry::Counter m_bytes_delivered_;
+  telemetry::Histogram m_medium_wait_;
 };
 
 }  // namespace sim

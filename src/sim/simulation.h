@@ -18,6 +18,7 @@
 
 #include "sim/event_fn.h"
 #include "sim/time.h"
+#include "telemetry/hub.h"
 #include "util/rng.h"
 
 namespace sim {
@@ -35,6 +36,12 @@ class Simulation {
 
   Time now() const { return now_; }
   jutil::Rng& rng() { return rng_; }
+
+  /// Per-simulation telemetry: metrics registry + structured trace ring.
+  /// Observation only -- nothing in it feeds back into event ordering, so
+  /// instrumented and uninstrumented runs are bit-identical.
+  telemetry::Hub& telemetry() { return telemetry_; }
+  const telemetry::Hub& telemetry() const { return telemetry_; }
 
   /// Schedule `fn` to run `delay` from now (delay must be >= 0).
   EventId schedule(Duration delay, EventFn fn);
@@ -126,6 +133,7 @@ class Simulation {
   uint32_t free_head_ = kNilSlot;
   std::vector<HeapEntry> heap_;
   jutil::Rng rng_;
+  telemetry::Hub telemetry_;
 };
 
 }  // namespace sim

@@ -42,11 +42,14 @@ class Trace {
   /// Render "t=1.234567 [cat] text" lines.
   std::string render() const {
     std::string out;
-    char buf[64];
+    // Only the fixed-width timestamp goes through the stack buffer; the
+    // category is appended as a string so long names are never truncated.
+    char buf[32];
     for (const Entry& e : entries_) {
-      snprintf(buf, sizeof buf, "t=%.6f [%s] ", e.at.seconds(),
-               e.category.c_str());
+      snprintf(buf, sizeof buf, "t=%.6f [", e.at.seconds());
       out += buf;
+      out += e.category;
+      out += "] ";
       out += e.text;
       out += '\n';
     }

@@ -1,0 +1,101 @@
+#include "telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "telemetry/json.h"
+
+namespace telemetry {
+
+namespace {
+
+const char* phase_tag(TraceBuffer::Phase phase) {
+  switch (phase) {
+    case TraceBuffer::Phase::kBegin: return "B";
+    case TraceBuffer::Phase::kEnd: return "E";
+    case TraceBuffer::Phase::kComplete: return "X";
+    case TraceBuffer::Phase::kInstant: break;
+  }
+  return "i";
+}
+
+void append_event(std::string& out, const TraceBuffer& trace,
+                  const TraceBuffer::Record& r) {
+  out += "{\"name\":";
+  append_json_string(out, trace.category_name(r.cat));
+  out += ",\"ph\":\"";
+  out += phase_tag(r.phase);
+  out += "\",\"ts\":";
+  append_json_number(out, static_cast<double>(r.ts_us));
+  if (r.phase == TraceBuffer::Phase::kComplete) {
+    out += ",\"dur\":";
+    append_json_number(out, static_cast<double>(r.dur_us));
+  }
+  if (r.phase == TraceBuffer::Phase::kInstant) out += ",\"s\":\"t\"";
+  out += ",\"pid\":0,\"tid\":";
+  append_json_number(out, static_cast<double>(r.host));
+  out += ",\"args\":{\"a0\":";
+  append_json_number(out, static_cast<double>(r.arg0));
+  out += ",\"a1\":";
+  append_json_number(out, static_cast<double>(r.arg1));
+  out += "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceBuffer& trace,
+                              const std::vector<std::string>& host_names) {
+  std::vector<TraceBuffer::Record> records;
+  records.reserve(trace.size());
+  std::set<uint32_t> hosts;
+  trace.for_each([&](const TraceBuffer::Record& r) {
+    records.push_back(r);
+    hosts.insert(r.host);
+  });
+  // The ring is in record order (monotone sim time) except that complete
+  // spans carry their *start* time; a stable sort by ts restores per-track
+  // monotonicity without reordering simultaneous events.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceBuffer::Record& a,
+                      const TraceBuffer::Record& b) { return a.ts_us < b.ts_us; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < host_names.size(); ++i)
+    hosts.insert(static_cast<uint32_t>(i));
+  for (uint32_t host : hosts) {
+    if (!first) out += ',';
+    first = false;
+    std::string name = host < host_names.size()
+                           ? host_names[host]
+                           : "host" + std::to_string(host);
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    append_json_number(out, static_cast<double>(host));
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const TraceBuffer::Record& r : records) {
+    if (!first) out += ',';
+    first = false;
+    append_event(out, trace, r);
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
+                        const std::vector<std::string>& host_names) {
+  out << chrome_trace_json(trace, host_names);
+}
+
+bool write_chrome_trace_file(const std::string& path, const TraceBuffer& trace,
+                             const std::vector<std::string>& host_names) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, trace, host_names);
+  return static_cast<bool>(out);
+}
+
+}  // namespace telemetry

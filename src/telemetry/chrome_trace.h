@@ -1,0 +1,27 @@
+// Chrome trace-event JSON exporter (the format Perfetto / chrome://tracing
+// load). Every simulated host becomes one named track (pid 0, tid = host
+// id); instants map to "i", begin/end to "B"/"E", complete spans to "X".
+// Events are sorted by timestamp before writing, so per-track timestamps
+// are monotone even though complete() records are pushed at span end.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace telemetry {
+
+/// `host_names[i]` names track i; hosts beyond the vector get "host<i>".
+std::string chrome_trace_json(const TraceBuffer& trace,
+                              const std::vector<std::string>& host_names);
+
+void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
+                        const std::vector<std::string>& host_names);
+
+/// Returns false when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const TraceBuffer& trace,
+                             const std::vector<std::string>& host_names);
+
+}  // namespace telemetry

@@ -1,0 +1,24 @@
+// Per-simulation telemetry context: one metrics registry plus one
+// structured trace ring. Owned by sim::Simulation and reached from any
+// component as sim().telemetry(); the telemetry layer itself has no
+// simulator dependency.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace telemetry {
+
+class Hub {
+ public:
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+ private:
+  Registry metrics_;
+  TraceBuffer trace_;
+};
+
+}  // namespace telemetry

@@ -1,0 +1,17 @@
+// Minimal JSON *writing* helpers shared by the telemetry exporters.
+// (Parsing lives in the tests; the library only ever produces JSON.)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace telemetry {
+
+/// Append `s` as a quoted, escaped JSON string.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Append a finite JSON number. Integral values in the exact double range
+/// print without a fraction; NaN/inf (not representable in JSON) print 0.
+void append_json_number(std::string& out, double v);
+
+}  // namespace telemetry

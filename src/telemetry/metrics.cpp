@@ -1,0 +1,70 @@
+#include "telemetry/metrics.h"
+
+namespace telemetry {
+
+double HistogramData::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min);
+  if (p >= 100.0) return static_cast<double>(max);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] > rank) {
+      // Interpolate inside bucket i by the rank's position among its hits.
+      double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+      double hi = i == 0 ? 1.0 : static_cast<double>(uint64_t{1} << i);
+      double frac = static_cast<double>(rank - cum) /
+                    static_cast<double>(buckets[i]);
+      double v = lo + (hi - lo) * frac;
+      // Exact bounds beat bucket bounds at the tails.
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    cum += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+Counter Registry::counter(std::string_view name) {
+  auto it = counter_ix_.find(name);
+  if (it == counter_ix_.end()) {
+    counters_.push_back(CounterCell{std::string(name), 0});
+    it = counter_ix_.emplace(std::string(name), counters_.size() - 1).first;
+  }
+  return Counter(&counters_[it->second].value);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  auto it = gauge_ix_.find(name);
+  if (it == gauge_ix_.end()) {
+    gauges_.push_back(GaugeCell{std::string(name), 0});
+    it = gauge_ix_.emplace(std::string(name), gauges_.size() - 1).first;
+  }
+  return Gauge(&gauges_[it->second].value);
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  auto it = histogram_ix_.find(name);
+  if (it == histogram_ix_.end()) {
+    histograms_.push_back(HistogramCell{std::string(name), {}});
+    it = histogram_ix_.emplace(std::string(name), histograms_.size() - 1).first;
+  }
+  return Histogram(&histograms_[it->second].data);
+}
+
+const Registry::CounterCell* Registry::find_counter(
+    std::string_view name) const {
+  auto it = counter_ix_.find(name);
+  return it == counter_ix_.end() ? nullptr : &counters_[it->second];
+}
+
+const Registry::HistogramCell* Registry::find_histogram(
+    std::string_view name) const {
+  auto it = histogram_ix_.find(name);
+  return it == histogram_ix_.end() ? nullptr : &histograms_[it->second];
+}
+
+}  // namespace telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/scenario_report.h"
+
+#include <fstream>
+
+#include "telemetry/json.h"
+#include "util/stats.h"
+
+namespace telemetry {
+
+void ScenarioReport::set(std::string_view name, double value) {
+  auto it = values_.find(name);
+  if (it != values_.end()) {
+    it->second = value;
+  } else {
+    values_.emplace(std::string(name), value);
+  }
+}
+
+void ScenarioReport::note_histogram(std::string_view prefix,
+                                    const HistogramData& h) {
+  std::string p(prefix);
+  set(p + ".count", static_cast<double>(h.count));
+  set(p + ".mean", h.mean());
+  set(p + ".p50", h.percentile(50));
+  set(p + ".p95", h.percentile(95));
+  set(p + ".p99", h.percentile(99));
+  set(p + ".min", static_cast<double>(h.min));
+  set(p + ".max", static_cast<double>(h.max));
+}
+
+void ScenarioReport::note_samples(std::string_view prefix,
+                                  const jutil::Samples& s) {
+  std::string p(prefix);
+  set(p + ".count", static_cast<double>(s.count()));
+  set(p + ".mean", s.mean());
+  set(p + ".p50", s.empty() ? 0.0 : s.percentile(50));
+  set(p + ".p95", s.empty() ? 0.0 : s.percentile(95));
+  set(p + ".min", s.min());
+  set(p + ".max", s.max());
+}
+
+void ScenarioReport::note_metrics(const Registry& registry) {
+  for (const auto& c : registry.counters())
+    set(c.name, static_cast<double>(c.value));
+  for (const auto& g : registry.gauges())
+    set(g.name, static_cast<double>(g.value));
+  for (const auto& h : registry.histograms()) note_histogram(h.name, h.data);
+}
+
+bool ScenarioReport::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+double ScenarioReport::get(std::string_view name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::string ScenarioReport::json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    append_json_string(out, name);
+    out += ": ";
+    append_json_number(out, value);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void ScenarioReport::write(std::ostream& out) const { out << json(); }
+
+bool ScenarioReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace telemetry

@@ -1,0 +1,51 @@
+// ScenarioReport: the machine-readable result of one experiment run.
+//
+// A flat name -> number map written as a single JSON object, the same
+// shape as the repo's BENCH_*.json trajectory files, so examples, benches
+// and CI artifacts all speak one format. Histograms and sample sets fold
+// into <prefix>.count/.mean/.p50/.p95/.p99/.min/.max entries; a whole
+// Registry can be folded in with note_metrics().
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace jutil {
+class Samples;
+}
+
+namespace telemetry {
+
+class ScenarioReport {
+ public:
+  void set(std::string_view name, double value);
+
+  /// Summary-statistics entries under `prefix`.
+  void note_histogram(std::string_view prefix, const HistogramData& h);
+  void note_samples(std::string_view prefix, const jutil::Samples& s);
+
+  /// Every counter, gauge, and histogram in the registry, keyed by its
+  /// metric name.
+  void note_metrics(const Registry& registry);
+
+  bool has(std::string_view name) const;
+  /// 0 when absent (use has() to distinguish).
+  double get(std::string_view name) const;
+  const std::map<std::string, double, std::less<>>& values() const {
+    return values_;
+  }
+
+  void write(std::ostream& out) const;
+  std::string json() const;
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, double, std::less<>> values_;
+};
+
+}  // namespace telemetry

@@ -1,0 +1,27 @@
+#include "telemetry/trace.h"
+
+#include <stdexcept>
+
+namespace telemetry {
+
+uint16_t TraceBuffer::intern(std::string_view name) {
+  auto it = category_ix_.find(name);
+  if (it != category_ix_.end()) return it->second;
+  if (categories_.size() >= 0xffff)
+    throw std::length_error("TraceBuffer: category space exhausted");
+  auto id = static_cast<uint16_t>(categories_.size());
+  categories_.emplace_back(name);
+  category_ix_.emplace(std::string(name), id);
+  return id;
+}
+
+void TraceBuffer::set_capacity(size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("TraceBuffer: capacity 0");
+  capacity_ = capacity;
+  buf_.clear();
+  buf_.shrink_to_fit();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace telemetry

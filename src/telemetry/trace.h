@@ -1,0 +1,116 @@
+// Structured trace layer: compact fixed-size records in a growable ring.
+//
+// This supersedes the string-concatenating sim::Trace for hot paths: a
+// record is (timestamp, host, interned category id, phase, two integer
+// args) -- no strings are built at record time, and once the ring reaches
+// its capacity the record path performs zero heap allocations (older
+// records are overwritten, newest-wins, like a flight recorder).
+//
+// Spans: either record begin()/end() pairs, or remember the start time at
+// the call site and emit one complete() record when the operation finishes.
+// complete() is what the instrumentation uses -- it cannot leave an
+// unbalanced span when a host crashes mid-operation.
+//
+// Timestamps are raw simulated-time microseconds (sim::Time::us); the
+// telemetry layer deliberately sits below the simulator and takes plain
+// integers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telemetry {
+
+class TraceBuffer {
+ public:
+  enum class Phase : uint8_t { kInstant = 0, kBegin, kEnd, kComplete };
+
+  struct Record {
+    int64_t ts_us = 0;
+    int64_t dur_us = 0;  ///< kComplete only
+    uint64_t arg0 = 0;
+    uint64_t arg1 = 0;
+    uint32_t host = 0;
+    uint16_t cat = 0;
+    Phase phase = Phase::kInstant;
+  };
+
+  /// Intern a category name; stable id for the buffer's lifetime.
+  uint16_t intern(std::string_view name);
+  const std::string& category_name(uint16_t cat) const {
+    return categories_[cat];
+  }
+  size_t category_count() const { return categories_.size(); }
+
+  /// Ring capacity in records (default 64K). Resets the buffer.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void instant(int64_t ts_us, uint32_t host, uint16_t cat, uint64_t arg0 = 0,
+               uint64_t arg1 = 0) {
+    push({ts_us, 0, arg0, arg1, host, cat, Phase::kInstant});
+  }
+  void begin(int64_t ts_us, uint32_t host, uint16_t cat, uint64_t arg0 = 0,
+             uint64_t arg1 = 0) {
+    push({ts_us, 0, arg0, arg1, host, cat, Phase::kBegin});
+  }
+  void end(int64_t ts_us, uint32_t host, uint16_t cat, uint64_t arg0 = 0,
+           uint64_t arg1 = 0) {
+    push({ts_us, 0, arg0, arg1, host, cat, Phase::kEnd});
+  }
+  void complete(int64_t start_us, int64_t end_us, uint32_t host, uint16_t cat,
+                uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    push({start_us, end_us - start_us, arg0, arg1, host, cat,
+          Phase::kComplete});
+  }
+
+  /// Records currently held (<= capacity).
+  size_t size() const { return buf_.size(); }
+  /// Total records ever pushed.
+  uint64_t recorded() const { return recorded_; }
+  /// Records overwritten after the ring filled.
+  uint64_t dropped() const {
+    return recorded_ - static_cast<uint64_t>(buf_.size());
+  }
+
+  /// Visit held records oldest -> newest.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (size_t i = head_; i < buf_.size(); ++i) f(buf_[i]);
+    for (size_t i = 0; i < head_; ++i) f(buf_[i]);
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    recorded_ = 0;
+  }
+
+ private:
+  void push(const Record& r) {
+    if (!enabled_) return;
+    ++recorded_;
+    if (buf_.size() < capacity_) {
+      buf_.push_back(r);  // growth phase; amortized, pre-capacity only
+      return;
+    }
+    buf_[head_] = r;  // steady state: overwrite oldest, no allocation
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  }
+
+  std::vector<Record> buf_;
+  size_t head_ = 0;  ///< oldest record once the ring has wrapped
+  size_t capacity_ = 1 << 16;
+  uint64_t recorded_ = 0;
+  bool enabled_ = true;
+  std::vector<std::string> categories_;
+  std::map<std::string, uint16_t, std::less<>> category_ix_;
+};
+
+}  // namespace telemetry

@@ -67,6 +67,48 @@ TEST_F(FailureTest, RandomFailuresDeterministicPerSeed) {
   EXPECT_EQ(c1, c2);
 }
 
+TEST_F(FailureTest, OverlappingOutagesAreNotDoubleCounted) {
+  // Two scripted outages overlap on [2000, 4000); a host is either up or
+  // down, so the union [1000, 6000) is the real downtime, not the sum.
+  faults_.crash_at(a_, sim::Time{1000});
+  faults_.restart_at(a_, sim::Time{4000});
+  faults_.crash_at(a_, sim::Time{2000});
+  faults_.restart_at(a_, sim::Time{6000});
+  sim_.run_until(sim::Time{10000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 5000);
+}
+
+TEST_F(FailureTest, ContainedOutageAddsNothing) {
+  faults_.crash_at(a_, sim::Time{1000});
+  faults_.restart_at(a_, sim::Time{9000});
+  faults_.crash_at(a_, sim::Time{3000});
+  faults_.restart_at(a_, sim::Time{5000});
+  sim_.run_until(sim::Time{20000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 8000);
+}
+
+TEST_F(FailureTest, UnterminatedOutageExtendsToNow) {
+  faults_.crash_at(a_, sim::Time{1000});
+  sim_.run_until(sim::Time{4000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 3000);
+  // It keeps growing as simulated time advances...
+  sim_.run_until(sim::Time{7000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 6000);
+  // ...and merges with an overlapping closed outage instead of stacking.
+  faults_.crash_at(a_, sim::Time{8000});
+  faults_.restart_at(a_, sim::Time{9000});
+  sim_.run_until(sim::Time{10000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 9000);
+}
+
+TEST_F(FailureTest, DowntimeIsPerHost) {
+  faults_.outage(a_, sim::Time{1000}, sim::msec(2));
+  faults_.outage(b_, sim::Time{1000}, sim::msec(5));
+  sim_.run_until(sim::Time{20000});
+  EXPECT_EQ(faults_.recorded_downtime(a_).us, 2000);
+  EXPECT_EQ(faults_.recorded_downtime(b_).us, 5000);
+}
+
 TEST_F(FailureTest, OutagesRecorded) {
   faults_.outage(a_, sim::Time{1000}, sim::msec(1));
   faults_.crash_at(b_, sim::Time{2000});

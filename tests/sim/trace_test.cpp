@@ -41,6 +41,16 @@ TEST(Trace, RenderFormatsSeconds) {
   EXPECT_NE(out.find("[x] hello"), std::string::npos);
 }
 
+TEST(Trace, RenderDoesNotTruncateLongCategories) {
+  // Regression: render() used to build "t=... [category] " in one fixed
+  // 64-byte snprintf buffer, silently truncating long category names.
+  Trace trace;
+  std::string category(100, 'c');
+  trace.record(sim::Time{1000000}, category, "payload");
+  std::string out = trace.render();
+  EXPECT_NE(out.find("[" + category + "] payload"), std::string::npos);
+}
+
 TEST(Trace, ClearEmpties) {
   Trace trace;
   trace.record(sim::Time{1}, "x", "y");

@@ -1,0 +1,223 @@
+// Minimal recursive-descent JSON parser for telemetry tests: enough to
+// validate the exporters' output is well-formed and to pull values back
+// out. Supports objects, arrays, strings (with escapes), numbers, bools,
+// null. Throws std::runtime_error on malformed input. Test-only -- the
+// exporters themselves never parse.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace json_mini {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  const ValuePtr& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end())
+      throw std::runtime_error("json_mini: missing key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw std::runtime_error("json_mini: trailing garbage at " +
+                               std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("json_mini: EOF");
+    return text_[pos_];
+  }
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c)
+      throw std::runtime_error(std::string("json_mini: expected '") + c +
+                               "' at " + std::to_string(pos_ - 1));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        return parse_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  ValuePtr parse_object() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      ValuePtr key = parse_string();
+      skip_ws();
+      expect(':');
+      v->object[key->string] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') return v;
+      if (c != ',') throw std::runtime_error("json_mini: bad object");
+    }
+  }
+
+  ValuePtr parse_array() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (true) {
+      v->array.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') return v;
+      if (c != ',') throw std::runtime_error("json_mini: bad array");
+    }
+  }
+
+  ValuePtr parse_string() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kString;
+    expect('"');
+    while (true) {
+      char c = next();
+      if (c == '"') return v;
+      if (c == '\\') {
+        char e = next();
+        switch (e) {
+          case '"': v->string += '"'; break;
+          case '\\': v->string += '\\'; break;
+          case '/': v->string += '/'; break;
+          case 'b': v->string += '\b'; break;
+          case 'f': v->string += '\f'; break;
+          case 'n': v->string += '\n'; break;
+          case 'r': v->string += '\r'; break;
+          case 't': v->string += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                throw std::runtime_error("json_mini: bad \\u escape");
+            }
+            // Tests only need ASCII round-trips.
+            v->string += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default:
+            throw std::runtime_error("json_mini: bad escape");
+        }
+      } else {
+        v->string += c;
+      }
+    }
+  }
+
+  ValuePtr parse_bool() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("json_mini: bad literal");
+    }
+    return v;
+  }
+
+  ValuePtr parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0)
+      throw std::runtime_error("json_mini: bad literal");
+    pos_ += 4;
+    return std::make_shared<Value>();
+  }
+
+  ValuePtr parse_number() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("json_mini: bad number");
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    v->number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace json_mini

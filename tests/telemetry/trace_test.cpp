@@ -1,0 +1,135 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/chrome_trace.h"
+#include "telemetry/json_mini.h"
+
+namespace telemetry {
+namespace {
+
+TEST(TraceBuffer, InternIsStableAndDeduplicated) {
+  TraceBuffer t;
+  uint16_t a = t.intern("gcs.view");
+  uint16_t b = t.intern("pbs.job_start");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("gcs.view"), a);
+  EXPECT_EQ(t.category_name(a), "gcs.view");
+  EXPECT_EQ(t.category_count(), 2u);
+}
+
+TEST(TraceBuffer, RecordsAllPhases) {
+  TraceBuffer t;
+  uint16_t cat = t.intern("x");
+  t.instant(10, 1, cat, 7, 8);
+  t.begin(20, 1, cat);
+  t.end(30, 1, cat);
+  t.complete(40, 55, 2, cat, 9);
+  ASSERT_EQ(t.size(), 4u);
+
+  std::vector<TraceBuffer::Record> records;
+  t.for_each([&](const TraceBuffer::Record& r) { records.push_back(r); });
+  EXPECT_EQ(records[0].phase, TraceBuffer::Phase::kInstant);
+  EXPECT_EQ(records[0].arg0, 7u);
+  EXPECT_EQ(records[1].phase, TraceBuffer::Phase::kBegin);
+  EXPECT_EQ(records[2].phase, TraceBuffer::Phase::kEnd);
+  EXPECT_EQ(records[3].phase, TraceBuffer::Phase::kComplete);
+  EXPECT_EQ(records[3].ts_us, 40);
+  EXPECT_EQ(records[3].dur_us, 15);
+  EXPECT_EQ(records[3].host, 2u);
+}
+
+TEST(TraceBuffer, RingWrapKeepsNewestRecords) {
+  TraceBuffer t;
+  t.set_capacity(8);
+  uint16_t cat = t.intern("x");
+  for (int64_t i = 0; i < 20; ++i) t.instant(i, 0, cat, static_cast<uint64_t>(i));
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+
+  // Oldest -> newest iteration yields exactly the last 8, in order.
+  std::vector<int64_t> ts;
+  t.for_each([&](const TraceBuffer::Record& r) { ts.push_back(r.ts_us); });
+  ASSERT_EQ(ts.size(), 8u);
+  for (size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(ts[i], static_cast<int64_t>(12 + i));
+}
+
+TEST(TraceBuffer, DisabledRecordsNothing) {
+  TraceBuffer t;
+  uint16_t cat = t.intern("x");
+  t.set_enabled(false);
+  t.instant(1, 0, cat);
+  t.complete(1, 2, 0, cat);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  t.set_enabled(true);
+  t.instant(3, 0, cat);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceBuffer, SetCapacityRejectsZero) {
+  TraceBuffer t;
+  EXPECT_THROW(t.set_capacity(0), std::invalid_argument);
+}
+
+TEST(ChromeTrace, ExportIsWellFormedAndNamesTracks) {
+  TraceBuffer t;
+  uint16_t view = t.intern("gcs.view");
+  uint16_t cmd = t.intern("joshua.command");
+  t.instant(100, 0, view, 3);
+  t.instant(200, 1, view, 3);
+  // complete() is pushed at end time but must sort back to ts=50.
+  t.complete(50, 400, 0, cmd, 1);
+
+  auto doc = json_mini::parse(chrome_trace_json(t, {"head0", "head1"}));
+  ASSERT_TRUE(doc->is_object());
+  const auto& events = doc->at("traceEvents");
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_head0_meta = false, saw_head1_meta = false, saw_complete = false;
+  int64_t last_ts = -1;
+  for (const auto& e : events->array) {
+    const std::string& ph = e->at("ph")->string;
+    if (ph == "M") {
+      const std::string& nm = e->at("args")->at("name")->string;
+      if (nm == "head0") saw_head0_meta = true;
+      if (nm == "head1") saw_head1_meta = true;
+      continue;
+    }
+    // Non-metadata events must be globally sorted by timestamp.
+    auto ts = static_cast<int64_t>(e->at("ts")->number);
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (ph == "X") {
+      saw_complete = true;
+      EXPECT_DOUBLE_EQ(e->at("ts")->number, 50.0);
+      EXPECT_DOUBLE_EQ(e->at("dur")->number, 350.0);
+      EXPECT_EQ(e->at("name")->string, "joshua.command");
+    }
+  }
+  EXPECT_TRUE(saw_head0_meta);
+  EXPECT_TRUE(saw_head1_meta);
+  EXPECT_TRUE(saw_complete);
+}
+
+TEST(ChromeTrace, HostsBeyondNameVectorGetFallbackNames) {
+  TraceBuffer t;
+  uint16_t cat = t.intern("x");
+  t.instant(1, 5, cat);
+  auto doc = json_mini::parse(chrome_trace_json(t, {}));
+  bool named = false;
+  for (const auto& e : doc->at("traceEvents")->array) {
+    if (e->at("ph")->string == "M" &&
+        e->at("args")->at("name")->string == "host5")
+      named = true;
+  }
+  EXPECT_TRUE(named);
+}
+
+}  // namespace
+}  // namespace telemetry

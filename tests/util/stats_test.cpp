@@ -18,6 +18,28 @@ TEST(Samples, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
 }
 
+TEST(Samples, EmptyAfterClearIsSafe) {
+  Samples s;
+  s.add(42.0);
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(Samples, SingleSampleIsEveryStatistic) {
+  Samples s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);  // n-1 undefined; defined as 0
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
 TEST(Samples, MeanMinMax) {
   Samples s;
   for (double v : {3.0, 1.0, 2.0}) s.add(v);
