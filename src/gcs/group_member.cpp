@@ -416,8 +416,19 @@ void GroupMember::maybe_coordinate() {
   // (new incarnation); it re-enters as fresh, so joiners win over suspects.
   for (MemberId j : joiners_) target.insert(j);
   std::vector<MemberId> membership = sorted(target);
-  if (membership == view_.members) return;
   if (membership.empty()) return;
+  // A restarted (or partitioned-and-diverged) incarnation is suspected AND
+  // joining at once: the membership set comes out unchanged, but it still
+  // needs a fresh view -- with a new epoch -- to be readmitted. Only bail
+  // when nothing at all changed.
+  bool reincarnation = false;
+  for (MemberId j : joiners_) {
+    if (suspected_.count(j)) {
+      reincarnation = true;
+      break;
+    }
+  }
+  if (membership == view_.members && !reincarnation) return;
 
   if (config_.require_majority &&
       membership.size() * 2 <= config_.peers.size()) {

@@ -124,6 +124,7 @@ sim::Payload encode_command_log(const CommandLog& log) {
   net::Writer w;
   w.vec(log.requests,
         [](net::Writer& w2, const sim::Payload& p) { w2.bytes(p); });
+  w.u64(log.next_job_id);
   return w.take();
 }
 
@@ -132,6 +133,7 @@ CommandLog decode_command_log(const sim::Payload& buf) {
   CommandLog log;
   log.requests =
       r.vec<sim::Payload>([](net::Reader& r2) { return r2.bytes(); });
+  log.next_job_id = r.u64();
   r.expect_done();
   return log;
 }

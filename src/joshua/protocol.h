@@ -73,6 +73,11 @@ JMutexResponse decode_jmutex_response(const sim::Payload&);
 /// Replay-mode state transfer: the compacted command log.
 struct CommandLog {
   std::vector<sim::Payload> requests;  ///< PBS requests to replay, in order
+  /// The donor's next job id. Compaction drops terminal jobs, so the highest
+  /// forced id in `requests` can lag the donor's counter; without this the
+  /// joiner would hand out ids the group already used and every later submit
+  /// would diverge across heads.
+  pbs::JobId next_job_id = 0;
 };
 sim::Payload encode_command_log(const CommandLog&);
 CommandLog decode_command_log(const sim::Payload&);

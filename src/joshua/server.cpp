@@ -313,6 +313,9 @@ void Server::note_command_result(const GroupCommand& cmd,
     try {
       pbs::SubmitResponse sub = pbs::decode_submit_response(response);
       if (sub.status == pbs::Status::kOk) {
+        if (max_job_id_seen_ == pbs::kInvalidJob ||
+            sub.job_id > max_job_id_seen_)
+          max_job_id_seen_ = sub.job_id;
         // Attach the job id to the newest submit entry lacking one.
         for (auto it = command_log_.rbegin(); it != command_log_.rend(); ++it) {
           if (it->job == pbs::kInvalidJob &&
@@ -358,6 +361,8 @@ sim::Payload Server::get_state() {
     }
     log.requests.push_back(entry.request);
   }
+  if (max_job_id_seen_ != pbs::kInvalidJob)
+    log.next_job_id = max_job_id_seen_ + 1;
   JLOG(kInfo, "joshua") << name() << ": serving state transfer ("
                         << log.requests.size() << " commands to replay)";
   return wrap_transfer(TransferKind::kReplayLog, encode_command_log(log));
@@ -399,6 +404,16 @@ void Server::install_state(const sim::Payload& state) {
   try {
     CommandLog log = decode_command_log(body);
     replay_queue_.assign(log.requests.begin(), log.requests.end());
+    if (log.next_job_id != 0) {
+      // Resume the donor's id sequence even though the compaction dropped
+      // the terminal tail; otherwise this head's next submit would reuse an
+      // id the group already handed out and the tables would fork.
+      if (local_pbs_ != nullptr)
+        local_pbs_->bump_next_job_id(log.next_job_id);
+      if (max_job_id_seen_ == pbs::kInvalidJob ||
+          log.next_job_id - 1 > max_job_id_seen_)
+        max_job_id_seen_ = log.next_job_id - 1;
+    }
   } catch (const net::WireError& e) {
     JLOG(kError, "joshua") << name() << ": corrupt command log: " << e.what();
     return;
@@ -548,6 +563,7 @@ void Server::on_crash() {
   mutex_cast_.clear();
   command_log_.clear();
   terminal_jobs_.clear();
+  max_job_id_seen_ = pbs::kInvalidJob;
   replaying_ = false;
   replay_queue_.clear();
   held_commands_.clear();

@@ -73,6 +73,9 @@ class Server : public net::RpcNode {
   void shutdown();
 
   bool in_service() const { return group_.is_member(); }
+  /// True while a replay-mode state transfer is still being applied; the
+  /// local job table lags the group until this drops back to false.
+  bool replaying() const { return replaying_; }
   const gcs::GroupMember& group() const { return group_; }
   gcs::GroupMember& group() { return group_; }
   const JoshuaConfig& config() const { return config_; }
@@ -165,6 +168,10 @@ class Server : public net::RpcNode {
   };
   std::vector<LogEntry> command_log_;
   std::set<pbs::JobId> terminal_jobs_;
+  /// Highest job id any ordered submit produced (learned from responses or a
+  /// state transfer). Served as CommandLog::next_job_id so joiners never
+  /// reuse ids whose jobs the compaction dropped.
+  pbs::JobId max_job_id_seen_ = pbs::kInvalidJob;
 
   bool replaying_ = false;
   std::deque<sim::Payload> replay_queue_;

@@ -92,6 +92,14 @@ class Server : public net::RpcNode {
   /// assumes on a joining head before its state transfer).
   void reset_state();
 
+  /// Raise the id counter to at least `floor`. A replay-mode state transfer
+  /// calls this with the donor's counter: the compacted log omits terminal
+  /// jobs, so replaying it alone would leave this server reissuing ids the
+  /// group already assigned.
+  void bump_next_job_id(JobId floor) {
+    next_job_id_ = std::max(next_job_id_, floor);
+  }
+
   // net::RpcNode:
   void on_request(sim::Payload request, sim::Endpoint from,
                   uint64_t rpc_id) override;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace telemetry {
 
@@ -40,6 +42,240 @@ void append_json_number(std::string& out, double v) {
     std::snprintf(buf, sizeof buf, "%.12g", v);
   }
   out += buf;
+}
+
+namespace {
+
+/// Recursive-descent reader that flattens into a FlatJson as it parses;
+/// no intermediate DOM is built.
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view text) : text_(text) {}
+
+  FlatJson run() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '{')
+      fail("report must be a JSON object");
+    parse_value("");
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return std::move(out_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("telemetry::parse_flat_json: " + what +
+                             " at offset " + std::to_string(pos_));
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = next();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      else
+        fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  static std::string join(const std::string& prefix, std::string_view leaf) {
+    if (prefix.empty()) return std::string(leaf);
+    std::string out = prefix;
+    out += '.';
+    out += leaf;
+    return out;
+  }
+
+  void parse_value(const std::string& path) {
+    skip_ws();
+    switch (peek()) {
+      case '{': parse_object(path); return;
+      case '[': parse_array(path); return;
+      case '"': {
+        std::string s = parse_string();
+        if (!path.empty()) out_.strings[path] = std::move(s);
+        return;
+      }
+      case 't':
+      case 'f': {
+        bool v = parse_literal();
+        if (!path.empty()) out_.numbers[path] = v ? 1.0 : 0.0;
+        return;
+      }
+      case 'n':
+        parse_null();
+        return;
+      default: {
+        double v = parse_number();
+        if (!path.empty()) out_.numbers[path] = v;
+        return;
+      }
+    }
+  }
+
+  void parse_object(const std::string& path) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      parse_value(join(path, key));
+      skip_ws();
+      char c = next();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array(const std::string& path) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return;
+    }
+    size_t index = 0;
+    while (true) {
+      parse_value(join(path, std::to_string(index++)));
+      skip_ws();
+      char c = next();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (next() != '\\' || next() != 'u')
+              fail("unpaired high surrogate");
+            unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("unpaired high surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  bool parse_literal() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("bad literal");
+  }
+
+  void parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+  }
+
+  double parse_number() {
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("bad number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  FlatJson out_;
+};
+
+}  // namespace
+
+FlatJson parse_flat_json(std::string_view text) {
+  return FlatParser(text).run();
 }
 
 }  // namespace telemetry

@@ -1,7 +1,9 @@
-// Minimal JSON *writing* helpers shared by the telemetry exporters.
-// (Parsing lives in the tests; the library only ever produces JSON.)
+// Minimal JSON helpers shared by the telemetry exporters and the
+// report_diff comparator: string/number *writing*, plus a small flat-map
+// *reader* for the repo's report files (ScenarioReport / BENCH_*.json).
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -13,5 +15,29 @@ void append_json_string(std::string& out, std::string_view s);
 /// Append a finite JSON number. Integral values in the exact double range
 /// print without a fraction; NaN/inf (not representable in JSON) print 0.
 void append_json_number(std::string& out, double v);
+
+/// A report file read back in: numeric leaves and string leaves, each under
+/// its dotted path. The flat ScenarioReport shape maps 1:1; nested objects
+/// (the hand-written BENCH_* trajectory files) flatten as
+/// "outer.inner.leaf", array elements as "name.<index>".
+struct FlatJson {
+  std::map<std::string, double, std::less<>> numbers;
+  std::map<std::string, std::string, std::less<>> strings;
+
+  bool has(std::string_view name) const {
+    return numbers.find(name) != numbers.end();
+  }
+  /// 0 when absent (use has() to distinguish).
+  double get(std::string_view name) const {
+    auto it = numbers.find(name);
+    return it == numbers.end() ? 0.0 : it->second;
+  }
+};
+
+/// Parse a JSON object into a FlatJson. Accepts the full JSON grammar the
+/// repo's exporters emit (objects, arrays, strings with escapes, numbers,
+/// bools, null); bools flatten to 0/1, null is skipped. Throws
+/// std::runtime_error with a position on malformed input.
+FlatJson parse_flat_json(std::string_view text);
 
 }  // namespace telemetry

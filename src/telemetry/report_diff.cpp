@@ -1,0 +1,270 @@
+#include "telemetry/report_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace telemetry {
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative glob with single-star backtracking: on mismatch, retry from
+  // the last '*' consuming one more character of `name`.
+  size_t p = 0, n = 0;
+  size_t star = std::string_view::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Direction parse_direction(const std::string& s, std::string_view where) {
+  if (s == "both") return Direction::kBoth;
+  if (s == "higher_is_better") return Direction::kHigherIsBetter;
+  if (s == "lower_is_better") return Direction::kLowerIsBetter;
+  throw std::runtime_error("report_diff rules: bad direction \"" + s +
+                           "\" in " + std::string(where));
+}
+
+/// A change regresses when it moves out of BOTH bands in the bad
+/// direction; it improves when out of both bands in the good direction.
+DiffEntry::Status judge(double baseline, double current, double abs_band,
+                        double rel_band, Direction direction) {
+  double delta = current - baseline;
+  bool in_abs = std::fabs(delta) <= abs_band;
+  bool in_rel = std::fabs(delta) <= rel_band * std::fabs(baseline);
+  if (in_abs || in_rel) return DiffEntry::Status::kOk;
+  bool worse = direction == Direction::kBoth ||
+               (direction == Direction::kHigherIsBetter && delta < 0) ||
+               (direction == Direction::kLowerIsBetter && delta > 0);
+  return worse ? DiffEntry::Status::kRegressed : DiffEntry::Status::kImproved;
+}
+
+}  // namespace
+
+DiffOptions parse_rules(std::string_view text) {
+  // The rules file is itself a flat-parseable JSON object: defaults land
+  // under "default.*", rule fields under "rules.<i>.*".
+  FlatJson flat = parse_flat_json(text);
+  DiffOptions options;
+
+  std::set<size_t> rule_indices;
+  // Keys starting with '_' (at either level) are comments.
+  auto is_comment = [](std::string_view key) {
+    return !key.empty() &&
+           (key[0] == '_' || key.find("._") != std::string_view::npos);
+  };
+  auto field_of = [&](std::string_view key,
+                      std::string_view& field) -> bool {
+    // "rules.<i>.<field>" -> rule index + field name.
+    if (key.substr(0, 6) != "rules.") return false;
+    size_t dot = key.find('.', 6);
+    if (dot == std::string_view::npos)
+      throw std::runtime_error("report_diff rules: \"rules\" must be a list "
+                               "of rule objects");
+    size_t index = 0;
+    for (char c : key.substr(6, dot - 6)) {
+      if (c < '0' || c > '9')
+        throw std::runtime_error("report_diff rules: \"rules\" must be a "
+                                 "list of rule objects");
+      index = index * 10 + static_cast<size_t>(c - '0');
+    }
+    rule_indices.insert(index);
+    field = key.substr(dot + 1);
+    return true;
+  };
+
+  // First pass: find every rule index so the list is dense and ordered.
+  for (const auto& [key, value] : flat.numbers) {
+    (void)value;
+    std::string_view field;
+    if (!is_comment(key)) field_of(key, field);
+  }
+  for (const auto& [key, value] : flat.strings) {
+    (void)value;
+    std::string_view field;
+    if (!is_comment(key)) field_of(key, field);
+  }
+  options.rules.resize(rule_indices.size());
+  if (!rule_indices.empty() &&
+      (*rule_indices.begin() != 0 ||
+       *rule_indices.rbegin() != rule_indices.size() - 1))
+    throw std::runtime_error("report_diff rules: non-contiguous rule list");
+
+  for (const auto& [key, value] : flat.numbers) {
+    std::string_view field;
+    if (is_comment(key)) continue;
+    if (field_of(key, field)) {
+      size_t index = static_cast<size_t>(
+          std::stoul(std::string(key.substr(6, key.find('.', 6) - 6))));
+      ToleranceRule& rule = options.rules[index];
+      if (field == "abs_band") rule.abs_band = value;
+      else if (field == "rel_band") rule.rel_band = value;
+      else if (field == "required") rule.required = value != 0.0;
+      else if (field == "ignore") rule.ignore = value != 0.0;
+      else
+        throw std::runtime_error("report_diff rules: unknown rule field \"" +
+                                 std::string(field) + "\"");
+    } else if (key == "default.abs_band") {
+      options.default_abs_band = value;
+    } else if (key == "default.rel_band") {
+      options.default_rel_band = value;
+    } else if (key == "fail_on_missing") {
+      options.fail_on_missing = value != 0.0;
+    } else {
+      throw std::runtime_error("report_diff rules: unknown field \"" + key +
+                               "\"");
+    }
+  }
+  for (const auto& [key, value] : flat.strings) {
+    std::string_view field;
+    if (is_comment(key)) continue;
+    if (field_of(key, field)) {
+      size_t index = static_cast<size_t>(
+          std::stoul(std::string(key.substr(6, key.find('.', 6) - 6))));
+      ToleranceRule& rule = options.rules[index];
+      if (field == "pattern") rule.pattern = value;
+      else if (field == "direction")
+        rule.direction = parse_direction(value, key);
+      else
+        throw std::runtime_error("report_diff rules: unknown rule field \"" +
+                                 std::string(field) + "\"");
+    } else if (key == "default.direction") {
+      options.default_direction = parse_direction(value, key);
+    } else {
+      throw std::runtime_error("report_diff rules: unknown field \"" + key +
+                               "\"");
+    }
+  }
+  for (size_t i = 0; i < options.rules.size(); ++i) {
+    if (options.rules[i].pattern.empty())
+      throw std::runtime_error("report_diff rules: rule " + std::to_string(i) +
+                               " has no pattern");
+  }
+  return options;
+}
+
+DiffResult diff_reports(const FlatJson& baseline, const FlatJson& current,
+                        const DiffOptions& options) {
+  auto rule_for = [&](std::string_view name) -> const ToleranceRule* {
+    for (const ToleranceRule& rule : options.rules) {
+      if (glob_match(rule.pattern, name)) return &rule;
+    }
+    return nullptr;
+  };
+
+  DiffResult result;
+  for (const auto& [name, base_value] : baseline.numbers) {
+    const ToleranceRule* rule = rule_for(name);
+    DiffEntry entry;
+    entry.name = name;
+    entry.baseline = base_value;
+    if (rule != nullptr && rule->ignore) {
+      entry.current = current.get(name);
+      entry.status = DiffEntry::Status::kIgnored;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    if (!current.has(name)) {
+      entry.status = DiffEntry::Status::kMissing;
+      bool fails = options.fail_on_missing || (rule != nullptr && rule->required);
+      if (fails) ++result.missing;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.current = current.get(name);
+    entry.delta = entry.current - entry.baseline;
+    entry.rel_delta =
+        entry.baseline == 0.0 ? 0.0 : entry.delta / std::fabs(entry.baseline);
+    double abs_band = rule != nullptr ? rule->abs_band : options.default_abs_band;
+    double rel_band = rule != nullptr ? rule->rel_band : options.default_rel_band;
+    Direction direction =
+        rule != nullptr ? rule->direction : options.default_direction;
+    entry.status =
+        judge(entry.baseline, entry.current, abs_band, rel_band, direction);
+    ++result.compared;
+    if (entry.status == DiffEntry::Status::kRegressed) ++result.regressed;
+    if (entry.status == DiffEntry::Status::kImproved) ++result.improved;
+    result.entries.push_back(std::move(entry));
+  }
+
+  // Required keys that exist in neither report still fail: the rule says
+  // the current report must carry them.
+  for (const ToleranceRule& rule : options.rules) {
+    if (!rule.required || rule.ignore) continue;
+    if (rule.pattern.find('*') != std::string::npos) continue;  // literal only
+    if (baseline.has(rule.pattern) || current.has(rule.pattern)) continue;
+    DiffEntry entry;
+    entry.name = rule.pattern;
+    entry.status = DiffEntry::Status::kMissing;
+    ++result.missing;
+    result.entries.push_back(std::move(entry));
+  }
+
+  for (const auto& [name, value] : current.numbers) {
+    if (baseline.has(name)) continue;
+    DiffEntry entry;
+    entry.name = name;
+    entry.current = value;
+    entry.status = DiffEntry::Status::kExtra;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::string render_diff(const DiffResult& result, bool verbose) {
+  auto tag = [](DiffEntry::Status s) {
+    switch (s) {
+      case DiffEntry::Status::kOk: return "ok        ";
+      case DiffEntry::Status::kImproved: return "IMPROVED  ";
+      case DiffEntry::Status::kRegressed: return "REGRESSED ";
+      case DiffEntry::Status::kMissing: return "MISSING   ";
+      case DiffEntry::Status::kExtra: return "extra     ";
+      case DiffEntry::Status::kIgnored: return "ignored   ";
+    }
+    return "?         ";
+  };
+  std::string out;
+  char tail[160];
+  for (const DiffEntry& e : result.entries) {
+    bool interesting = e.status == DiffEntry::Status::kRegressed ||
+                       e.status == DiffEntry::Status::kMissing ||
+                       e.status == DiffEntry::Status::kImproved;
+    if (!verbose && !interesting) continue;
+    out += tag(e.status);
+    out += ' ';
+    out += e.name;
+    if (e.name.size() < 48) out.append(48 - e.name.size(), ' ');
+    if (e.status == DiffEntry::Status::kMissing) {
+      std::snprintf(tail, sizeof tail, " baseline=%.6g (absent)\n", e.baseline);
+    } else if (e.status == DiffEntry::Status::kExtra) {
+      std::snprintf(tail, sizeof tail, " current=%.6g (new)\n", e.current);
+    } else {
+      std::snprintf(tail, sizeof tail, " %.6g -> %.6g  (%+.6g, %+.2f%%)\n",
+                    e.baseline, e.current, e.delta, e.rel_delta * 100.0);
+    }
+    out += tail;
+  }
+  std::snprintf(tail, sizeof tail,
+                "%zu compared, %zu regressed, %zu missing, %zu improved\n",
+                result.compared, result.regressed, result.missing,
+                result.improved);
+  out += tail;
+  return out;
+}
+
+}  // namespace telemetry

@@ -1,0 +1,101 @@
+// Report comparator: diff two flat report files (ScenarioReport /
+// BENCH_*.json) under per-metric tolerance rules, for the CI regression
+// gate (tools/report_diff) and the longevity harness.
+//
+// A rule set is an ordered list of glob patterns; the first match decides
+// how a metric is judged. Each rule carries an absolute band, a relative
+// band (a change is inside tolerance when it is within EITHER band -- so
+// near-zero metrics are not held to impossible relative precision), a
+// direction (a higher-is-better metric only regresses downward), and flags
+// for required keys and ignored keys. Unmatched metrics fall back to the
+// rule set's defaults.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace telemetry {
+
+/// Which direction of change counts as a regression.
+enum class Direction : uint8_t {
+  kBoth = 0,        ///< any out-of-band change regresses
+  kHigherIsBetter,  ///< only an out-of-band decrease regresses
+  kLowerIsBetter,   ///< only an out-of-band increase regresses
+};
+
+struct ToleranceRule {
+  std::string pattern;  ///< glob: '*' matches any run (incl. empty)
+  double abs_band = 0.0;
+  double rel_band = 0.0;
+  Direction direction = Direction::kBoth;
+  bool required = false;  ///< key must be present in the current report
+  bool ignore = false;    ///< never a regression, never required
+};
+
+struct DiffOptions {
+  std::vector<ToleranceRule> rules;  ///< first match wins
+  /// Defaults for metrics no rule matches.
+  double default_abs_band = 0.0;
+  double default_rel_band = 0.0;
+  Direction default_direction = Direction::kBoth;
+  /// A baseline key absent from the current report is a regression (a
+  /// silently vanished metric is the classic way a gate goes blind).
+  bool fail_on_missing = true;
+};
+
+/// `pattern` with '*' wildcards against `name` (greedy, backtracking).
+bool glob_match(std::string_view pattern, std::string_view name);
+
+/// Parse a rules file:
+///   {
+///     "default": {"rel_band": 0.1, "abs_band": 0, "direction": "both"},
+///     "rules": [
+///       {"pattern": "joshua.*_us.p95", "rel_band": 0.25,
+///        "direction": "lower_is_better"},
+///       {"pattern": "demo_passed", "required": true},
+///       {"pattern": "net.medium_wait_us.*", "ignore": true}
+///     ]
+///   }
+/// Unknown fields are rejected so a typo cannot silently weaken the gate.
+/// Throws std::runtime_error on malformed input.
+DiffOptions parse_rules(std::string_view text);
+
+struct DiffEntry {
+  enum class Status : uint8_t {
+    kOk = 0,      ///< inside tolerance (or an in-band change)
+    kImproved,    ///< out of band in the good direction
+    kRegressed,   ///< out of band in the bad direction
+    kMissing,     ///< in baseline, absent from current
+    kExtra,       ///< in current only (informational)
+    kIgnored,
+  };
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;      ///< current - baseline
+  double rel_delta = 0.0;  ///< delta / |baseline| (0 when baseline is 0)
+  Status status = Status::kOk;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< baseline order, extras last
+  size_t regressed = 0;
+  size_t missing = 0;   ///< missing keys counted as failures
+  size_t improved = 0;
+  size_t compared = 0;  ///< entries actually judged (not ignored/extra)
+
+  /// True when the gate passes.
+  bool ok() const { return regressed == 0 && missing == 0; }
+};
+
+DiffResult diff_reports(const FlatJson& baseline, const FlatJson& current,
+                        const DiffOptions& options);
+
+/// Human-readable table. `verbose` includes in-tolerance entries; the
+/// default prints only regressions, missing keys, and improvements.
+std::string render_diff(const DiffResult& result, bool verbose = false);
+
+}  // namespace telemetry

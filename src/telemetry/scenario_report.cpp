@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "telemetry/json.h"
+#include "telemetry/trace.h"
 #include "util/stats.h"
 
 namespace telemetry {
@@ -39,6 +40,22 @@ void ScenarioReport::note_samples(std::string_view prefix,
   set(p + ".max", s.max());
 }
 
+void ScenarioReport::set_meta(std::string_view key, std::string_view value) {
+  meta_["meta." + std::string(key)] = std::string(value);
+}
+
+void ScenarioReport::note_trace(const TraceBuffer& trace) {
+  set("telemetry.trace.recorded", static_cast<double>(trace.recorded()));
+  set("telemetry.trace.dropped_records", static_cast<double>(trace.dropped()));
+  for (size_t cat = 0; cat < trace.category_count(); ++cat) {
+    uint64_t dropped = trace.dropped(static_cast<uint16_t>(cat));
+    if (dropped == 0) continue;
+    set("telemetry.trace.dropped_records." +
+            trace.category_name(static_cast<uint16_t>(cat)),
+        static_cast<double>(dropped));
+  }
+}
+
 void ScenarioReport::note_metrics(const Registry& registry) {
   for (const auto& c : registry.counters())
     set(c.name, static_cast<double>(c.value));
@@ -59,6 +76,16 @@ double ScenarioReport::get(std::string_view name) const {
 std::string ScenarioReport::json() const {
   std::string out = "{";
   bool first = true;
+  // Metadata first: a human opening the file sees what the run was before
+  // the wall of numbers.
+  for (const auto& [key, value] : meta_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    append_json_string(out, key);
+    out += ": ";
+    append_json_string(out, value);
+  }
   for (const auto& [name, value] : values_) {
     if (!first) out += ",";
     first = false;

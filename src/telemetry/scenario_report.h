@@ -20,9 +20,16 @@ class Samples;
 
 namespace telemetry {
 
+class TraceBuffer;
+
 class ScenarioReport {
  public:
   void set(std::string_view name, double value);
+
+  /// Comparator-facing string metadata, written under "meta.<key>" (e.g.
+  /// scenario name, seed, harness version). tools/report_diff reads these
+  /// as strings and leaves them out of the numeric tolerance checks.
+  void set_meta(std::string_view key, std::string_view value);
 
   /// Summary-statistics entries under `prefix`.
   void note_histogram(std::string_view prefix, const HistogramData& h);
@@ -32,11 +39,21 @@ class ScenarioReport {
   /// metric name.
   void note_metrics(const Registry& registry);
 
+  /// Trace-ring accounting: "telemetry.trace.recorded", the aggregate
+  /// "telemetry.trace.dropped_records", and one
+  /// "telemetry.trace.dropped_records.<category>" entry per category that
+  /// lost records. A truncated campaign must say so in its report instead
+  /// of silently presenting a window that is missing its early events.
+  void note_trace(const TraceBuffer& trace);
+
   bool has(std::string_view name) const;
   /// 0 when absent (use has() to distinguish).
   double get(std::string_view name) const;
   const std::map<std::string, double, std::less<>>& values() const {
     return values_;
+  }
+  const std::map<std::string, std::string, std::less<>>& meta() const {
+    return meta_;
   }
 
   void write(std::ostream& out) const;
@@ -46,6 +63,7 @@ class ScenarioReport {
 
  private:
   std::map<std::string, double, std::less<>> values_;
+  std::map<std::string, std::string, std::less<>> meta_;  ///< "meta.<key>"
 };
 
 }  // namespace telemetry

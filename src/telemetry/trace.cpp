@@ -12,6 +12,7 @@ uint16_t TraceBuffer::intern(std::string_view name) {
   auto id = static_cast<uint16_t>(categories_.size());
   categories_.emplace_back(name);
   category_ix_.emplace(std::string(name), id);
+  dropped_by_cat_.push_back(0);
   return id;
 }
 
@@ -22,6 +23,7 @@ void TraceBuffer::set_capacity(size_t capacity) {
   buf_.shrink_to_fit();
   head_ = 0;
   recorded_ = 0;
+  dropped_by_cat_.assign(dropped_by_cat_.size(), 0);
 }
 
 }  // namespace telemetry

@@ -78,6 +78,12 @@ class TraceBuffer {
   uint64_t dropped() const {
     return recorded_ - static_cast<uint64_t>(buf_.size());
   }
+  /// Records of one category overwritten after the ring filled. A long
+  /// campaign that truncates must say WHICH stream lost its early events,
+  /// not just how many records went missing overall.
+  uint64_t dropped(uint16_t cat) const {
+    return cat < dropped_by_cat_.size() ? dropped_by_cat_[cat] : 0;
+  }
 
   /// Visit held records oldest -> newest.
   template <typename F>
@@ -90,6 +96,7 @@ class TraceBuffer {
     buf_.clear();
     head_ = 0;
     recorded_ = 0;
+    dropped_by_cat_.assign(dropped_by_cat_.size(), 0);
   }
 
  private:
@@ -100,7 +107,12 @@ class TraceBuffer {
       buf_.push_back(r);  // growth phase; amortized, pre-capacity only
       return;
     }
-    buf_[head_] = r;  // steady state: overwrite oldest, no allocation
+    // Steady state: overwrite oldest, no allocation (dropped_by_cat_ was
+    // sized at intern time, so the increment is a plain array store; a
+    // never-interned id only shows up in the aggregate dropped() count).
+    uint16_t old_cat = buf_[head_].cat;
+    if (old_cat < dropped_by_cat_.size()) ++dropped_by_cat_[old_cat];
+    buf_[head_] = r;
     head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
   }
 
@@ -111,6 +123,7 @@ class TraceBuffer {
   bool enabled_ = true;
   std::vector<std::string> categories_;
   std::map<std::string, uint16_t, std::less<>> category_ix_;
+  std::vector<uint64_t> dropped_by_cat_;  ///< indexed by category id
 };
 
 }  // namespace telemetry

@@ -74,6 +74,47 @@ TEST(Availability, CorrelatedFailuresCapRedundancyGains) {
                std::invalid_argument);
 }
 
+// Hand-computed spot values (worked out on paper, not with the code under
+// test): the longevity harness leans on these functions for its analytic
+// availability band, so they get exact-value coverage beyond the Figure 12
+// strings.
+TEST(Availability, HandComputedNodeAvailability) {
+  // MTTF 2 h, MTTR 5 min = 1/12 h: A = 2 / (2 + 1/12) = 24/25 = 0.96.
+  EXPECT_NEAR(node_availability(2.0, 1.0 / 12.0), 0.96, 1e-12);
+  // MTTF 9 h, MTTR 1 h: A = 0.9 exactly.
+  EXPECT_DOUBLE_EQ(node_availability(9.0, 1.0), 0.9);
+  // MTTF 1 h, MTTR 3 h (repair dominates): A = 0.25 exactly.
+  EXPECT_DOUBLE_EQ(node_availability(1.0, 3.0), 0.25);
+}
+
+TEST(Availability, HandComputedServiceAvailability) {
+  // A = 0.96, n = 3: 1 - 0.04^3 = 1 - 6.4e-5 = 0.999936.
+  EXPECT_NEAR(service_availability(0.96, 3), 0.999936, 1e-12);
+  // A = 0.75, n = 2: 1 - 0.0625 = 0.9375 exactly.
+  EXPECT_DOUBLE_EQ(service_availability(0.75, 2), 0.9375);
+  // n = 1 is the identity.
+  EXPECT_DOUBLE_EQ(service_availability(0.123, 1), 0.123);
+}
+
+TEST(Availability, HandComputedDowntime) {
+  // A_service = 0.999936 -> 8760 h * 6.4e-5 = 0.56064 h = 2018.304 s.
+  EXPECT_NEAR(downtime_seconds_per_year(0.999936), 2018.304, 1e-6);
+  // A_service = 0.5 -> half of 8760 h = 4380 h = 15,768,000 s.
+  EXPECT_DOUBLE_EQ(downtime_seconds_per_year(0.5), 15768000.0);
+}
+
+TEST(Availability, HandComputedCorrelated) {
+  // A = 0.96, n = 2, beta = 0.25:
+  //   common mode: 1 - 0.25*0.04               = 0.99
+  //   independent: 1 - (0.75*0.04)^2 = 1 - 9e-4 = 0.9991
+  //   product                                   = 0.98910900
+  EXPECT_NEAR(service_availability_correlated(0.96, 2, 0.25), 0.989109,
+              1e-12);
+  // A = 0.9, n = 1, any beta: (1-b*0.1)*(1-(1-b)*0.1) -- at b=0.5 both
+  // factors are 0.95, so A = 0.9025.
+  EXPECT_NEAR(service_availability_correlated(0.9, 1, 0.5), 0.9025, 1e-12);
+}
+
 TEST(Availability, MoreNodesMonotonicallyBetter) {
   double prev = 0.0;
   for (int n = 1; n <= 8; ++n) {

@@ -1,0 +1,699 @@
+// Parameterized scenario runner: one object that composes a joshua::Cluster,
+// its sim::FailureInjector, and a seeded jsub/jdel/jstat workload into a
+// long-running campaign with invariant checking.
+//
+// The runner drives the cluster in poll-sized slices. Each slice it
+//   * restarts JOSHUA service on heads whose host came back (the injector
+//     restarts the host; rejoining the group is the operator action the
+//     paper describes, so the harness performs it explicitly),
+//   * folds newly terminal jobs into the completed-job ledger,
+//   * and, whenever the group view epoch advanced, waits for the surviving
+//     heads to reconverge and re-checks the replication invariants.
+//
+// Invariants (violations are collected, not thrown, so a campaign reports
+// everything that went wrong in one run):
+//   1. exactly-once launch -- no job id is really executed by more than one
+//      mom launch attempt (jmutex's guarantee, paper Section 4);
+//   2. zero replay divergence -- every "joshua.replay_divergence.*" counter
+//      stays 0 (a rejoined head's rebuilt state never drifts);
+//   3. convergence after every view change -- live heads reach identical
+//      live-job tables within a bounded settle time;
+//   4. no job accepted-then-lost -- every jsub the client got an OK for is
+//      eventually terminal or still live on the surviving heads.
+//
+// Everything (workload arrivals, command mix, fault schedule) draws from the
+// simulation RNG, so a ScenarioOptions value + seed fully determines the run
+// and ScenarioResult::digest is bit-stable across runs of the same binary.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ha/availability.h"
+#include "joshua/cluster.h"
+#include "telemetry/scenario_report.h"
+#include "testutil.h"
+
+namespace scenariotest {
+
+struct ScenarioOptions {
+  std::string name = "scenario";
+  int heads = 3;
+  int computes = 2;
+  uint64_t seed = 1;
+  joshua::TransferMode transfer = joshua::TransferMode::kReplay;
+
+  /// Simulated campaign length (workload + fault injection window).
+  sim::Duration duration = sim::hours(6);
+
+  // -- workload --------------------------------------------------------------
+  /// Mean command interarrival (exponential).
+  sim::Duration command_interval = sim::seconds(30);
+  /// Relative command mix.
+  int jsub_weight = 6;
+  int jdel_weight = 2;
+  int jstat_weight = 2;
+  /// Actual job runtimes are uniform in [min, max]. The default scheduler
+  /// is the paper's exclusive-cluster FIFO (one job at a time), so the mean
+  /// runtime must stay below the mean jsub interarrival or the backlog
+  /// grows without bound.
+  sim::Duration job_runtime_min = sim::seconds(5);
+  sim::Duration job_runtime_max = sim::seconds(60);
+
+  // -- fault schedule --------------------------------------------------------
+  /// Drive every head through an exponential fail/repair process. Computes
+  /// and the login node are never failed (the paper's experiments target
+  /// head-node availability).
+  bool random_head_faults = true;
+  sim::Duration mttf = sim::hours(2);
+  sim::Duration mttr = sim::minutes(5);
+
+  // -- timing / bookkeeping --------------------------------------------------
+  /// Coarser gcs timers than the sub-second defaults: a multi-day campaign
+  /// would otherwise spend most of its events on heartbeats.
+  sim::Duration gcs_heartbeat = sim::msec(500);
+  sim::Duration gcs_suspect = sim::seconds(2);
+  sim::Duration gcs_flush = sim::seconds(8);
+  /// Main-loop slice; also the rejoin-driver reaction time.
+  sim::Duration poll_interval = sim::seconds(10);
+  /// How long surviving heads get to reconverge after a view change before
+  /// invariant 3 counts as violated.
+  sim::Duration settle_deadline = sim::seconds(60);
+  /// Post-campaign grace for queued jobs to drain before the final
+  /// accepted-then-lost audit.
+  sim::Duration drain_deadline = sim::minutes(30);
+  /// Trace-ring capacity override; 0 keeps the library default. Longevity
+  /// runs set this small on purpose so the ring wraps and the report must
+  /// disclose the truncation.
+  size_t trace_capacity = 0;
+};
+
+struct ScenarioResult {
+  /// FNV-1a fold of the run's observable behaviour (event count, command
+  /// outcomes, outage schedule, every metric counter). Two runs of the same
+  /// binary with equal options produce equal digests.
+  uint64_t digest = 0;
+
+  int failure_cycles = 0;  ///< crash/restart pairs scheduled on heads
+  int max_concurrent_down = 0;
+  uint64_t view_changes_seen = 0;
+  uint64_t convergence_checks = 0;
+
+  /// Polls at which NO head was in service. Replicated state only survives
+  /// while at least one group member lives; a nonzero value here means the
+  /// campaign broke the continuity precondition and job-loss "violations"
+  /// are expected, not bugs. Campaign seeds are chosen so this stays 0.
+  uint64_t service_gap_polls = 0;
+
+  uint64_t jsub_attempted = 0;
+  uint64_t jsub_accepted = 0;
+  uint64_t jdel_attempted = 0;
+  uint64_t jdel_ok = 0;
+  uint64_t jstat_attempted = 0;
+  uint64_t jstat_ok = 0;
+  uint64_t commands_failed = 0;  ///< no head answered within the timeout
+  uint64_t client_failovers = 0;
+  uint64_t jobs_completed = 0;  ///< distinct accepted ids seen terminal
+
+  std::vector<std::string> violations;
+
+  double head_availability_min = 1.0;
+  double head_availability_max = 1.0;
+  double service_availability = 1.0;  ///< >= 1 head host up
+  sim::Duration service_downtime{0};
+
+  uint64_t events_executed = 0;
+  sim::Time end_time{0};
+
+  telemetry::ScenarioReport report;
+
+  bool ok() const { return violations.empty(); }
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioOptions options)
+      : options_(std::move(options)) {
+    joshua::ClusterOptions copt;
+    copt.head_count = options_.heads;
+    copt.compute_count = options_.computes;
+    copt.cal = sim::fast_calibration();
+    copt.seed = options_.seed;
+    copt.transfer = options_.transfer;
+    copt.gcs_heartbeat = options_.gcs_heartbeat;
+    copt.gcs_suspect = options_.gcs_suspect;
+    copt.gcs_flush = options_.gcs_flush;
+    cluster_ = std::make_unique<joshua::Cluster>(copt);
+    if (options_.trace_capacity != 0)
+      cluster_->sim().telemetry().trace().set_capacity(options_.trace_capacity);
+  }
+
+  joshua::Cluster& cluster() { return *cluster_; }
+
+  ScenarioResult run() {
+    ScenarioResult result;
+    joshua::Cluster& cluster = *cluster_;
+    sim::Simulation& sim = cluster.sim();
+
+    cluster.start();
+    if (!cluster.run_until_converged(sim::seconds(60)))
+      result.violations.push_back("initial convergence failed");
+
+    // The whole fault schedule is drawn up front (random_failures scripts
+    // every crash/restart pair immediately), so the concurrency profile of
+    // the campaign is known before any command runs.
+    if (options_.random_head_faults) {
+      sim::Time until = sim.now() + options_.duration;
+      for (sim::HostId head : cluster.head_hosts()) {
+        result.failure_cycles += cluster.faults().random_failures(
+            head, options_.mttf, options_.mttr, until);
+      }
+    }
+    result.max_concurrent_down = max_concurrent_down();
+
+    client_ = &cluster.make_jclient();
+    schedule_next_command();
+
+    // -- main campaign loop --------------------------------------------------
+    sim::Time end = sim.now() + options_.duration;
+    uint64_t last_epoch = current_epoch();
+    while (sim.now() < end) {
+      sim.run_for(std::min(options_.poll_interval, end - sim.now()));
+      rejoin_restarted_heads();
+      harvest_terminal_jobs();
+      if (in_service_count() == 0) ++result.service_gap_polls;
+      uint64_t epoch = current_epoch();
+      if (epoch != last_epoch) {
+        last_epoch = epoch;
+        ++result.view_changes_seen;
+        check_after_view_change(result, epoch);
+        last_epoch = current_epoch();  // settle may have advanced it
+      }
+    }
+
+    // -- drain ---------------------------------------------------------------
+    // All scripted restarts land by `end`; bring every head back, then give
+    // queued work a bounded window to finish before the final audit.
+    workload_done_ = true;
+    sim::Time drain_end = sim.now() + options_.drain_deadline;
+    while (sim.now() < drain_end) {
+      rejoin_restarted_heads();
+      sim.run_for(options_.poll_interval);
+      harvest_terminal_jobs();
+      if (all_heads_in_service() && all_accepted_settled()) break;
+    }
+    cluster.run_until_converged(sim::seconds(60));
+    harvest_terminal_jobs();
+
+    finalize(result);
+    return result;
+  }
+
+ private:
+  // -- workload --------------------------------------------------------------
+
+  void schedule_next_command() {
+    sim::Simulation& sim = cluster_->sim();
+    auto delay = sim::Duration{static_cast<int64_t>(sim.rng().exponential(
+        static_cast<double>(options_.command_interval.us)))};
+    if (delay.us < 1) delay = sim::usec(1);
+    sim.schedule(delay, [this] {
+      if (!workload_done_) {
+        issue_command();
+        schedule_next_command();
+      }
+    });
+  }
+
+  void issue_command() {
+    jutil::Rng& rng = cluster_->sim().rng();
+    int total =
+        options_.jsub_weight + options_.jdel_weight + options_.jstat_weight;
+    int pick = static_cast<int>(rng.next_u64(static_cast<uint64_t>(total)));
+    if (pick < options_.jsub_weight || live_ids_.empty()) {
+      issue_jsub();
+    } else if (pick < options_.jsub_weight + options_.jdel_weight) {
+      issue_jdel();
+    } else {
+      issue_jstat();
+    }
+  }
+
+  void issue_jsub() {
+    ++tally_.jsub_attempted;
+    pbs::JobSpec spec;
+    spec.name = "campaign";
+    jutil::Rng& rng = cluster_->sim().rng();
+    spec.run_time = sim::Duration{rng.uniform(options_.job_runtime_min.us,
+                                              options_.job_runtime_max.us)};
+    spec.walltime = spec.run_time * 4;
+    client_->jsub(std::move(spec),
+                  [this](std::optional<pbs::SubmitResponse> r) {
+                    if (r && r->status == pbs::Status::kOk &&
+                        r->job_id != pbs::kInvalidJob) {
+                      ++tally_.jsub_accepted;
+                      accepted_order_.push_back(r->job_id);
+                      accepted_.insert(r->job_id);
+                      live_ids_.push_back(r->job_id);
+                    } else {
+                      ++tally_.commands_failed;
+                    }
+                  });
+  }
+
+  void issue_jdel() {
+    ++tally_.jdel_attempted;
+    jutil::Rng& rng = cluster_->sim().rng();
+    size_t ix = static_cast<size_t>(rng.next_u64(live_ids_.size()));
+    pbs::JobId id = live_ids_[ix];
+    live_ids_.erase(live_ids_.begin() + static_cast<std::ptrdiff_t>(ix));
+    client_->jdel(id, [this](std::optional<pbs::SimpleResponse> r) {
+      if (r && r->status == pbs::Status::kOk)
+        ++tally_.jdel_ok;
+      else
+        ++tally_.commands_failed;
+    });
+  }
+
+  void issue_jstat() {
+    ++tally_.jstat_attempted;
+    jutil::Rng& rng = cluster_->sim().rng();
+    pbs::StatRequest req;
+    req.job_id = live_ids_[static_cast<size_t>(rng.next_u64(live_ids_.size()))];
+    client_->jstat(req, [this](std::optional<pbs::StatResponse> r) {
+      if (r)
+        ++tally_.jstat_ok;
+      else
+        ++tally_.commands_failed;
+    });
+  }
+
+  // -- drivers and bookkeeping -----------------------------------------------
+
+  /// The injector restarts crashed hosts on schedule; re-entering the head
+  /// group is the explicit operator step. GroupMember::join() no-ops while a
+  /// join is already in flight, so calling every poll is safe.
+  void rejoin_restarted_heads() {
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (cluster_->joshua_server(i).in_service()) continue;
+      cluster_->joshua_server(i).start();
+    }
+  }
+
+  /// Union, over time and heads, of job ids observed terminal. Replay-mode
+  /// joiners legitimately lack completed-job history, so "was it ever seen
+  /// finished anywhere" is the right ledger for the accepted-then-lost
+  /// audit, not any single head's table.
+  void harvest_terminal_jobs() {
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (!cluster_->joshua_server(i).in_service()) continue;
+      for (const auto& [id, job] : cluster_->pbs_server(i).jobs()) {
+        if (job.terminal()) completed_seen_.insert(id);
+      }
+    }
+    std::erase_if(live_ids_, [this](pbs::JobId id) {
+      return completed_seen_.count(id) != 0;
+    });
+  }
+
+  uint64_t current_epoch() const {
+    uint64_t epoch = 0;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      const auto& server = cluster_->joshua_server(i);
+      if (!server.in_service()) continue;
+      epoch = std::max(epoch, server.group().view().id.epoch);
+    }
+    return epoch;
+  }
+
+  bool all_heads_in_service() const {
+    return in_service_count() == cluster_->head_count();
+  }
+
+  size_t in_service_count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (cluster_->joshua_server(i).in_service()) ++n;
+    }
+    return n;
+  }
+
+  /// One-line per-head snapshot for violation messages: up/down, in/out of
+  /// service, view epoch, and live-job count.
+  std::string heads_snapshot() const {
+    std::string out;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      bool up = cluster_->net().host(cluster_->head_hosts()[i]).up();
+      const auto& server = cluster_->joshua_server(i);
+      size_t live = 0, table = 0;
+      std::string ids;
+      if (up && server.in_service()) {
+        for (const auto& [id, job] : cluster_->pbs_server(i).jobs()) {
+          ++table;
+          if (job.terminal()) continue;
+          ++live;
+          if (live <= 8) {
+            if (!ids.empty()) ids += ',';
+            ids += std::to_string(id) + ":s" +
+                   std::to_string(static_cast<int>(job.state)) +
+                   (job.cancelled ? "c" : "");
+          }
+        }
+      }
+      std::string members;
+      if (up && server.in_service()) {
+        for (gcs::MemberId m : server.group().view().members) {
+          if (!members.empty()) members += ',';
+          members += std::to_string(m);
+        }
+      }
+      if (!out.empty()) out += ' ';
+      out += "head" + std::to_string(i) + "(" + (up ? "up" : "DOWN") + "," +
+          (server.in_service()
+                  ? std::string(server.replaying() ? "RPLY," : "svc,") + "e" +
+                        std::to_string(server.group().view().id.epoch) +
+                        "{" + members + "}" +
+                        ",n=" + std::to_string(table) +
+                        ",live=" + std::to_string(live) +
+                        (ids.empty() ? "" : "[" + ids + "]")
+                  : "out") +
+             ")";
+    }
+    return out;
+  }
+
+  bool all_accepted_settled() const {
+    return live_ids_.empty();
+  }
+
+  /// Invariant 3 (+ a scan of 1): after a view change the surviving heads
+  /// must reach identical live-job tables within settle_deadline. Another
+  /// view change superseding this one aborts the wait (the next poll
+  /// iteration picks it up).
+  void check_after_view_change(ScenarioResult& result, uint64_t epoch) {
+    bool settled = testutil::run_until(
+        cluster_->sim(),
+        [&] {
+          rejoin_restarted_heads();
+          if (current_epoch() != epoch) return true;  // superseded
+          return group_stable() && heads_live_consistent();
+        },
+        options_.settle_deadline, options_.poll_interval / 10);
+    if (!settled) {
+      result.violations.push_back(
+          "heads failed to reconverge after view epoch " +
+          std::to_string(epoch) + " at t=" +
+          std::to_string(cluster_->sim().now().us) + "us [" +
+          heads_snapshot() + "]");
+    } else {
+      ++result.convergence_checks;
+    }
+    check_exactly_once(result);
+  }
+
+  /// All live, in-service heads share one view (no flush in flight).
+  bool group_stable() const {
+    size_t live = 0;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (cluster_->joshua_server(i).in_service()) ++live;
+    }
+    return live > 0 && cluster_->converged(live);
+  }
+
+  /// joshuatest::heads_consistent, inlined so the harness has no dependency
+  /// on the joshua test directory: identical live-job tables everywhere.
+  bool heads_live_consistent() const {
+    // jobs() is id-ordered, so the live subset projects to a comparable
+    // vector without building per-head maps (job tables hold the full
+    // completed history and get large over a multi-day campaign).
+    using LiveRow = std::tuple<pbs::JobId, pbs::JobState, bool>;
+    std::optional<std::vector<LiveRow>> ref;
+    std::vector<LiveRow> live;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (!cluster_->joshua_server(i).in_service()) continue;
+      live.clear();
+      for (const auto& [id, job] : cluster_->pbs_server(i).jobs()) {
+        if (!job.terminal()) live.emplace_back(id, job.state, job.cancelled);
+      }
+      if (!ref) {
+        ref = live;
+        continue;
+      }
+      if (live != *ref) return false;
+    }
+    return ref.has_value();
+  }
+
+  /// Invariant 1: across all moms, no job id has more than one launch
+  /// attempt that really executed (real_run_here). Moms are never failed in
+  /// these campaigns, so their instance tables are complete history.
+  void check_exactly_once(ScenarioResult& result) {
+    std::map<pbs::JobId, int> real_runs;
+    for (size_t m = 0; m < cluster_->compute_count(); ++m) {
+      for (const auto& [id, inst] : cluster_->mom(m).instances()) {
+        if (inst.real_run_here) ++real_runs[id];
+      }
+    }
+    for (const auto& [id, runs] : real_runs) {
+      if (runs > 1 && double_launched_.insert(id).second) {
+        result.violations.push_back("job " + std::to_string(id) +
+                                    " really launched " +
+                                    std::to_string(runs) + " times");
+      }
+    }
+  }
+
+  /// Invariant 2: every per-head replay-divergence counter is zero.
+  void check_replay_divergence(ScenarioResult& result) {
+    for (const auto& cell :
+         cluster_->sim().telemetry().metrics().counters()) {
+      if (cell.name.rfind("joshua.replay_divergence.", 0) != 0) continue;
+      if (cell.value != 0) {
+        result.violations.push_back(cell.name + " = " +
+                                    std::to_string(cell.value));
+      }
+    }
+  }
+
+  /// Invariant 4: every accepted job id is terminal-or-live at the end.
+  void check_accepted_then_lost(ScenarioResult& result) {
+    std::set<pbs::JobId> live_now;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (!cluster_->joshua_server(i).in_service()) continue;
+      for (const auto& [id, job] : cluster_->pbs_server(i).jobs()) {
+        if (!job.terminal()) live_now.insert(id);
+      }
+    }
+    for (pbs::JobId id : accepted_order_) {
+      if (completed_seen_.count(id) != 0) continue;
+      if (live_now.count(id) != 0) continue;
+      result.violations.push_back("job " + std::to_string(id) +
+                                  " was accepted then lost");
+    }
+  }
+
+  // -- availability ----------------------------------------------------------
+
+  /// Per-head merged down intervals from the injector's schedule, clamped to
+  /// [0, now].
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> head_down_spans()
+      const {
+    sim::Time now = cluster_->sim().now();
+    std::vector<std::vector<std::pair<int64_t, int64_t>>> spans(
+        cluster_->head_count());
+    for (const auto& o : cluster_->faults().outages()) {
+      for (size_t i = 0; i < cluster_->head_count(); ++i) {
+        if (cluster_->head_hosts()[i] != o.host) continue;
+        int64_t up = (o.up == sim::kTimeInfinity ? now : o.up).us;
+        if (up > o.down.us) spans[i].emplace_back(o.down.us, up);
+      }
+    }
+    for (auto& s : spans) {
+      std::sort(s.begin(), s.end());
+      std::vector<std::pair<int64_t, int64_t>> merged;
+      for (const auto& [lo, hi] : s) {
+        if (!merged.empty() && lo <= merged.back().second)
+          merged.back().second = std::max(merged.back().second, hi);
+        else
+          merged.emplace_back(lo, hi);
+      }
+      s = std::move(merged);
+    }
+    return spans;
+  }
+
+  /// Peak number of heads down at one instant over the whole schedule.
+  int max_concurrent_down() const {
+    std::vector<std::pair<int64_t, int>> edges;
+    for (const auto& s : head_down_spans()) {
+      for (const auto& [lo, hi] : s) {
+        edges.emplace_back(lo, +1);
+        edges.emplace_back(hi, -1);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    int depth = 0, peak = 0;
+    for (const auto& [t, d] : edges) {
+      depth += d;
+      peak = std::max(peak, depth);
+    }
+    return peak;
+  }
+
+  /// Time during which EVERY head host was down simultaneously.
+  sim::Duration all_heads_down_time() const {
+    auto spans = head_down_spans();
+    std::vector<std::pair<int64_t, int>> edges;
+    for (const auto& s : spans) {
+      for (const auto& [lo, hi] : s) {
+        edges.emplace_back(lo, +1);
+        edges.emplace_back(hi, -1);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    int depth = 0;
+    int64_t total = 0, since = 0;
+    int n = static_cast<int>(cluster_->head_count());
+    for (const auto& [t, d] : edges) {
+      if (depth == n) total += t - since;
+      depth += d;
+      if (depth == n) since = t;
+    }
+    return sim::Duration{total};
+  }
+
+  // -- result assembly -------------------------------------------------------
+
+  static void fnv(uint64_t& h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+
+  uint64_t behaviour_digest() const {
+    uint64_t h = 1469598103934665603ull;
+    sim::Simulation& sim = cluster_->sim();
+    fnv(h, sim.events_executed());
+    fnv(h, static_cast<uint64_t>(sim.now().us));
+    for (pbs::JobId id : accepted_order_) fnv(h, id);
+    for (const auto& o : cluster_->faults().outages()) {
+      fnv(h, o.host);
+      fnv(h, static_cast<uint64_t>(o.down.us));
+      fnv(h, static_cast<uint64_t>(o.up.us));
+    }
+    for (const auto& cell : sim.telemetry().metrics().counters()) {
+      fnv(h, std::hash<std::string>{}(cell.name));
+      fnv(h, cell.value);
+    }
+    fnv(h, sim.telemetry().trace().recorded());
+    for (size_t m = 0; m < cluster_->compute_count(); ++m) {
+      fnv(h, cluster_->mom(m).jobs_executed());
+      fnv(h, cluster_->mom(m).launches_emulated());
+    }
+    return h;
+  }
+
+  void finalize(ScenarioResult& result) {
+    sim::Simulation& sim = cluster_->sim();
+    check_exactly_once(result);
+    check_replay_divergence(result);
+    check_accepted_then_lost(result);
+
+    result.jsub_attempted = tally_.jsub_attempted;
+    result.jsub_accepted = tally_.jsub_accepted;
+    result.jdel_attempted = tally_.jdel_attempted;
+    result.jdel_ok = tally_.jdel_ok;
+    result.jstat_attempted = tally_.jstat_attempted;
+    result.jstat_ok = tally_.jstat_ok;
+    result.commands_failed = tally_.commands_failed;
+    result.client_failovers = client_ ? client_->failovers() : 0;
+    for (pbs::JobId id : accepted_order_) {
+      if (completed_seen_.count(id) != 0) ++result.jobs_completed;
+    }
+
+    double elapsed = static_cast<double>(sim.now().us);
+    result.head_availability_min = 1.0;
+    result.head_availability_max = 0.0;
+    for (sim::HostId head : cluster_->head_hosts()) {
+      double down =
+          static_cast<double>(cluster_->faults().recorded_downtime(head).us);
+      double a = elapsed > 0 ? 1.0 - down / elapsed : 1.0;
+      result.head_availability_min = std::min(result.head_availability_min, a);
+      result.head_availability_max = std::max(result.head_availability_max, a);
+    }
+    if (result.head_availability_max < result.head_availability_min)
+      result.head_availability_max = result.head_availability_min;
+    result.service_downtime = all_heads_down_time();
+    result.service_availability =
+        elapsed > 0
+            ? 1.0 - static_cast<double>(result.service_downtime.us) / elapsed
+            : 1.0;
+
+    result.events_executed = sim.events_executed();
+    result.end_time = sim.now();
+    result.digest = behaviour_digest();
+
+    telemetry::ScenarioReport& r = result.report;
+    r.set_meta("scenario", options_.name);
+    r.set_meta("seed", std::to_string(options_.seed));
+    r.set_meta("digest", std::to_string(result.digest));
+    r.set("scenario.heads", options_.heads);
+    r.set("scenario.computes", options_.computes);
+    r.set("scenario.duration_s", static_cast<double>(options_.duration.us) / 1e6);
+    r.set("scenario.failure_cycles", result.failure_cycles);
+    r.set("scenario.max_concurrent_down", result.max_concurrent_down);
+    r.set("scenario.service_gap_polls",
+          static_cast<double>(result.service_gap_polls));
+    r.set("scenario.view_changes", static_cast<double>(result.view_changes_seen));
+    r.set("scenario.convergence_checks",
+          static_cast<double>(result.convergence_checks));
+    r.set("scenario.violations", static_cast<double>(result.violations.size()));
+    r.set("scenario.jsub_accepted", static_cast<double>(result.jsub_accepted));
+    r.set("scenario.jobs_completed", static_cast<double>(result.jobs_completed));
+    r.set("scenario.commands_failed", static_cast<double>(result.commands_failed));
+    r.set("scenario.client_failovers",
+          static_cast<double>(result.client_failovers));
+    r.set("scenario.availability.head_min", result.head_availability_min);
+    r.set("scenario.availability.head_max", result.head_availability_max);
+    r.set("scenario.availability.service", result.service_availability);
+    r.set("scenario.downtime.service_s",
+          static_cast<double>(result.service_downtime.us) / 1e6);
+    r.set("scenario.events_executed",
+          static_cast<double>(result.events_executed));
+    r.note_metrics(sim.telemetry().metrics());
+    r.note_trace(sim.telemetry().trace());
+  }
+
+  ScenarioOptions options_;
+  std::unique_ptr<joshua::Cluster> cluster_;
+  joshua::Client* client_ = nullptr;
+  bool workload_done_ = false;
+
+  struct Tally {
+    uint64_t jsub_attempted = 0, jsub_accepted = 0;
+    uint64_t jdel_attempted = 0, jdel_ok = 0;
+    uint64_t jstat_attempted = 0, jstat_ok = 0;
+    uint64_t commands_failed = 0;
+  } tally_;
+
+  std::vector<pbs::JobId> accepted_order_;
+  std::set<pbs::JobId> accepted_;
+  std::vector<pbs::JobId> live_ids_;  ///< accepted, not yet seen terminal
+  std::set<pbs::JobId> completed_seen_;
+  std::set<pbs::JobId> double_launched_;
+};
+
+}  // namespace scenariotest

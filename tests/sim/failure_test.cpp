@@ -55,6 +55,9 @@ TEST_F(FailureTest, RandomFailuresRespectHorizon) {
 }
 
 TEST_F(FailureTest, RandomFailuresDeterministicPerSeed) {
+  // Same seed: not just the same count, the SAME schedule -- every
+  // crash/restart instant must match to the microsecond (the longevity
+  // campaigns rely on this for bit-identical reruns).
   sim::Simulation s2(1);
   sim::Network n2(s2, sim::NetworkConfig{});
   n2.add_host("a");
@@ -65,6 +68,36 @@ TEST_F(FailureTest, RandomFailuresDeterministicPerSeed) {
   int c2 = f2.random_failures(0, sim::hours(10), sim::hours(1),
                               sim::Time{0} + sim::hours(100));
   EXPECT_EQ(c1, c2);
+  ASSERT_EQ(faults_.outages().size(), f2.outages().size());
+  for (size_t i = 0; i < faults_.outages().size(); ++i) {
+    EXPECT_EQ(faults_.outages()[i].down.us, f2.outages()[i].down.us)
+        << "outage " << i;
+    EXPECT_EQ(faults_.outages()[i].up.us, f2.outages()[i].up.us)
+        << "outage " << i;
+  }
+}
+
+TEST_F(FailureTest, RandomFailuresDifferentSeedsDiverge) {
+  sim::Simulation s2(99);
+  sim::Network n2(s2, sim::NetworkConfig{});
+  n2.add_host("a");
+  sim::FailureInjector f2(n2);
+  faults_.random_failures(a_, sim::hours(10), sim::hours(1),
+                          sim::Time{0} + sim::hours(100));
+  f2.random_failures(0, sim::hours(10), sim::hours(1),
+                     sim::Time{0} + sim::hours(100));
+  // Counts may coincide; the schedules must not be identical.
+  bool identical = faults_.outages().size() == f2.outages().size();
+  if (identical) {
+    for (size_t i = 0; i < faults_.outages().size(); ++i) {
+      if (faults_.outages()[i].down.us != f2.outages()[i].down.us ||
+          faults_.outages()[i].up.us != f2.outages()[i].up.us) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical) << "different seeds drew the same outage schedule";
 }
 
 TEST_F(FailureTest, OverlappingOutagesAreNotDoubleCounted) {

@@ -174,6 +174,36 @@ TEST_F(TelemetryExportTest, ScenarioReportCarriesJoshuaLatencies) {
   std::remove(path.c_str());
 }
 
+TEST(ScenarioReportMeta, MetaAndTraceAccountingExport) {
+  telemetry::ScenarioReport report;
+  report.set_meta("scenario", "unit");
+  report.set_meta("seed", "17");
+  report.set("x", 2.0);
+
+  telemetry::TraceBuffer trace;
+  trace.set_capacity(4);
+  uint16_t cat_a = trace.intern("gcs.view");
+  uint16_t cat_b = trace.intern("joshua.command");
+  for (int64_t i = 0; i < 6; ++i) trace.instant(i, 0, cat_a);
+  trace.instant(6, 0, cat_b);
+  report.note_trace(trace);
+
+  EXPECT_DOUBLE_EQ(report.get("telemetry.trace.recorded"), 7.0);
+  EXPECT_DOUBLE_EQ(report.get("telemetry.trace.dropped_records"), 3.0);
+  // Only categories that actually lost records get a breakdown entry.
+  EXPECT_DOUBLE_EQ(report.get("telemetry.trace.dropped_records.gcs.view"),
+                   3.0);
+  EXPECT_FALSE(report.has("telemetry.trace.dropped_records.joshua.command"));
+
+  // Meta keys serialize as JSON strings ahead of the numbers and parse back.
+  std::string json = report.json();
+  EXPECT_LT(json.find("\"meta.scenario\": \"unit\""), json.find("\"x\""));
+  auto doc = json_mini::parse(json);
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("meta.seed")->string, "17");
+  EXPECT_DOUBLE_EQ(doc->at("telemetry.trace.dropped_records")->number, 3.0);
+}
+
 TEST_F(TelemetryExportTest, MetricsSnapshotJsonIsWellFormed) {
   joshua::Cluster& cluster = *cluster_;
   auto doc = json_mini::parse(

@@ -1,0 +1,295 @@
+// Unit tests for the report comparator behind tools/report_diff: the flat
+// JSON parser, glob matching, rules parsing, and the gate semantics the CI
+// regression job depends on (identical reports pass, an injected
+// over-tolerance regression fails).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "telemetry/report_diff.h"
+#include "telemetry/scenario_report.h"
+
+namespace {
+
+using telemetry::DiffEntry;
+using telemetry::DiffOptions;
+using telemetry::DiffResult;
+using telemetry::Direction;
+using telemetry::FlatJson;
+using telemetry::ToleranceRule;
+
+// ---------------------------------------------------------------------------
+// parse_flat_json
+// ---------------------------------------------------------------------------
+
+TEST(FlatJsonParser, FlatObjectNumbersAndStrings) {
+  FlatJson f = telemetry::parse_flat_json(
+      R"({"a": 1.5, "b": -2e3, "meta.scenario": "longevity"})");
+  EXPECT_DOUBLE_EQ(f.get("a"), 1.5);
+  EXPECT_DOUBLE_EQ(f.get("b"), -2000.0);
+  EXPECT_EQ(f.strings.at("meta.scenario"), "longevity");
+  EXPECT_FALSE(f.has("c"));
+}
+
+TEST(FlatJsonParser, NestedObjectsFlattenWithDots) {
+  FlatJson f = telemetry::parse_flat_json(
+      R"({"before": {"events_per_sec": 10, "deep": {"x": 1}}, "speedup": 2})");
+  EXPECT_DOUBLE_EQ(f.get("before.events_per_sec"), 10.0);
+  EXPECT_DOUBLE_EQ(f.get("before.deep.x"), 1.0);
+  EXPECT_DOUBLE_EQ(f.get("speedup"), 2.0);
+}
+
+TEST(FlatJsonParser, ArraysFlattenWithIndices) {
+  FlatJson f = telemetry::parse_flat_json(R"({"xs": [1, 2, {"y": 3}]})");
+  EXPECT_DOUBLE_EQ(f.get("xs.0"), 1.0);
+  EXPECT_DOUBLE_EQ(f.get("xs.1"), 2.0);
+  EXPECT_DOUBLE_EQ(f.get("xs.2.y"), 3.0);
+}
+
+TEST(FlatJsonParser, BoolsBecomeNumbersNullsSkipped) {
+  FlatJson f = telemetry::parse_flat_json(R"({"t": true, "f": false, "n": null})");
+  EXPECT_DOUBLE_EQ(f.get("t"), 1.0);
+  EXPECT_DOUBLE_EQ(f.get("f"), 0.0);
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(FlatJsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(telemetry::parse_flat_json("{"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_flat_json(R"({"a": })"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_flat_json(R"([1, 2])"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_flat_json(R"({"a": 1} trailing)"),
+               std::runtime_error);
+}
+
+TEST(FlatJsonParser, UnicodeEscapesDecodeToUtf8) {
+  FlatJson f = telemetry::parse_flat_json(
+      R"({"ascii": "\u0041", "latin": "\u00e9", "bmp": "\u20ac",)"
+      R"( "astral": "\ud83d\ude00"})");
+  EXPECT_EQ(f.strings.at("ascii"), "A");
+  EXPECT_EQ(f.strings.at("latin"), "\xC3\xA9");           // é
+  EXPECT_EQ(f.strings.at("bmp"), "\xE2\x82\xAC");         // €
+  EXPECT_EQ(f.strings.at("astral"), "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(FlatJsonParser, RejectsUnpairedSurrogates) {
+  EXPECT_THROW(telemetry::parse_flat_json(R"({"a": "\ud83d"})"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::parse_flat_json(R"({"a": "\ud83dA"})"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::parse_flat_json(R"({"a": "\ude00"})"),
+               std::runtime_error);
+}
+
+TEST(FlatJsonParser, RoundTripsScenarioReport) {
+  telemetry::ScenarioReport report;
+  report.set("scenario.jsub_accepted", 1234);
+  report.set("latency.p95", 17.25);
+  report.set_meta("seed", "42");
+  FlatJson f = telemetry::parse_flat_json(report.json());
+  EXPECT_DOUBLE_EQ(f.get("scenario.jsub_accepted"), 1234.0);
+  EXPECT_DOUBLE_EQ(f.get("latency.p95"), 17.25);
+  EXPECT_EQ(f.strings.at("meta.seed"), "42");
+}
+
+// ---------------------------------------------------------------------------
+// glob_match
+// ---------------------------------------------------------------------------
+
+TEST(GlobMatch, LiteralAndStar) {
+  EXPECT_TRUE(telemetry::glob_match("demo_passed", "demo_passed"));
+  EXPECT_FALSE(telemetry::glob_match("demo_passed", "demo_passed2"));
+  EXPECT_TRUE(telemetry::glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(telemetry::glob_match("joshua.*", "joshua.commands_intercepted"));
+  EXPECT_FALSE(telemetry::glob_match("joshua.*", "gcs.delivered"));
+  EXPECT_TRUE(telemetry::glob_match("*.p95", "joshua.intercept_us.p95"));
+  EXPECT_TRUE(telemetry::glob_match("joshua.*.p95", "joshua.intercept_us.p95"));
+  EXPECT_FALSE(telemetry::glob_match("joshua.*.p95", "joshua.intercept_us.p99"));
+  // '*' may match the empty run.
+  EXPECT_TRUE(telemetry::glob_match("a*b", "ab"));
+  // Backtracking: the first '*' must be able to give characters back.
+  EXPECT_TRUE(telemetry::glob_match("*ab*ab", "abab"));
+  EXPECT_TRUE(telemetry::glob_match("*x*y", "axbxcy"));
+}
+
+// ---------------------------------------------------------------------------
+// parse_rules
+// ---------------------------------------------------------------------------
+
+TEST(ParseRules, DefaultsAndRules) {
+  DiffOptions o = telemetry::parse_rules(R"({
+    "default": {"rel_band": 0.1, "abs_band": 0.5, "direction": "lower_is_better"},
+    "rules": [
+      {"pattern": "demo_passed", "required": true},
+      {"pattern": "net.*", "ignore": true},
+      {"pattern": "*_per_sec", "rel_band": 0.4, "direction": "higher_is_better"}
+    ]
+  })");
+  EXPECT_DOUBLE_EQ(o.default_rel_band, 0.1);
+  EXPECT_DOUBLE_EQ(o.default_abs_band, 0.5);
+  EXPECT_EQ(o.default_direction, Direction::kLowerIsBetter);
+  ASSERT_EQ(o.rules.size(), 3u);
+  EXPECT_EQ(o.rules[0].pattern, "demo_passed");
+  EXPECT_TRUE(o.rules[0].required);
+  EXPECT_TRUE(o.rules[1].ignore);
+  EXPECT_EQ(o.rules[2].direction, Direction::kHigherIsBetter);
+  EXPECT_DOUBLE_EQ(o.rules[2].rel_band, 0.4);
+}
+
+TEST(ParseRules, RejectsUnknownFieldsAndBadDirection) {
+  EXPECT_THROW(telemetry::parse_rules(R"({"rules": [{"patern": "x"}]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      telemetry::parse_rules(R"({"default": {"rel_brand": 0.1}})"),
+      std::runtime_error);
+  EXPECT_THROW(telemetry::parse_rules(
+                   R"({"rules": [{"pattern": "x", "direction": "sideways"}]})"),
+               std::runtime_error);
+}
+
+TEST(ParseRules, AllowsCommentKeys) {
+  DiffOptions o = telemetry::parse_rules(R"({
+    "_comment": "wall-clock bench: wide bands",
+    "rules": [{"pattern": "x", "_why": "exact", "abs_band": 0}]
+  })");
+  ASSERT_EQ(o.rules.size(), 1u);
+  EXPECT_EQ(o.rules[0].pattern, "x");
+}
+
+// ---------------------------------------------------------------------------
+// diff_reports: the gate semantics
+// ---------------------------------------------------------------------------
+
+FlatJson flat(std::initializer_list<std::pair<const char*, double>> kv) {
+  FlatJson f;
+  for (const auto& [k, v] : kv) f.numbers.emplace(k, v);
+  return f;
+}
+
+TEST(DiffReports, IdenticalReportsPass) {
+  FlatJson a = flat({{"x", 1.0}, {"y", 0.0}, {"z", -5.5}});
+  DiffResult r = telemetry::diff_reports(a, a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.compared, 3u);
+  EXPECT_EQ(r.regressed, 0u);
+}
+
+TEST(DiffReports, InjectedRegressionFails) {
+  FlatJson base = flat({{"latency.p95", 100.0}});
+  FlatJson cur = flat({{"latency.p95", 140.0}});
+  DiffOptions o;
+  o.default_rel_band = 0.25;
+  o.default_direction = Direction::kLowerIsBetter;
+  DiffResult r = telemetry::diff_reports(base, cur, o);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].status, DiffEntry::Status::kRegressed);
+  EXPECT_DOUBLE_EQ(r.entries[0].delta, 40.0);
+}
+
+TEST(DiffReports, WithinEitherBandPasses) {
+  // 100 -> 110: outside the 5% rel band but inside the abs band of 20.
+  FlatJson base = flat({{"m", 100.0}});
+  FlatJson cur = flat({{"m", 110.0}});
+  DiffOptions o;
+  o.default_rel_band = 0.05;
+  o.default_abs_band = 20.0;
+  EXPECT_TRUE(telemetry::diff_reports(base, cur, o).ok());
+  // Near-zero baseline: any rel band is useless; abs band judges it.
+  FlatJson zb = flat({{"allocs", 0.0}});
+  FlatJson zc = flat({{"allocs", 0.4}});
+  DiffOptions zo;
+  zo.default_rel_band = 0.5;
+  zo.default_abs_band = 0.5;
+  EXPECT_TRUE(telemetry::diff_reports(zb, zc, zo).ok());
+  zo.default_abs_band = 0.1;
+  EXPECT_FALSE(telemetry::diff_reports(zb, zc, zo).ok());
+}
+
+TEST(DiffReports, DirectionGatesOnlyBadChanges) {
+  FlatJson base = flat({{"throughput", 100.0}});
+  FlatJson up = flat({{"throughput", 200.0}});
+  FlatJson down = flat({{"throughput", 50.0}});
+  DiffOptions o;
+  o.rules.push_back({"throughput", 0.0, 0.1, Direction::kHigherIsBetter,
+                     false, false});
+  DiffResult r_up = telemetry::diff_reports(base, up, o);
+  EXPECT_TRUE(r_up.ok());
+  EXPECT_EQ(r_up.entries[0].status, DiffEntry::Status::kImproved);
+  EXPECT_EQ(r_up.improved, 1u);
+  DiffResult r_down = telemetry::diff_reports(base, down, o);
+  EXPECT_FALSE(r_down.ok());
+}
+
+TEST(DiffReports, FirstMatchingRuleWins) {
+  FlatJson base = flat({{"a.b", 100.0}});
+  FlatJson cur = flat({{"a.b", 150.0}});
+  DiffOptions o;
+  o.rules.push_back({"a.*", 0.0, 1.0, Direction::kBoth, false, false});
+  o.rules.push_back({"a.b", 0.0, 0.0, Direction::kBoth, false, false});
+  // The generous "a.*" rule is first, so the exact rule never applies.
+  EXPECT_TRUE(telemetry::diff_reports(base, cur, o).ok());
+}
+
+TEST(DiffReports, MissingKeyFailsTheGate) {
+  FlatJson base = flat({{"x", 1.0}, {"gone", 2.0}});
+  FlatJson cur = flat({{"x", 1.0}});
+  DiffResult r = telemetry::diff_reports(base, cur, DiffOptions{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.missing, 1u);
+  DiffOptions lax;
+  lax.fail_on_missing = false;
+  EXPECT_TRUE(telemetry::diff_reports(base, cur, lax).ok());
+}
+
+TEST(DiffReports, RequiredRuleCatchesKeyAbsentFromBothReports) {
+  // A literal required pattern matching nothing at all must still fail:
+  // that is how the gate notices a report that stopped emitting its
+  // pass/fail marker entirely.
+  FlatJson base = flat({{"x", 1.0}});
+  FlatJson cur = flat({{"x", 1.0}});
+  DiffOptions o;
+  o.rules.push_back({"demo_passed", 0.0, 0.0, Direction::kBoth, true, false});
+  DiffResult r = telemetry::diff_reports(base, cur, o);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(r.missing, 1u);
+}
+
+TEST(DiffReports, IgnoredAndExtraKeysDoNotGate) {
+  FlatJson base = flat({{"noisy", 1.0}});
+  FlatJson cur = flat({{"noisy", 99.0}, {"brand_new", 5.0}});
+  DiffOptions o;
+  o.rules.push_back({"noisy", 0.0, 0.0, Direction::kBoth, false, true});
+  DiffResult r = telemetry::diff_reports(base, cur, o);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.compared, 0u);
+  bool saw_ignored = false, saw_extra = false;
+  for (const auto& e : r.entries) {
+    if (e.status == DiffEntry::Status::kIgnored) saw_ignored = true;
+    if (e.status == DiffEntry::Status::kExtra) saw_extra = true;
+  }
+  EXPECT_TRUE(saw_ignored);
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(RenderDiff, NamesRegressionsInOutput) {
+  FlatJson base = flat({{"latency.p95", 100.0}, {"gone", 1.0}});
+  FlatJson cur = flat({{"latency.p95", 200.0}});
+  DiffResult r = telemetry::diff_reports(base, cur, DiffOptions{});
+  std::string out = telemetry::render_diff(r);
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.find("latency.p95"), std::string::npos);
+  EXPECT_NE(out.find("MISSING"), std::string::npos);
+  EXPECT_NE(out.find("gone"), std::string::npos);
+}
+
+TEST(RenderDiff, LongMetricNamesKeepNumericColumns) {
+  std::string name(300, 'x');
+  FlatJson base = flat({{name.c_str(), 100.0}});
+  FlatJson cur = flat({{name.c_str(), 200.0}});
+  DiffResult r = telemetry::diff_reports(base, cur, DiffOptions{});
+  std::string out = telemetry::render_diff(r);
+  EXPECT_NE(out.find(name), std::string::npos);
+  EXPECT_NE(out.find("100 -> 200"), std::string::npos);
+}
+
+}  // namespace

@@ -59,6 +59,51 @@ TEST(TraceBuffer, RingWrapKeepsNewestRecords) {
     EXPECT_EQ(ts[i], static_cast<int64_t>(12 + i));
 }
 
+TEST(TraceBuffer, DroppedRecordsCountedPerCategory) {
+  TraceBuffer t;
+  t.set_capacity(4);
+  uint16_t a = t.intern("stream.a");
+  uint16_t b = t.intern("stream.b");
+  // Fill the ring with 4 'a' records, then push 3 'b': the three oldest 'a'
+  // records are the ones overwritten.
+  for (int64_t i = 0; i < 4; ++i) t.instant(i, 0, a);
+  for (int64_t i = 4; i < 7; ++i) t.instant(i, 0, b);
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(t.dropped(a), 3u);
+  EXPECT_EQ(t.dropped(b), 0u);
+  // Keep pushing 'b': the last 'a' goes, then 'b' starts eating itself.
+  for (int64_t i = 7; i < 10; ++i) t.instant(i, 0, b);
+  EXPECT_EQ(t.dropped(a), 4u);
+  EXPECT_EQ(t.dropped(b), 2u);
+  EXPECT_EQ(t.dropped(), t.dropped(a) + t.dropped(b));
+  // A category id never interned reads as zero, never out of bounds.
+  EXPECT_EQ(t.dropped(static_cast<uint16_t>(999)), 0u);
+}
+
+TEST(TraceBuffer, ClearAndSetCapacityResetDropCounts) {
+  TraceBuffer t;
+  t.set_capacity(2);
+  uint16_t a = t.intern("x");
+  for (int64_t i = 0; i < 5; ++i) t.instant(i, 0, a);
+  EXPECT_EQ(t.dropped(a), 3u);
+  t.clear();
+  EXPECT_EQ(t.dropped(a), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  for (int64_t i = 0; i < 3; ++i) t.instant(i, 0, a);
+  EXPECT_EQ(t.dropped(a), 1u);
+  t.set_capacity(8);
+  EXPECT_EQ(t.dropped(a), 0u);
+}
+
+TEST(TraceBuffer, GrowthPhaseDropsNothing) {
+  TraceBuffer t;
+  t.set_capacity(64);
+  uint16_t a = t.intern("x");
+  for (int64_t i = 0; i < 64; ++i) t.instant(i, 0, a);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.dropped(a), 0u);
+}
+
 TEST(TraceBuffer, DisabledRecordsNothing) {
   TraceBuffer t;
   uint16_t cat = t.intern("x");

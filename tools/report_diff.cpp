@@ -1,0 +1,98 @@
+// report_diff: the CI regression gate over the repo's flat report files
+// (ScenarioReport *.report.json and BENCH_*.json).
+//
+//   report_diff [--rules rules.json] [--verbose] baseline.json current.json
+//
+// Exit codes: 0 = inside tolerance, 1 = regression (or missing required
+// key), 2 = usage / IO / parse error. Without --rules every metric is
+// compared exactly (abs band 0, rel band 0, both directions) -- right for
+// a deterministic simulation, too strict for wall-clock benches, which is
+// what the rules file is for.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/report_diff.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rules rules.json] [--verbose] baseline.json "
+               "current.json\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  bool verbose = false;
+  std::string paths[2];
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rules") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      rules_path = argv[i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (npaths != 2) return usage(argv[0]);
+
+  telemetry::DiffOptions options;
+  try {
+    if (!rules_path.empty()) {
+      std::string text;
+      if (!read_file(rules_path, text)) {
+        std::fprintf(stderr, "report_diff: cannot read %s\n",
+                     rules_path.c_str());
+        return 2;
+      }
+      options = telemetry::parse_rules(text);
+    }
+    std::string base_text, cur_text;
+    if (!read_file(paths[0], base_text)) {
+      std::fprintf(stderr, "report_diff: cannot read %s\n", paths[0].c_str());
+      return 2;
+    }
+    if (!read_file(paths[1], cur_text)) {
+      std::fprintf(stderr, "report_diff: cannot read %s\n", paths[1].c_str());
+      return 2;
+    }
+    telemetry::FlatJson baseline = telemetry::parse_flat_json(base_text);
+    telemetry::FlatJson current = telemetry::parse_flat_json(cur_text);
+    telemetry::DiffResult result =
+        telemetry::diff_reports(baseline, current, options);
+    std::fputs(telemetry::render_diff(result, verbose).c_str(), stdout);
+    if (!result.ok()) {
+      std::printf("REGRESSION: %s vs %s\n", paths[1].c_str(),
+                  paths[0].c_str());
+      return 1;
+    }
+    std::printf("OK: %s within tolerance of %s\n", paths[1].c_str(),
+                paths[0].c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report_diff: %s\n", e.what());
+    return 2;
+  }
+}
