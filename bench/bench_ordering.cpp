@@ -1,0 +1,209 @@
+// E10: ordering-engine head-count sweep -- where the token ring overtakes
+// the paper's all-ack protocol.
+//
+// The paper's testbed stops at 4 head nodes; Figure 10's latency growth is
+// driven by the all-ack engine's O(N) acknowledgement cuts per message,
+// each of which every member must process. This sweep runs identical
+// sustained traffic through both engines at N in {4, 16, 64, 128} and
+// records the ordering latency and the control-message cost per ordered
+// message. Expectation (asserted, and gated by
+// baselines/bench_ordering.json): the token ring is strictly cheaper on
+// both axes from N = 64 up.
+//
+//   $ ./bench/bench_ordering            # table + BENCH_ordering.json
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/group_member.h"
+#include "sim/calibration.h"
+#include "telemetry/scenario_report.h"
+
+namespace {
+
+constexpr int kHeadCounts[] = {4, 16, 64, 128};
+/// Total ordered messages per run: identical offered load at every sweep
+/// point, so within-N engine comparisons and across-N curves both hold.
+constexpr int kTotalMsgs = 128;
+/// Concurrent submitters per round. An HPC site's command front-ends, not
+/// every head, inject jobs simultaneously; capping the burst keeps offered
+/// load constant across N while the per-head ordering cost (ack cuts,
+/// token rotation) still scales with the full membership.
+constexpr int kMaxSenders = 32;
+/// Inter-round gap; small enough that the all-ack engine's per-message
+/// O(N^2) ack processing saturates the heads at large N (the regime the
+/// paper never reached).
+constexpr sim::Duration kRoundGap = sim::msec(20);
+
+struct RunResult {
+  bool ok = false;
+  double order_ms_mean = 0.0;
+  double order_ms_p95 = 0.0;
+  double ctrl_per_msg = 0.0;
+  double rotations = 0.0;
+  double hold_ms_mean = 0.0;
+};
+
+RunResult run_sweep_point(gcs::OrderingMode mode, int n) {
+  RunResult out;
+  std::fprintf(stderr, "[n=%d %s] start\n", n,
+               std::string(gcs::to_string(mode)).c_str());
+  sim::Simulation sim(1);
+  sim::Network net(sim, sim::fast_calibration().network);
+  std::vector<sim::HostId> hosts;
+  for (int i = 0; i < n; ++i)
+    hosts.push_back(net.add_host("h" + std::to_string(i)).id());
+  std::vector<uint64_t> delivered(static_cast<size_t>(n), 0);
+  std::vector<std::unique_ptr<gcs::GroupMember>> members;
+  for (int i = 0; i < n; ++i) {
+    gcs::GroupConfig cfg = gcs::group_config_from(sim::fast_calibration());
+    cfg.port = 7000;
+    cfg.peers = hosts;
+    cfg.ordering = mode;
+    // The paper-era defaults model a 2001 head node (1 ms per heartbeat, 2 ms
+    // per control packet); at N = 128 that alone is 127 ms of CPU per 100 ms
+    // heartbeat interval and no engine can converge. Model modern heads so
+    // the sweep isolates the ENGINES' asymptotics, not the heartbeat floor.
+    cfg.hb_proc = sim::usec(20);
+    cfg.ctrl_proc = sim::usec(50);
+    // Relax the failure detector: at N = 128 the all-ack backlog delays
+    // heartbeats past the default 500 ms suspect timeout and the sweep
+    // would measure view churn instead of steady-state ordering.
+    cfg.suspect_timeout = sim::seconds(10);
+    cfg.flush_timeout = sim::seconds(20);
+    size_t idx = static_cast<size_t>(i);
+    gcs::GroupCallbacks cb;
+    cb.on_deliver = [&delivered, idx](const gcs::Delivered&) {
+      ++delivered[idx];
+    };
+    members.push_back(
+        std::make_unique<gcs::GroupMember>(net, hosts[idx], cfg, cb));
+  }
+  for (auto& m : members) m->join();
+  auto converged = [&] {
+    for (const auto& m : members)
+      if (m->state() != gcs::GroupMember::State::kMember ||
+          m->view().size() != members.size())
+        return false;
+    return true;
+  };
+  sim::Time limit = sim.now() + sim::seconds(120);
+  while (sim.now() < limit && !converged()) sim.run_for(sim::msec(20));
+  if (!converged()) return out;
+  std::fprintf(stderr, "[n=%d] converged at sim %.2fs\n", n,
+               sim.now().seconds());
+
+  // Sustained load: rounds of kMaxSenders concurrent multicasts rotating
+  // across the membership, kRoundGap apart -- "sustained" means every
+  // round after the first lands on top of the previous round's
+  // acknowledgement backlog.
+  int senders = n < kMaxSenders ? n : kMaxSenders;
+  int rounds = kTotalMsgs / senders;
+  if (rounds < 2) rounds = 2;
+  for (int r = 0; r < rounds; ++r) {
+    for (int k = 0; k < senders; ++k) {
+      size_t idx = static_cast<size_t>((r * senders + k) % n);
+      members[idx]->multicast(sim::Payload{static_cast<uint8_t>(r)},
+                              gcs::Delivery::kAgreed);
+    }
+    sim.run_for(kRoundGap);
+  }
+  uint64_t expect =
+      static_cast<uint64_t>(rounds) * static_cast<uint64_t>(senders);
+  auto drained = [&] {
+    for (uint64_t d : delivered)
+      if (d < expect) return false;
+    return true;
+  };
+  std::fprintf(stderr, "[n=%d] load injected, sim %.2fs, draining\n", n,
+               sim.now().seconds());
+  limit = sim.now() + sim::minutes(10);
+  while (sim.now() < limit && !drained()) sim.run_for(sim::msec(20));
+  if (!drained()) {
+    uint64_t min_d = delivered[0];
+    for (uint64_t d : delivered) min_d = d < min_d ? d : min_d;
+    std::fprintf(stderr, "[n=%d] STALLED: min delivered %llu of %llu\n", n,
+                 static_cast<unsigned long long>(min_d),
+                 static_cast<unsigned long long>(expect));
+    return out;
+  }
+  std::fprintf(stderr, "[n=%d] drained at sim %.2fs\n", n,
+               sim.now().seconds());
+
+  const telemetry::Registry& m = sim.telemetry().metrics();
+  const auto* latency = m.find_histogram("gcs.order_latency_us");
+  const auto* cuts = m.find_counter("gcs.cuts_sent");
+  const auto* engine = m.find_counter("gcs.engine_msgs_sent");
+  if (latency == nullptr || latency->data.count == 0) return out;
+  out.order_ms_mean = latency->data.mean() / 1000.0;
+  out.order_ms_p95 = latency->data.percentile(95) / 1000.0;
+  uint64_t ctrl = (cuts != nullptr ? cuts->value : 0) +
+                  (engine != nullptr ? engine->value : 0);
+  out.ctrl_per_msg = static_cast<double>(ctrl) / static_cast<double>(expect);
+  if (const auto* rot = m.find_counter("gcs.token.rotations"))
+    out.rotations = static_cast<double>(rot->value);
+  if (const auto* hold = m.find_histogram("gcs.token.hold_us"))
+    if (hold->data.count > 0) out.hold_ms_mean = hold->data.mean() / 1000.0;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "==================================================================\n"
+      "E10: ordering-engine head-count sweep (%d msgs sustained load)\n"
+      "==================================================================\n"
+      "%-6s %-8s %12s %12s %12s\n",
+      kTotalMsgs, "N", "engine", "order mean", "order p95", "ctrl/msg");
+
+  telemetry::ScenarioReport report;
+  report.set_meta("experiment", "E10_ordering_sweep");
+  std::map<int, std::map<gcs::OrderingMode, RunResult>> results;
+  bool all_ok = true;
+  for (int n : kHeadCounts) {
+    for (gcs::OrderingMode mode :
+         {gcs::OrderingMode::kAllAck, gcs::OrderingMode::kTokenRing}) {
+      RunResult r = run_sweep_point(mode, n);
+      results[n][mode] = r;
+      std::string mode_name(gcs::to_string(mode));
+      if (!r.ok) {
+        std::printf("%-6d %-8s FAILED (no convergence or stalled delivery)\n",
+                    n, mode_name.c_str());
+        all_ok = false;
+        continue;
+      }
+      std::printf("%-6d %-8s %9.2f ms %9.2f ms %12.2f\n", n,
+                  mode_name.c_str(), r.order_ms_mean, r.order_ms_p95,
+                  r.ctrl_per_msg);
+      std::string prefix = mode_name + ".n" + std::to_string(n);
+      report.set(prefix + ".order_ms_mean", r.order_ms_mean);
+      report.set(prefix + ".order_ms_p95", r.order_ms_p95);
+      report.set(prefix + ".ctrl_per_msg", r.ctrl_per_msg);
+      if (mode == gcs::OrderingMode::kTokenRing) {
+        report.set(prefix + ".rotations", r.rotations);
+        report.set(prefix + ".hold_ms_mean", r.hold_ms_mean);
+      }
+    }
+  }
+
+  // The reproduction bar: strictly cheaper on both axes from N = 64.
+  bool crossover = all_ok;
+  for (int n : {64, 128}) {
+    const RunResult& a = results[n][gcs::OrderingMode::kAllAck];
+    const RunResult& t = results[n][gcs::OrderingMode::kTokenRing];
+    if (!a.ok || !t.ok || t.order_ms_mean >= a.order_ms_mean ||
+        t.ctrl_per_msg >= a.ctrl_per_msg)
+      crossover = false;
+  }
+  report.set("crossover_at_64_ok", crossover ? 1 : 0);
+  std::printf("\ntoken strictly cheaper (latency AND control msgs) at "
+              "N >= 64: %s\n",
+              crossover ? "yes" : "NO");
+  if (report.write_file("BENCH_ordering.json"))
+    std::printf("wrote BENCH_ordering.json\n");
+  return crossover ? 0 : 1;
+}

@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
   // Short jobs, non-exclusive so both compute nodes chew the queue.
   options.sched.exclusive_cluster = false;
   joshua::Cluster cluster(options);
+  // A long campaign floods the trace ring with data-path records; give the
+  // rare membership streams their own quota so the early view changes (the
+  // interesting part of the mid-campaign failure) survive to the report.
+  telemetry::TraceBuffer& trace = cluster.sim().telemetry().trace();
+  trace.set_category_capacity(trace.intern("gcs.view"), 1024);
+  trace.set_category_capacity(trace.intern("gcs.flush"), 1024);
   cluster.start();
   if (!cluster.run_until_converged()) {
     std::printf("FATAL: no view\n");

@@ -1,0 +1,77 @@
+#include "gcs/engine_allack.h"
+
+#include <algorithm>
+
+#include "gcs/ordering.h"
+
+namespace gcs {
+
+EngineOut AllAckEngine::reset(const View& view, MemberId self, int64_t) {
+  view_ = view;
+  self_ = self;
+  // Same merge pass as OrderingBuffer::reset: keep surviving peers' clocks
+  // (their evidence is still valid), drop departed peers (their silence must
+  // not block delivery), seed new members at zero.
+  auto it = heard_.begin();
+  for (MemberId m : view_.members) {
+    while (it != heard_.end() && it->first < m) it = heard_.erase(it);
+    if (it == heard_.end() || it->first != m)
+      it = heard_.emplace_hint(it, m, 0);
+    ++it;
+  }
+  while (it != heard_.end()) it = heard_.erase(it);
+  return {};
+}
+
+void AllAckEngine::clear() {
+  view_ = View{};
+  self_ = sim::kInvalidHost;
+  heard_.clear();
+}
+
+void AllAckEngine::observe(MemberId p, uint64_t lamport) {
+  uint64_t& heard = heard_[p];
+  heard = std::max(heard, lamport);
+}
+
+bool AllAckEngine::agreed_condition(const DataMsg& m) const {
+  for (MemberId q : view_.members) {
+    // Our own clock is ahead of everything we buffered, and our own
+    // messages are inserted synchronously -- nothing of ours is in flight
+    // towards ourselves.
+    if (q == self_) continue;
+    auto it = heard_.find(q);
+    uint64_t heard = it == heard_.end() ? 0 : it->second;
+    // The sender's own timestamp on m proves it will never send anything
+    // ordered before m; every other member must have been heard past m.
+    if (heard <= m.lamport && q != m.id.sender) return false;
+    // No earlier-ordered message from q may still be missing.
+    if (buffer_->received_upto(q) < buffer_->peer_sent_upto(q)) return false;
+  }
+  return true;
+}
+
+bool AllAckEngine::safe_condition(const DataMsg& m) const {
+  if (!agreed_condition(m)) return false;
+  for (MemberId q : view_.members) {
+    if (q == self_) continue;  // we obviously hold m
+    if (buffer_->peer_received(q, m.id.sender) < m.id.seq) return false;
+  }
+  return true;
+}
+
+const DataMsg* AllAckEngine::next_deliverable() const {
+  if (buffer_ == nullptr) return nullptr;
+  // AGREED/SAFE deliver strictly in OrderKey order: only the lowest
+  // remaining totally-ordered message may go.
+  for (const auto& [key, m] : buffer_->pending()) {
+    (void)key;
+    if (m.level != Delivery::kAgreed && m.level != Delivery::kSafe) continue;
+    bool ready = m.level == Delivery::kAgreed ? agreed_condition(m)
+                                              : safe_condition(m);
+    return ready ? &m : nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace gcs

@@ -1,0 +1,426 @@
+#include "gcs/engine_token.h"
+
+#include <algorithm>
+
+#include "gcs/ordering.h"
+
+namespace gcs {
+namespace {
+
+// Engine payload sub-types (first byte of every kEngine body).
+constexpr uint8_t kSubToken = 1;      ///< the circulating token (unicast)
+constexpr uint8_t kSubStamps = 2;     ///< batch stamp announcement (broadcast)
+constexpr uint8_t kSubStampNack = 3;  ///< stamp-gap recovery request
+
+/// Recent-stamp history kept per member for re-announces and flush transfer.
+constexpr size_t kStampLogCap = 4096;
+/// Stamps re-announced per NACK response (the requester renacks for more).
+constexpr size_t kReannounceBatch = 32;
+
+}  // namespace
+
+EngineOut TokenRingEngine::reset(const View& view, MemberId self,
+                                 int64_t now_us) {
+  view_ = view;
+  self_ = self;
+  holding_ = false;
+  forward_pending_ = false;
+  idle_streak_ = 0;
+  // Token ids restart per view -- the epoch already fences cross-view
+  // traffic -- so a rejoined member can mint without knowing old ids.
+  token_id_seen_ = 0;
+  rotation_ = 0;
+  stamps_.clear();
+  my_unstamped_.clear();
+  stamp_log_.clear();
+  flush_stamps_.clear();
+  // next_global_ was raised to the merged maximum by install_transfer_state;
+  // everything below it was either flush-delivered or dropped identically
+  // everywhere, so the delivered prefix restarts just under it.
+  delivered_global_ = next_global_ - 1;
+  last_activity_us_ = now_us;
+  // An idle token is only sighted once per lap, and an idle lap takes up to
+  // size * idle_cap -- scale the loss timeout with the ring.
+  regen_timeout_us_ =
+      tuning_.token_timeout.us +
+      3 * static_cast<int64_t>(view_.size()) * tuning_.token_idle_cap.us;
+  if (!view_.members.empty() && view_.lowest() == self_) {
+    ++token_id_seen_;
+    return take_token(now_us);
+  }
+  return {};
+}
+
+void TokenRingEngine::clear() {
+  view_ = View{};
+  self_ = sim::kInvalidHost;
+  holding_ = false;
+  forward_pending_ = false;
+  token_id_seen_ = 0;
+  rotation_ = 0;
+  next_global_ = 1;
+  hold_start_us_ = 0;
+  last_activity_us_ = 0;
+  idle_streak_ = 0;
+  delivered_global_ = 0;
+  regen_timeout_us_ = 0;
+  stamps_.clear();
+  my_unstamped_.clear();
+  stamp_log_.clear();
+  flush_stamps_.clear();
+}
+
+MemberId TokenRingEngine::next_in_ring() const {
+  auto it = std::upper_bound(view_.members.begin(), view_.members.end(), self_);
+  if (it == view_.members.end()) it = view_.members.begin();
+  return *it;
+}
+
+sim::Payload TokenRingEngine::encode_token() const {
+  net::Writer w;
+  w.u8(kSubToken);
+  w.u64(view_.id.epoch);
+  w.u64(token_id_seen_);
+  w.u64(rotation_);
+  w.u64(next_global_);
+  return w.take();
+}
+
+sim::Payload TokenRingEngine::encode_stamp_nack(uint64_t from_global) const {
+  net::Writer w;
+  w.u8(kSubStampNack);
+  w.u64(view_.id.epoch);
+  w.u64(from_global);
+  return w.take();
+}
+
+void TokenRingEngine::remember(uint64_t global, const Stamp& s) {
+  stamps_.insert_or_assign(global, s);
+  stamp_log_.emplace_back(global, s);
+  if (stamp_log_.size() > kStampLogCap) stamp_log_.pop_front();
+}
+
+void TokenRingEngine::apply_stamp(uint64_t global, const Stamp& s) {
+  if (global <= delivered_global_) return;  // already behind our prefix
+  auto it = stamps_.find(global);
+  // A regenerated (higher-id) token wins a stamp conflict; re-announces of
+  // the same assignment are idempotent.
+  if (it != stamps_.end() && it->second.token_id >= s.token_id) return;
+  remember(global, s);
+}
+
+EngineOut TokenRingEngine::take_token(int64_t now_us) {
+  holding_ = true;
+  forward_pending_ = false;
+  hold_start_us_ = now_us;
+  last_activity_us_ = now_us;
+  return stamp_and_forward(now_us, /*may_defer=*/true);
+}
+
+EngineOut TokenRingEngine::stamp_and_forward(int64_t now_us, bool may_defer) {
+  EngineOut out;
+  if (!my_unstamped_.empty()) {
+    // Assign consecutive globals to the whole backlog and announce the batch
+    // with one broadcast.
+    net::Writer w;
+    w.u8(kSubStamps);
+    w.u64(view_.id.epoch);
+    w.u64(token_id_seen_);
+    w.u64(next_global_);
+    w.u32(static_cast<uint32_t>(my_unstamped_.size()));
+    while (!my_unstamped_.empty()) {
+      MsgId id{self_, my_unstamped_.front()};
+      my_unstamped_.pop_front();
+      w.u32(id.sender);
+      w.u64(id.seq);
+      remember(next_global_++, Stamp{id, token_id_seen_});
+    }
+    idle_streak_ = 0;
+    last_activity_us_ = now_us;
+    if (view_.size() > 1) out.broadcast = w.take();
+  } else if (may_defer && view_.size() > 1) {
+    // Nothing to stamp: hold the token briefly instead of spinning an idle
+    // ring, backing off while consecutive laps stay idle.
+    int64_t delay = std::min(tuning_.token_idle.us << std::min(idle_streak_, 6),
+                             tuning_.token_idle_cap.us);
+    ++idle_streak_;
+    if (delay > 0) {
+      forward_pending_ = true;
+      out.forward_timer = sim::usec(delay);
+      return out;
+    }
+  }
+  if (view_.size() <= 1) return out;  // nobody to hand the token to
+  return forward_now(std::move(out), now_us);
+}
+
+EngineOut TokenRingEngine::forward_now(EngineOut out, int64_t now_us) {
+  holding_ = false;
+  forward_pending_ = false;
+  ++rotation_;
+  out.unicast = {next_in_ring(), encode_token()};
+  out.token_forward = true;
+  out.token_hold_us = now_us - hold_start_us_;
+  last_activity_us_ = now_us;
+  return out;
+}
+
+EngineOut TokenRingEngine::on_local_send(const DataMsg& m, int64_t now_us) {
+  if (m.level != Delivery::kAgreed && m.level != Delivery::kSafe) return {};
+  my_unstamped_.push_back(m.id.seq);
+  if (!holding_) return {};
+  return stamp_and_forward(now_us, /*may_defer=*/false);
+}
+
+EngineOut TokenRingEngine::on_insert(const DataMsg&, int64_t now_us) {
+  idle_streak_ = 0;
+  if (holding_ && forward_pending_) {
+    // Traffic appeared while idling with the token: hand it off now so the
+    // sender gets stamped without waiting out the idle delay.
+    return stamp_and_forward(now_us, /*may_defer=*/false);
+  }
+  return {};
+}
+
+EngineOut TokenRingEngine::on_control(MemberId, const sim::Payload& body,
+                                      int64_t now_us) {
+  net::Reader r(body);
+  uint8_t sub = r.u8();
+  switch (sub) {
+    case kSubToken: {
+      uint64_t epoch = r.u64();
+      uint64_t token_id = r.u64();
+      uint64_t rotation = r.u64();
+      uint64_t next = r.u64();
+      r.expect_done();
+      if (epoch != view_.id.epoch) return {};
+      if (token_id < token_id_seen_) return {};  // fenced by a regeneration
+      token_id_seen_ = token_id;
+      next_global_ = std::max(next_global_, next);
+      last_activity_us_ = now_us;
+      // Already holding: a duplicate (regenerated) token caught up with the
+      // live one; absorb it so a single token remains.
+      if (holding_) return {};
+      rotation_ = rotation;
+      return take_token(now_us);
+    }
+    case kSubStamps: {
+      uint64_t epoch = r.u64();
+      uint64_t token_id = r.u64();
+      uint64_t first = r.u64();
+      uint32_t n = r.u32();
+      std::vector<MsgId> ids;
+      ids.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        MsgId id;
+        id.sender = r.u32();
+        id.seq = r.u64();
+        ids.push_back(id);
+      }
+      r.expect_done();
+      if (epoch != view_.id.epoch) return {};
+      last_activity_us_ = now_us;
+      idle_streak_ = 0;
+      token_id_seen_ = std::max(token_id_seen_, token_id);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t g = first + i;
+        next_global_ = std::max(next_global_, g + 1);
+        apply_stamp(g, Stamp{ids[i], token_id});
+      }
+      return {};
+    }
+    case kSubStampNack: {
+      uint64_t epoch = r.u64();
+      uint64_t from_global = r.u64();
+      r.expect_done();
+      if (epoch != view_.id.epoch) return {};
+      return reannounce(from_global);
+    }
+    default:
+      return {};
+  }
+}
+
+EngineOut TokenRingEngine::on_tick(int64_t now_us) {
+  if (view_.members.empty()) return {};
+  // Token regeneration: the ring has been silent past the loss timeout; the
+  // lowest member mints a replacement fenced by a higher token id.
+  if (!holding_ && view_.lowest() == self_ &&
+      now_us - last_activity_us_ > regen_timeout_us_) {
+    ++token_id_seen_;
+    return take_token(now_us);
+  }
+  // Stamp-gap recovery: delivery is stalled behind a global we never heard
+  // the assignment for (the announce was lost); ask the ring. The gap is
+  // visible either from a later stamp or from the token's next_global.
+  if (view_.size() > 1 && next_global_ > delivered_global_ + 1 &&
+      stamps_.find(delivered_global_ + 1) == stamps_.end()) {
+    EngineOut out;
+    out.broadcast = encode_stamp_nack(delivered_global_ + 1);
+    return out;
+  }
+  return {};
+}
+
+EngineOut TokenRingEngine::on_forward_timer(int64_t now_us) {
+  if (!holding_ || !forward_pending_) return {};  // stale timer
+  forward_pending_ = false;
+  return stamp_and_forward(now_us, /*may_defer=*/false);
+}
+
+EngineOut TokenRingEngine::reannounce(uint64_t from_global) const {
+  auto lookup = [this](uint64_t g) -> const Stamp* {
+    auto it = stamps_.find(g);
+    if (it != stamps_.end()) return &it->second;
+    for (auto lit = stamp_log_.rbegin(); lit != stamp_log_.rend(); ++lit)
+      if (lit->first == g) return &lit->second;
+    return nullptr;
+  };
+  // Respond only if we know the assignment at exactly the gap head (anyone
+  // may answer; the announcement is idempotent). One announce covers a
+  // contiguous same-token-id run.
+  const Stamp* head = lookup(from_global);
+  if (head == nullptr) return {};
+  std::vector<MsgId> run;
+  run.push_back(head->id);
+  while (run.size() < kReannounceBatch) {
+    const Stamp* s = lookup(from_global + run.size());
+    if (s == nullptr || s->token_id != head->token_id) break;
+    run.push_back(s->id);
+  }
+  net::Writer w;
+  w.u8(kSubStamps);
+  w.u64(view_.id.epoch);
+  w.u64(head->token_id);
+  w.u64(from_global);
+  w.u32(static_cast<uint32_t>(run.size()));
+  for (const MsgId& id : run) {
+    w.u32(id.sender);
+    w.u64(id.seq);
+  }
+  EngineOut out;
+  out.broadcast = w.take();
+  return out;
+}
+
+bool TokenRingEngine::stable_everywhere(const DataMsg& m) const {
+  for (MemberId q : view_.members) {
+    if (q == self_) continue;  // we obviously hold m
+    if (buffer_->peer_received(q, m.id.sender) < m.id.seq) return false;
+  }
+  return true;
+}
+
+const DataMsg* TokenRingEngine::next_deliverable() const {
+  if (buffer_ == nullptr) return nullptr;
+  auto it = stamps_.find(delivered_global_ + 1);
+  if (it == stamps_.end()) return nullptr;  // no stamp yet (or gap: NACKed)
+  const DataMsg* m = buffer_->find_pending(it->second.id);
+  if (m == nullptr) return nullptr;  // data gap: the NACK path will fill it
+  if (m->level == Delivery::kSafe && !stable_everywhere(*m)) return nullptr;
+  return m;
+}
+
+void TokenRingEngine::on_delivered(const DataMsg& m) {
+  if (m.level != Delivery::kAgreed && m.level != Delivery::kSafe) return;
+  auto it = stamps_.find(delivered_global_ + 1);
+  if (it != stamps_.end() && it->second.id == m.id) {
+    ++delivered_global_;
+    stamps_.erase(it);
+  }
+}
+
+sim::Payload TokenRingEngine::transfer_state() const {
+  // Everything we know about global assignments: live stamps plus the
+  // recent-history log (delivered stamps matter too -- a member that lagged
+  // behind must flush them in the same order we delivered them).
+  std::map<uint64_t, Stamp> all(stamps_);
+  for (const auto& [g, s] : stamp_log_) {
+    auto [it, inserted] = all.emplace(g, s);
+    if (!inserted && s.token_id > it->second.token_id) it->second = s;
+  }
+  net::Writer w;
+  w.u64(next_global_);
+  w.u32(static_cast<uint32_t>(all.size()));
+  for (const auto& [g, s] : all) {
+    w.u64(g);
+    w.u32(s.id.sender);
+    w.u64(s.id.seq);
+    w.u64(s.token_id);
+  }
+  return w.take();
+}
+
+sim::Payload TokenRingEngine::merge_transfer_states(
+    const std::vector<sim::Payload>& states) const {
+  uint64_t next = next_global_;
+  std::map<uint64_t, Stamp> merged;
+  for (const sim::Payload& p : states) {
+    if (p.empty()) continue;
+    net::Reader r(p);
+    next = std::max(next, r.u64());
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t g = r.u64();
+      Stamp s;
+      s.id.sender = r.u32();
+      s.id.seq = r.u64();
+      s.token_id = r.u64();
+      auto [it, inserted] = merged.emplace(g, s);
+      if (!inserted && s.token_id > it->second.token_id) it->second = s;
+    }
+    r.expect_done();
+  }
+  net::Writer w;
+  w.u64(next);
+  w.u32(static_cast<uint32_t>(merged.size()));
+  for (const auto& [g, s] : merged) {
+    w.u64(g);
+    w.u32(s.id.sender);
+    w.u64(s.id.seq);
+    w.u64(s.token_id);
+  }
+  return w.take();
+}
+
+void TokenRingEngine::install_transfer_state(const sim::Payload& merged) {
+  flush_stamps_.clear();
+  if (merged.empty()) return;
+  net::Reader r(merged);
+  next_global_ = std::max(next_global_, r.u64());
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t g = r.u64();
+    Stamp s;
+    s.id.sender = r.u32();
+    s.id.seq = r.u64();
+    s.token_id = r.u64();
+    flush_stamps_.insert_or_assign(g, s);
+  }
+  r.expect_done();
+}
+
+void TokenRingEngine::order_flush(std::vector<DataMsg>& msgs) const {
+  if (flush_stamps_.empty()) return;
+  // Flush delivers stamped messages first, in global order -- every member
+  // installed the same merged table, so this order is identical everywhere
+  // and consistent with what faster members already delivered live -- then
+  // the unstamped remainder in the caller's OrderKey order.
+  std::map<MsgId, uint64_t> global_of;
+  for (const auto& [g, s] : flush_stamps_) {
+    auto [it, inserted] = global_of.emplace(s.id, g);
+    if (!inserted && g < it->second) it->second = g;
+  }
+  std::stable_sort(msgs.begin(), msgs.end(),
+                   [&](const DataMsg& a, const DataMsg& b) {
+                     auto ga = global_of.find(a.id);
+                     auto gb = global_of.find(b.id);
+                     bool sa = ga != global_of.end();
+                     bool sb = gb != global_of.end();
+                     if (sa != sb) return sa;
+                     if (sa) return ga->second < gb->second;
+                     return order_key(a) < order_key(b);
+                   });
+}
+
+}  // namespace gcs

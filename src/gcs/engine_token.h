@@ -1,0 +1,138 @@
+// TokenRingEngine: Totem-style circulating-privilege total order.
+//
+// A logical token circulates the sorted view members carrying the next
+// global sequence number. Only the holder may assign global sequence
+// numbers: it stamps every own AGREED/SAFE message still awaiting a stamp
+// with consecutive globals, broadcasts one stamp announcement for the whole
+// batch, and unicasts the token to the next member on the ring. Delivery is
+// then trivial: the message stamped delivered_global+1, once held locally
+// (SAFE additionally waits for every member's cut to cover it). Control cost
+// is one broadcast per *batch* plus one unicast per hop -- O(1) amortized
+// per message -- instead of the all-ack engine's O(N) cuts per message.
+//
+// Loss handling:
+//   * Lost stamp announcement: delivery stalls behind a global-sequence gap;
+//     the heartbeat tick broadcasts a stamp NACK for the gap head and any
+//     member that knows the stamp re-announces it (idempotent).
+//   * Lost token: after `token_timeout` (plus slack proportional to the ring
+//     size, since an idle token is only seen every N idle-cap hops) of ring
+//     silence, the lowest view member mints a replacement with a higher
+//     token id. Stale tokens and their stamps are fenced by token id:
+//     higher id wins a stamp conflict, lower-id tokens are discarded.
+//   * Holder crash / partition: the view change resets the ring. Flush state
+//     transfer (transfer_state / merge / install) unions every member's
+//     stamp table so all members flush stamped messages in identical global
+//     order before unstamped ones; the new view's lowest member mints the
+//     next token. Token ids restart per view (the epoch fences cross-view
+//     traffic).
+//
+// Idle throttling: a holder with nothing to stamp defers the hand-off by
+// `token_idle`, doubling up to `token_idle_cap` while consecutive rotations
+// stay idle, and forwards immediately when new traffic appears. This keeps a
+// quiet ring from burning simulation events without adding latency under
+// load.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "gcs/ordering_engine.h"
+
+namespace gcs {
+
+class TokenRingEngine : public OrderingEngine {
+ public:
+  explicit TokenRingEngine(const EngineTuning& tuning) : tuning_(tuning) {}
+
+  OrderingMode mode() const override { return OrderingMode::kTokenRing; }
+
+  EngineOut reset(const View& view, MemberId self, int64_t now_us) override;
+  void clear() override;
+  void observe(MemberId, uint64_t) override {}
+
+  EngineOut on_local_send(const DataMsg& m, int64_t now_us) override;
+  EngineOut on_insert(const DataMsg& m, int64_t now_us) override;
+  EngineOut on_control(MemberId from, const sim::Payload& body,
+                       int64_t now_us) override;
+  EngineOut on_tick(int64_t now_us) override;
+  EngineOut on_forward_timer(int64_t now_us) override;
+
+  const DataMsg* next_deliverable() const override;
+  void on_delivered(const DataMsg& m) override;
+
+  /// Per-message reactive cuts are exactly the O(N) overhead the ring
+  /// removes; stability and SAFE ride on the periodic heartbeat cuts.
+  bool wants_ack_cuts() const override { return false; }
+
+  sim::Payload transfer_state() const override;
+  sim::Payload merge_transfer_states(
+      const std::vector<sim::Payload>& states) const override;
+  void install_transfer_state(const sim::Payload& merged) override;
+  void order_flush(std::vector<DataMsg>& msgs) const override;
+
+  // Introspection for tests.
+  bool holding_token() const { return holding_; }
+  uint64_t delivered_global() const { return delivered_global_; }
+  uint64_t next_global() const { return next_global_; }
+  uint64_t token_id_seen() const { return token_id_seen_; }
+
+ private:
+  /// A global-sequence assignment: which message carries global g, fenced by
+  /// the id of the token that assigned it.
+  struct Stamp {
+    MsgId id;
+    uint64_t token_id = 0;
+  };
+
+  EngineOut take_token(int64_t now_us);
+  EngineOut stamp_and_forward(int64_t now_us, bool may_defer);
+  EngineOut forward_now(EngineOut out, int64_t now_us);
+  EngineOut reannounce(uint64_t from_global) const;
+  void apply_stamp(uint64_t global, const Stamp& s);
+  void remember(uint64_t global, const Stamp& s);
+  MemberId next_in_ring() const;
+  bool stable_everywhere(const DataMsg& m) const;
+
+  sim::Payload encode_token() const;
+  sim::Payload encode_stamp_nack(uint64_t from_global) const;
+
+  EngineTuning tuning_;
+  View view_;
+  MemberId self_ = sim::kInvalidHost;
+  /// Effective regeneration timeout for this view (token_timeout plus
+  /// ring-size slack; see header comment).
+  int64_t regen_timeout_us_ = 0;
+
+  // -- token state -----------------------------------------------------------
+  bool holding_ = false;
+  /// Deferred idle hand-off scheduled (forward timer outstanding).
+  bool forward_pending_ = false;
+  /// Highest token id sighted in this view; a freshly minted token uses
+  /// token_id_seen_ + 1, so regenerated tokens fence their predecessors.
+  uint64_t token_id_seen_ = 0;
+  uint64_t rotation_ = 0;
+  /// Next global sequence number to assign; monotonic across views (flush
+  /// state transfer carries the maximum forward).
+  uint64_t next_global_ = 1;
+  int64_t hold_start_us_ = 0;
+  int64_t last_activity_us_ = 0;  ///< last token/stamp sighting
+  int idle_streak_ = 0;
+
+  // -- order state -----------------------------------------------------------
+  /// Contiguous prefix of globals delivered locally.
+  uint64_t delivered_global_ = 0;
+  /// Known, undelivered stamps by global.
+  std::map<uint64_t, Stamp> stamps_;
+  /// Own AGREED/SAFE sends (seq numbers) awaiting a stamp.
+  std::deque<uint64_t> my_unstamped_;
+  /// Recent stamp history including delivered ones, for gap re-announces and
+  /// flush state transfer. Bounded ring (kStampLogCap).
+  std::deque<std::pair<uint64_t, Stamp>> stamp_log_;
+  /// Merged stamp table installed by the view-change commit; consulted only
+  /// by order_flush.
+  std::map<uint64_t, Stamp> flush_stamps_;
+};
+
+}  // namespace gcs

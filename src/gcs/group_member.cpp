@@ -44,9 +44,24 @@ GroupMember::GroupMember(sim::Network& net, sim::HostId host,
   m_retransmits_served_ = m.counter("gcs.retransmits_served");
   m_delivered_ = m.counter("gcs.delivered");
   m_views_installed_ = m.counter("gcs.views_installed");
+  m_cuts_sent_ = m.counter("gcs.cuts_sent");
+  m_engine_msgs_ = m.counter("gcs.engine_msgs_sent");
+  m_token_rotations_ = m.counter("gcs.token.rotations");
   m_order_latency_ = m.histogram("gcs.order_latency_us");
+  m_token_hold_ = m.histogram("gcs.token.hold_us");
   tc_view_ = hub.trace().intern("gcs.view");
   tc_flush_ = hub.trace().intern("gcs.flush");
+
+  EngineTuning tuning;
+  tuning.token_idle = config_.token_idle;
+  tuning.token_idle_cap = config_.token_idle_cap.us > 0
+                              ? config_.token_idle_cap
+                              : config_.heartbeat_interval;
+  tuning.token_timeout = config_.token_timeout.us > 0
+                             ? config_.token_timeout
+                             : config_.heartbeat_interval * 4;
+  engine_ = make_engine(config_.ordering, tuning);
+  buffer_.attach_engine(engine_.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +112,7 @@ void GroupMember::multicast(sim::Payload payload, Delivery level) {
   ++stats_.data_sent;
   m_data_sent_.add(1);
   order_inflight_[msg.id.seq & 63] = {msg.id.seq, sim().now().us};
+  apply_engine(engine_->on_local_send(msg, sim().now().us));
 
   if (view_.size() == 1) {
     execute(config_.self_deliver, [this] { deliver_ready(); });
@@ -160,6 +176,10 @@ void GroupMember::on_packet(sim::Packet packet) {
     case MsgType::kRetransmit: cost = config_.data_proc; break;
     case MsgType::kVcAck:
     case MsgType::kVcCommit: cost = config_.ctrl_proc * 2; break;
+    // Engine control (token pass, stamp announce) is control-plane work
+    // like any other small packet. Engine comparisons that want equal
+    // per-packet pricing set ctrl_proc ~ ack_proc (see bench_ordering).
+    case MsgType::kEngine: cost = config_.ctrl_proc; break;
     default: cost = config_.ctrl_proc; break;
   }
   execute(cost, [this, data = std::move(packet.data), src = packet.src,
@@ -186,6 +206,7 @@ void GroupMember::on_packet(sim::Packet packet) {
           handle_state_req(decode_state_req(data), src);
           break;
         case MsgType::kState: handle_state(decode_state(data)); break;
+        case MsgType::kEngine: handle_engine(decode_engine(data)); break;
       }
     } catch (const net::WireError& e) {
       JLOG(kWarn, "gcs") << name() << ": malformed message: " << e.what();
@@ -210,11 +231,15 @@ void GroupMember::handle_data(DataWire m) {
   tick_lamport(m.msg.lamport);
   buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
                   m.header.received);
-  if (buffer_.insert(m.msg)) retain(m.msg);
+  if (buffer_.insert(m.msg)) {
+    retain(m.msg);
+    apply_engine(engine_->on_insert(m.msg, sim().now().us));
+  }
   // Ack before handing anything to the application so the sender's AGREED
   // condition fires as soon as the protocol -- not the app -- is done;
-  // coalesced while the CPU is busy with a burst.
-  send_cut(/*periodic=*/false);
+  // coalesced while the CPU is busy with a burst. Token mode skips these
+  // reactive cuts entirely (the stamp is the delivery evidence).
+  if (engine_->wants_ack_cuts()) send_cut(/*periodic=*/false);
   deliver_ready();
   check_gaps();
 }
@@ -260,7 +285,10 @@ void GroupMember::handle_retransmit(RetransmitWire m) {
   for (const DataMsg& msg : m.msgs) {
     if (!view_.contains(msg.id.sender)) continue;
     tick_lamport(msg.lamport);
-    if (buffer_.insert(msg)) retain(msg);
+    if (buffer_.insert(msg)) {
+      retain(msg);
+      apply_engine(engine_->on_insert(msg, sim().now().us));
+    }
   }
   deliver_ready();
   check_gaps();
@@ -287,12 +315,47 @@ void GroupMember::deliver_to_app(const DataMsg& m) {
   if (callbacks_.on_deliver) callbacks_.on_deliver(d);
 }
 
+void GroupMember::handle_engine(EngineWire m) {
+  if (!is_member() || !view_.contains(m.header.from)) return;
+  note_alive(m.header.from);
+  tick_lamport(m.header.lamport);
+  buffer_.observe(m.header.from, m.header.lamport, m.header.sent_upto,
+                  m.header.received);
+  apply_engine(engine_->on_control(m.header.from, m.body, sim().now().us));
+  deliver_ready();
+  check_gaps();
+}
+
+void GroupMember::apply_engine(EngineOut out) {
+  if (out.token_hold_us >= 0) m_token_hold_.record(out.token_hold_us);
+  if (out.broadcast) {
+    ++stats_.engine_sent;
+    m_engine_msgs_.add(1);
+    EngineWire w{make_header(), std::move(*out.broadcast)};
+    cast_to_members(encode(w));
+  }
+  if (out.unicast) {
+    ++stats_.engine_sent;
+    m_engine_msgs_.add(1);
+    if (out.token_forward) m_token_rotations_.add(1);
+    EngineWire w{make_header(), std::move(out.unicast->second)};
+    send(sim::Endpoint{out.unicast->first, config_.port}, encode(w));
+  }
+  if (out.forward_timer.us > 0) {
+    set_timer(out.forward_timer, [this] {
+      if (!is_member()) return;
+      apply_engine(engine_->on_forward_timer(sim().now().us));
+    });
+  }
+}
+
 void GroupMember::send_cut(bool periodic) {
   if (!is_member()) return;
   if (view_.size() <= 1) return;
   if (periodic) {
     CutWire m{make_header(), true};
     ++stats_.cuts_sent;
+    m_cuts_sent_.add(1);
     cast_to_members(encode(m));
     return;
   }
@@ -303,6 +366,7 @@ void GroupMember::send_cut(bool periodic) {
     if (!is_member() || view_.size() <= 1) return;
     CutWire m{make_header(), false};
     ++stats_.cuts_sent;
+    m_cuts_sent_.add(1);
     cast_to_members(encode(m));
   });
 }
@@ -353,6 +417,8 @@ void GroupMember::heartbeat_tick() {
   hb_timer_ = set_timer(config_.heartbeat_interval, [this] { heartbeat_tick(); });
   if (!is_member()) return;
   send_cut(/*periodic=*/true);
+  if (state_ == State::kMember)
+    apply_engine(engine_->on_tick(sim().now().us));
   suspect_check();
   // Merge beacon: a member of a partial view advertises itself to peers
   // outside the view so healed partitions re-merge.
@@ -471,6 +537,7 @@ void GroupMember::begin_flush(std::vector<MemberId> membership) {
     (void)id_;
     own.held.push_back(msg);
   }
+  own.engine_state = engine_->transfer_state();
   flush_acks_[id()] = own;
 
   VcProposeWire prop{make_header(), *flush_proposed_, flush_membership_};
@@ -514,6 +581,7 @@ void GroupMember::handle_vc_propose(VcProposeWire m, sim::Endpoint from) {
     (void)id_;
     ack.held.push_back(msg);
   }
+  ack.engine_state = engine_->transfer_state();
   send(from, encode(ack));
 
   if (flush_timer_ != 0) cancel_timer(flush_timer_);
@@ -545,11 +613,16 @@ void GroupMember::complete_flush() {
     if (fresh) commit.joiners.push_back(m);
   }
 
-  // Union of everything anyone holds, plus sequence baselines.
+  // Union of everything anyone holds, plus sequence baselines and the
+  // merged engine state.
   std::map<MsgId, DataMsg> union_map;
-  commit.seq_baseline = buffer_.received_vector();
+  for (const auto& [member, seq] : buffer_.received_vector())
+    commit.seq_baseline[member] = seq;
+  std::vector<sim::Payload> engine_states;
+  engine_states.reserve(flush_acks_.size());
   for (auto& [member, ack] : flush_acks_) {
     (void)member;
+    engine_states.push_back(ack.engine_state);
     for (DataMsg& msg : ack.held) {
       uint64_t& base = commit.seq_baseline[msg.id.sender];
       base = std::max(base, msg.id.seq);
@@ -566,6 +639,7 @@ void GroupMember::complete_flush() {
   }
   // Joiners restart their stream at zero.
   for (MemberId j : commit.joiners) commit.seq_baseline[j] = 0;
+  commit.engine_state = engine_->merge_transfer_states(engine_states);
 
   if (!commit.joiners.empty()) {
     for (MemberId m : flush_membership_) {
@@ -614,6 +688,10 @@ void GroupMember::install_view(const VcCommitWire& commit) {
     return;
   }
 
+  // The merged engine state must land before the flush delivery so the
+  // flush order (token mode: stamped globals first) agrees at every member.
+  engine_->install_transfer_state(commit.engine_state);
+
   // Deliver the old view's closing message set (identical everywhere).
   if (!was_joining) {
     for (const DataMsg& msg : commit.union_msgs) {
@@ -648,6 +726,9 @@ void GroupMember::install_view(const VcCommitWire& commit) {
   sim::Time now = sim().now();
   for (MemberId m : view_.members) last_heard_[m] = now;
   state_ = State::kMember;
+  // Start the engine's new-view epoch (token mode: the lowest member mints
+  // the view's token) now that stream positions are settled.
+  apply_engine(engine_->reset(view_, id(), now.us));
   ++stats_.views_installed;
   m_views_installed_.add(1);
   telemetry::TraceBuffer& tr = sim().telemetry().trace();
@@ -832,6 +913,7 @@ void GroupMember::become_down() {
   if (state_timer_ != 0) cancel_timer(state_timer_);
   hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = 0;
   buffer_.clear_all();
+  engine_->clear();
   view_ = View{};
   lamport_ = 0;
   my_seq_ = 0;

@@ -35,6 +35,7 @@
 
 #include "gcs/messages.h"
 #include "gcs/ordering.h"
+#include "gcs/ordering_engine.h"
 #include "gcs/types.h"
 #include "sim/process.h"
 #include "telemetry/metrics.h"
@@ -62,6 +63,16 @@ struct GroupConfig {
   /// component semantics). Off by default: the paper's deployment is a
   /// single hub where partitions do not occur.
   bool require_majority = false;
+
+  /// Total-order engine (see ordering_engine.h). Defaults to the
+  /// JOSHUA_ORDERING environment variable so CI can run the same binaries
+  /// under both engines.
+  OrderingMode ordering = ordering_mode_from_env();
+  /// Token-ring knobs; zero durations resolve against heartbeat_interval
+  /// (idle cap = heartbeat, loss timeout = 4x heartbeat).
+  sim::Duration token_idle = sim::msec(2);
+  sim::Duration token_idle_cap = sim::kDurationZero;
+  sim::Duration token_timeout = sim::kDurationZero;
 
   // CPU cost model (see sim::Calibration).
   sim::Duration send_proc = sim::msec(5);
@@ -115,6 +126,7 @@ class GroupMember : public sim::Process {
   const View& view() const { return view_; }
   MemberId id() const { return host_id(); }
   const GroupConfig& config() const { return config_; }
+  const OrderingEngine& engine() const { return *engine_; }
 
   // -- statistics ------------------------------------------------------------
   struct Stats {
@@ -126,6 +138,7 @@ class GroupMember : public sim::Process {
     uint64_t retransmits_served = 0;
     uint64_t delivered = 0;
     uint64_t views_installed = 0;
+    uint64_t engine_sent = 0;  ///< ordering-engine control messages sent
   };
   const Stats& stats() const { return stats_; }
 
@@ -153,6 +166,10 @@ class GroupMember : public sim::Process {
   void handle_vc_commit(VcCommitWire m);
   void handle_state_req(StateReqWire m, sim::Endpoint from);
   void handle_state(StateWire m);
+  void handle_engine(EngineWire m);
+
+  /// Transmit/record whatever an engine hook asked for.
+  void apply_engine(EngineOut out);
 
   // -- protocol actions --------------------------------------------------------
   void tick_lamport(uint64_t seen) { lamport_ = std::max(lamport_, seen) + 1; }
@@ -180,6 +197,7 @@ class GroupMember : public sim::Process {
 
   // Ordering & reliability.
   OrderingBuffer buffer_;
+  std::unique_ptr<OrderingEngine> engine_;  ///< attached to buffer_
   uint64_t lamport_ = 0;
   uint64_t my_seq_ = 0;
   std::map<MsgId, DataMsg> retained_;  ///< current-view messages for flush
@@ -226,7 +244,11 @@ class GroupMember : public sim::Process {
   telemetry::Counter m_retransmits_served_;
   telemetry::Counter m_delivered_;
   telemetry::Counter m_views_installed_;
+  telemetry::Counter m_cuts_sent_;
+  telemetry::Counter m_engine_msgs_;
+  telemetry::Counter m_token_rotations_;
   telemetry::Histogram m_order_latency_;
+  telemetry::Histogram m_token_hold_;
   uint16_t tc_view_ = 0;   ///< trace category "gcs.view"
   uint16_t tc_flush_ = 0;  ///< trace category "gcs.flush"
   /// Start of the flush this member is currently in, or -1 (for the

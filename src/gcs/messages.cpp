@@ -7,7 +7,7 @@ void encode_header(net::Writer& w, const Header& h) {
   w.u32(h.from);
   w.u64(h.lamport);
   w.u64(h.sent_upto);
-  encode_u64_map(w, h.received);
+  encode_cut(w, h.received);
 }
 
 Header decode_header(net::Reader& r) {
@@ -15,7 +15,7 @@ Header decode_header(net::Reader& r) {
   h.from = r.u32();
   h.lamport = r.u64();
   h.sent_upto = r.u64();
-  h.received = decode_u64_map(r);
+  h.received = decode_cut_vector(r);
   return h;
 }
 
@@ -169,6 +169,7 @@ sim::Payload encode(const VcAckWire& m) {
   encode_view_id(w, m.proposed);
   w.vec(m.held,
         [](net::Writer& w2, const DataMsg& d) { encode_data_msg(w2, d); });
+  w.bytes(m.engine_state);
   return w.take();
 }
 
@@ -177,6 +178,7 @@ VcAckWire decode_vc_ack(const sim::Payload& buf) {
   net::Reader r = open(buf, MsgType::kVcAck, m.header);
   m.proposed = decode_view_id(r);
   m.held = r.vec<DataMsg>([](net::Reader& r2) { return decode_data_msg(r2); });
+  m.engine_state = r.bytes();
   r.expect_done();
   return m;
 }
@@ -190,6 +192,7 @@ sim::Payload encode(const VcCommitWire& m) {
         [](net::Writer& w2, const DataMsg& d) { encode_data_msg(w2, d); });
   encode_u64_map(w, m.seq_baseline);
   w.u32(m.state_source);
+  w.bytes(m.engine_state);
   return w.take();
 }
 
@@ -203,6 +206,7 @@ VcCommitWire decode_vc_commit(const sim::Payload& buf) {
       r.vec<DataMsg>([](net::Reader& r2) { return decode_data_msg(r2); });
   m.seq_baseline = decode_u64_map(r);
   m.state_source = r.u32();
+  m.engine_state = r.bytes();
   r.expect_done();
   return m;
 }
@@ -233,6 +237,20 @@ StateWire decode_state(const sim::Payload& buf) {
   net::Reader r = open(buf, MsgType::kState, m.header);
   m.view_id = decode_view_id(r);
   m.state = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode(const EngineWire& m) {
+  net::Writer w = begin(MsgType::kEngine, m.header);
+  w.bytes(m.body);
+  return w.take();
+}
+
+EngineWire decode_engine(const sim::Payload& buf) {
+  EngineWire m;
+  net::Reader r = open(buf, MsgType::kEngine, m.header);
+  m.body = r.bytes();
   r.expect_done();
   return m;
 }

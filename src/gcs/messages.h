@@ -27,13 +27,14 @@ enum class MsgType : uint8_t {
   kVcCommit = 9,
   kStateReq = 10,
   kState = 11,
+  kEngine = 12,  ///< ordering-engine control traffic (token, stamps, ...)
 };
 
 struct Header {
   MemberId from = sim::kInvalidHost;
   uint64_t lamport = 0;
   uint64_t sent_upto = 0;
-  std::map<MemberId, uint64_t> received;  ///< cut vector
+  CutVector received;  ///< cut vector (sorted member/seq pairs)
 };
 
 struct DataWire {
@@ -75,6 +76,8 @@ struct VcAckWire {
   Header header;
   ViewId proposed;
   std::vector<DataMsg> held;  ///< everything the sender holds of the old view
+  /// Opaque OrderingEngine transfer state (token mode: the stamp table).
+  sim::Payload engine_state;
 };
 
 struct VcCommitWire {
@@ -91,11 +94,21 @@ struct VcCommitWire {
   /// not see phantom gaps.
   std::map<MemberId, uint64_t> seq_baseline;
   MemberId state_source = sim::kInvalidHost;
+  /// Merged OrderingEngine transfer state, installed by everyone before the
+  /// flush so the flush delivery order agrees at every member.
+  sim::Payload engine_state;
 };
 
 struct StateReqWire {
   Header header;
   ViewId view_id;
+};
+
+/// Ordering-engine control message; the body is engine-defined (the host
+/// GroupMember routes it to OrderingEngine::on_control without looking).
+struct EngineWire {
+  Header header;
+  sim::Payload body;
 };
 
 struct StateWire {
@@ -119,6 +132,7 @@ sim::Payload encode(const VcAckWire&);
 sim::Payload encode(const VcCommitWire&);
 sim::Payload encode(const StateReqWire&);
 sim::Payload encode(const StateWire&);
+sim::Payload encode(const EngineWire&);
 
 DataWire decode_data(const sim::Payload&);
 CutWire decode_cut(const sim::Payload&);
@@ -131,5 +145,6 @@ VcAckWire decode_vc_ack(const sim::Payload&);
 VcCommitWire decode_vc_commit(const sim::Payload&);
 StateReqWire decode_state_req(const sim::Payload&);
 StateWire decode_state(const sim::Payload&);
+EngineWire decode_engine(const sim::Payload&);
 
 }  // namespace gcs

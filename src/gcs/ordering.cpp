@@ -2,12 +2,39 @@
 
 #include <algorithm>
 
+#include "gcs/ordering_engine.h"
+
 namespace gcs {
+
+OrderingBuffer::OrderingBuffer() = default;
+OrderingBuffer::~OrderingBuffer() = default;
+
+void OrderingBuffer::attach_engine(OrderingEngine* engine) {
+  engine_ = engine;
+  fallback_.reset();
+  if (engine_ != nullptr) engine_->attach(this);
+}
+
+OrderingEngine& OrderingBuffer::engine() {
+  if (engine_ == nullptr) {
+    // Standalone buffer (unit tests): private all-ack engine, kept in sync
+    // by reset()/clear_all() below.
+    fallback_ = make_engine(OrderingMode::kAllAck, EngineTuning{});
+    fallback_->attach(this);
+    engine_ = fallback_.get();
+  }
+  return *engine_;
+}
+
+const OrderingEngine& OrderingBuffer::engine() const {
+  return const_cast<OrderingBuffer*>(this)->engine();
+}
 
 void OrderingBuffer::reset(const View& view, MemberId self) {
   view_ = view;
   self_ = self;
   pending_.clear();
+  pending_ix_.clear();
   out_of_order_.clear();
   // received/delivered counters persist across views: sequence numbers are
   // global per sender, and a new view's first message continues the stream.
@@ -25,6 +52,12 @@ void OrderingBuffer::reset(const View& view, MemberId self) {
     delivered_.try_emplace(m, 0);
   }
   while (it != peers_.end()) it = peers_.erase(it);
+  cut_dirty_ = true;
+  // An attached engine's lifecycle is driven by its owner (GroupMember
+  // resets it at view install, after stream positions settle); only the
+  // private fallback follows the buffer.
+  engine();
+  if (fallback_) fallback_->reset(view_, self_, 0);
 }
 
 bool OrderingBuffer::insert(const DataMsg& m) {
@@ -38,10 +71,12 @@ bool OrderingBuffer::insert(const DataMsg& m) {
   if (m.id.seq == upto + 1) {
     upto = m.id.seq;
     pending_.emplace(order_key(m), m);
+    pending_ix_.emplace(m.id, order_key(m));
     promote_out_of_order(m.id.sender);
   } else {
     out_of_order_.emplace(m.id, m);
   }
+  cut_dirty_ = true;
   return true;
 }
 
@@ -51,53 +86,27 @@ void OrderingBuffer::promote_out_of_order(MemberId sender) {
     auto it = out_of_order_.find(MsgId{sender, upto + 1});
     if (it == out_of_order_.end()) return;
     upto = it->first.seq;
+    cut_dirty_ = true;
+    pending_ix_.emplace(it->first, order_key(it->second));
     pending_.emplace(order_key(it->second), std::move(it->second));
     out_of_order_.erase(it);
   }
 }
 
+void OrderingBuffer::erase_pending(std::map<OrderKey, DataMsg>::iterator it) {
+  pending_ix_.erase(it->second.id);
+  pending_.erase(it);
+}
+
 void OrderingBuffer::observe(MemberId p, uint64_t lamport, uint64_t sent_upto,
-                             const std::map<MemberId, uint64_t>& received) {
+                             const CutVector& received) {
   PeerState& state = peers_[p];
-  state.heard_lamport = std::max(state.heard_lamport, lamport);
   state.sent_upto = std::max(state.sent_upto, sent_upto);
   for (const auto& [sender, seq] : received) {
     uint64_t& have = state.received[sender];
     have = std::max(have, seq);
   }
-}
-
-bool OrderingBuffer::agreed_condition(const DataMsg& m) const {
-  for (MemberId q : view_.members) {
-    // Our own clock is ahead of everything we buffered, and our own
-    // messages are inserted synchronously -- nothing of ours is in flight
-    // towards ourselves.
-    if (q == self_) continue;
-    auto it = peers_.find(q);
-    if (it == peers_.end()) return false;
-    const PeerState& s = it->second;
-    // The sender's own timestamp on m proves it will never send anything
-    // ordered before m; every other member must have been heard past m.
-    if (s.heard_lamport <= m.lamport && q != m.id.sender) return false;
-    // No earlier-ordered message from q may still be missing.
-    auto rit = received_upto_.find(q);
-    uint64_t have = rit == received_upto_.end() ? 0 : rit->second;
-    if (have < s.sent_upto) return false;
-  }
-  return true;
-}
-
-bool OrderingBuffer::safe_condition(const DataMsg& m) const {
-  if (!agreed_condition(m)) return false;
-  for (MemberId q : view_.members) {
-    if (q == self_) continue;  // we obviously hold m
-    auto it = peers_.find(q);
-    if (it == peers_.end()) return false;
-    const auto& received = it->second.received;
-    auto rit = received.find(m.id.sender);
-    if (rit == received.end() || rit->second < m.id.seq) return false;
-  }
-  return true;
+  engine().observe(p, lamport);
 }
 
 bool OrderingBuffer::causal_condition(const DataMsg& m) const {
@@ -127,32 +136,22 @@ std::vector<DataMsg> OrderingBuffer::drain() {
       if (ready) {
         ++delivered_[m.id.sender];
         out.push_back(m);
-        it = pending_.erase(it);
+        auto victim = it++;
+        erase_pending(victim);
         progress = true;
       } else {
         ++it;
       }
     }
-    // AGREED/SAFE deliver strictly in OrderKey order: only the lowest
-    // remaining totally-ordered message may go.
-    auto first_total = pending_.end();
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->second.level == Delivery::kAgreed ||
-          it->second.level == Delivery::kSafe) {
-        first_total = it;
-        break;
-      }
-    }
-    if (first_total != pending_.end()) {
-      const DataMsg& m = first_total->second;
-      bool ready = m.level == Delivery::kAgreed ? agreed_condition(m)
-                                                : safe_condition(m);
-      if (ready) {
-        ++delivered_[m.id.sender];
-        out.push_back(m);
-        pending_.erase(first_total);
-        progress = true;
-      }
+    // AGREED/SAFE deliver strictly in the engine's total order: only the
+    // engine-chosen next message may go.
+    if (const DataMsg* next = engine().next_deliverable()) {
+      DataMsg m = *next;  // copy before the erase invalidates the pointer
+      engine().on_delivered(m);
+      ++delivered_[m.id.sender];
+      erase_pending(pending_.find(order_key(m)));
+      out.push_back(std::move(m));
+      progress = true;
     }
   }
   return out;
@@ -163,11 +162,16 @@ std::vector<DataMsg> OrderingBuffer::flush_all() {
   out.reserve(pending_.size());
   for (auto& [key, m] : pending_) {
     (void)key;
-    ++delivered_[m.id.sender];
     out.push_back(std::move(m));
   }
   pending_.clear();
+  pending_ix_.clear();
   out_of_order_.clear();  // unfillable remnants, dropped identically everywhere
+  engine().order_flush(out);
+  for (const DataMsg& m : out) {
+    ++delivered_[m.id.sender];
+    engine().on_delivered(m);
+  }
   return out;
 }
 
@@ -185,8 +189,12 @@ std::vector<DataMsg> OrderingBuffer::held_messages() const {
   return out;
 }
 
-std::map<MemberId, uint64_t> OrderingBuffer::received_vector() const {
-  return received_upto_;
+const CutVector& OrderingBuffer::received_vector() const {
+  if (cut_dirty_) {
+    cut_cache_.assign(received_upto_.begin(), received_upto_.end());
+    cut_dirty_ = false;
+  }
+  return cut_cache_;
 }
 
 uint64_t OrderingBuffer::received_upto(MemberId sender) const {
@@ -201,6 +209,25 @@ std::map<MemberId, uint64_t> OrderingBuffer::delivered_vector() const {
 uint64_t OrderingBuffer::delivered_count(MemberId sender) const {
   auto it = delivered_.find(sender);
   return it == delivered_.end() ? 0 : it->second;
+}
+
+const DataMsg* OrderingBuffer::find_pending(const MsgId& id) const {
+  auto ix = pending_ix_.find(id);
+  if (ix == pending_ix_.end()) return nullptr;
+  auto it = pending_.find(ix->second);
+  return it == pending_.end() ? nullptr : &it->second;
+}
+
+uint64_t OrderingBuffer::peer_sent_upto(MemberId q) const {
+  auto it = peers_.find(q);
+  return it == peers_.end() ? 0 : it->second.sent_upto;
+}
+
+uint64_t OrderingBuffer::peer_received(MemberId q, MemberId sender) const {
+  auto it = peers_.find(q);
+  if (it == peers_.end()) return 0;
+  auto rit = it->second.received.find(sender);
+  return rit == it->second.received.end() ? 0 : rit->second;
 }
 
 std::vector<MsgId> OrderingBuffer::gaps() const {
@@ -218,10 +245,12 @@ std::vector<MsgId> OrderingBuffer::gaps() const {
 void OrderingBuffer::set_stream_position(MemberId sender, uint64_t seq) {
   received_upto_[sender] = seq;
   delivered_[sender] = seq;
+  cut_dirty_ = true;
   // Drop anything buffered at or below the new position; promote the rest.
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.id.sender == sender && it->second.id.seq <= seq) {
-      it = pending_.erase(it);
+      auto victim = it++;
+      erase_pending(victim);
     } else {
       ++it;
     }
@@ -239,10 +268,13 @@ void OrderingBuffer::set_stream_position(MemberId sender, uint64_t seq) {
 void OrderingBuffer::clear_all() {
   view_ = View{};
   pending_.clear();
+  pending_ix_.clear();
   out_of_order_.clear();
   received_upto_.clear();
   delivered_.clear();
   peers_.clear();
+  cut_dirty_ = true;
+  if (fallback_) fallback_->clear();
 }
 
 uint64_t OrderingBuffer::stable_upto(MemberId sender) const {

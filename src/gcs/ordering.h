@@ -1,25 +1,32 @@
-// Ordering buffer: the delivery-condition core of the group communication
+// Ordering buffer: the reliability substrate of the group communication
 // protocol, independent of networking so it can be unit- and property-tested
 // in isolation.
 //
-// The total order is the classic Lamport (timestamp, sender-id) order with
-// an *all-ack* stability rule (Transis ToTo style): a buffered message m is
-// AGREED-deliverable once, for every view member q,
+// The buffer owns per-sender contiguity (watermarks + out-of-order staging),
+// NACK gap detection, peer cuts (for stability garbage collection and SAFE),
+// delivered counts (the causal send vector) and flush bookkeeping. The
+// *total-order decision* -- which AGREED/SAFE message may deliver next -- is
+// delegated to a pluggable OrderingEngine (see ordering_engine.h):
 //
-//   (a) we have heard any traffic from q with lamport clock > m.lamport
-//       (q can never again send a message ordered before m), and
-//   (b) we hold every message q claims to have sent (no known gaps), so no
-//       earlier-ordered message from q is still in flight.
-//
-// SAFE additionally requires every member's cut (received vector) to cover m
-// -- i.e. m is stable everywhere -- before delivery.
+//   * AllAckEngine (default): the classic Lamport (timestamp, sender-id)
+//     order with an all-ack stability rule (Transis ToTo style) -- m is
+//     AGREED-deliverable once every view member has been heard past
+//     m.lamport and claims no outstanding sends we miss; SAFE additionally
+//     requires every member's cut to cover m.
+//   * TokenRingEngine: a circulating token assigns global sequence numbers.
 //
 // FIFO delivers on per-sender contiguity alone; CAUSAL additionally waits
 // for the sender's causal past (per-sender delivered counts) to be delivered
-// locally.
+// locally. Both are handled here, independent of the engine.
+//
+// A GroupMember attaches its own engine and drives its lifecycle explicitly;
+// a bare buffer (unit tests) lazily creates a private AllAckEngine and keeps
+// it in sync inside reset()/clear_all(), preserving the pre-refactor
+// standalone semantics exactly.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,13 +34,25 @@
 
 namespace gcs {
 
+class OrderingEngine;
+
 class OrderingBuffer {
  public:
+  OrderingBuffer();
+  ~OrderingBuffer();
+  OrderingBuffer(const OrderingBuffer&) = delete;
+  OrderingBuffer& operator=(const OrderingBuffer&) = delete;
+
+  /// Use `engine` (owned by the caller, which also drives its reset/clear
+  /// lifecycle) instead of the buffer's private fallback engine.
+  void attach_engine(OrderingEngine* engine);
+
   /// Start (or restart) buffering for a view. Own lamport/delivered history
   /// is external; the buffer only tracks per-view delivery state.
   void reset(const View& view, MemberId self);
 
   const View& view() const { return view_; }
+  MemberId self() const { return self_; }
 
   /// Insert a data message (own messages included). Duplicates are ignored.
   /// Returns true if the message was new.
@@ -41,27 +60,29 @@ class OrderingBuffer {
 
   /// Record protocol metadata heard from member `p`: its lamport clock, the
   /// highest sequence number it claims to have sent, and its received
-  /// vector (per-sender contiguous seq it holds). Data messages, cuts and
-  /// heartbeats all feed this.
+  /// vector (per-sender contiguous seq it holds, as sorted pairs). Data
+  /// messages, cuts and heartbeats all feed this.
   void observe(MemberId p, uint64_t lamport, uint64_t sent_upto,
-               const std::map<MemberId, uint64_t>& received);
+               const CutVector& received);
 
   /// Pop every message whose delivery condition now holds, in delivery
-  /// order (AGREED/SAFE messages in total order relative to each other).
+  /// order (AGREED/SAFE messages in the engine's total order).
   std::vector<DataMsg> drain();
 
-  /// View change: deliver every contiguously-held message in total order
-  /// regardless of stability (flush agreement already guaranteed everyone
-  /// holds the same set). Out-of-order remnants past a permanent gap are
-  /// discarded (identically at every member, since all flush from the same
-  /// union).
+  /// View change: deliver every contiguously-held message regardless of
+  /// stability (flush agreement already guaranteed everyone holds the same
+  /// set), in the engine's flush order. Out-of-order remnants past a
+  /// permanent gap are discarded (identically at every member, since all
+  /// flush from the same union).
   std::vector<DataMsg> flush_all();
 
   /// Everything currently held and undelivered (for the flush exchange).
   std::vector<DataMsg> held_messages() const;
 
-  /// Per-sender contiguous received sequence (our cut / ack vector).
-  std::map<MemberId, uint64_t> received_vector() const;
+  /// Per-sender contiguous received sequence (our cut / ack vector), sorted
+  /// by member. Cached: rebuilt lazily after mutation, so the heartbeat/
+  /// header hot path costs one flat copy instead of a map clone per call.
+  const CutVector& received_vector() const;
 
   /// Highest contiguous seq received from one sender.
   uint64_t received_upto(MemberId sender) const;
@@ -69,6 +90,15 @@ class OrderingBuffer {
   /// Per-sender count of delivered messages (causal send vector).
   std::map<MemberId, uint64_t> delivered_vector() const;
   uint64_t delivered_count(MemberId sender) const;
+
+  // -- engine-facing queries ---------------------------------------------------
+  /// Contiguously received, undelivered messages in OrderKey order.
+  const std::map<OrderKey, DataMsg>& pending() const { return pending_; }
+  /// Look up one pending (contiguous, undelivered) message by id.
+  const DataMsg* find_pending(const MsgId& id) const;
+  /// Highest seq `q` claims to have sent / `q`'s cut entry for `sender`.
+  uint64_t peer_sent_upto(MemberId q) const;
+  uint64_t peer_received(MemberId q, MemberId sender) const;
 
   /// Known gaps: message ids we should NACK (claimed sent but not held).
   std::vector<MsgId> gaps() const;
@@ -90,25 +120,35 @@ class OrderingBuffer {
 
  private:
   struct PeerState {
-    uint64_t heard_lamport = 0;  ///< highest lamport heard from this peer
-    uint64_t sent_upto = 0;      ///< highest seq the peer claims to have sent
+    uint64_t sent_upto = 0;  ///< highest seq the peer claims to have sent
     std::map<MemberId, uint64_t> received;  ///< the peer's cut vector
   };
 
-  bool agreed_condition(const DataMsg& m) const;
-  bool safe_condition(const DataMsg& m) const;
   bool causal_condition(const DataMsg& m) const;
   void promote_out_of_order(MemberId sender);
+  void erase_pending(std::map<OrderKey, DataMsg>::iterator it);
+  OrderingEngine& engine();
+  const OrderingEngine& engine() const;
 
   View view_;
   MemberId self_ = sim::kInvalidHost;
   /// Contiguously received, undelivered messages, in total order.
   std::map<OrderKey, DataMsg> pending_;
+  /// Id index into pending_ (token engine looks messages up by stamp).
+  std::map<MsgId, OrderKey> pending_ix_;
   /// Received above a gap, staged until contiguity catches up.
   std::map<MsgId, DataMsg> out_of_order_;
   std::map<MemberId, uint64_t> received_upto_;
   std::map<MemberId, uint64_t> delivered_;
   std::map<MemberId, PeerState> peers_;
+
+  /// Flat cached copy of received_upto_, invalidated on mutation.
+  mutable CutVector cut_cache_;
+  mutable bool cut_dirty_ = true;
+
+  /// The attached engine, or the lazily-created private fallback.
+  OrderingEngine* engine_ = nullptr;
+  std::unique_ptr<OrderingEngine> fallback_;
 };
 
 }  // namespace gcs

@@ -27,6 +27,28 @@ View decode_view(net::Reader& r) {
   return v;
 }
 
+// Same wire layout as encode_u64_map (count + sorted pairs), so swapping a
+// map field for a CutVector does not change a single byte on the wire.
+void encode_cut(net::Writer& w, const CutVector& cut) {
+  w.u32(static_cast<uint32_t>(cut.size()));
+  for (const auto& [k, v] : cut) {
+    w.u32(k);
+    w.u64(v);
+  }
+}
+
+CutVector decode_cut_vector(net::Reader& r) {
+  uint32_t n = r.u32();
+  if (n > r.remaining()) throw net::WireError("cut count exceeds buffer");
+  CutVector out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MemberId k = r.u32();
+    out.emplace_back(k, r.u64());
+  }
+  return out;
+}
+
 void encode_u64_map(net::Writer& w, const std::map<MemberId, uint64_t>& m) {
   w.u32(static_cast<uint32_t>(m.size()));
   for (const auto& [k, v] : m) {

@@ -90,7 +90,17 @@ struct Delivered {
   sim::Payload payload;
 };
 
+/// A cut (received vector) as carried on the wire and cached in the
+/// ordering buffer: sorted (member, contiguous-seq) pairs. A flat vector
+/// instead of std::map keeps the hot paths -- every header carries a cut,
+/// at 128 heads that is 128 entries per message -- to one allocation per
+/// copy instead of one node allocation per entry.
+using CutVector = std::vector<std::pair<MemberId, uint64_t>>;
+
 // -- wire helpers -------------------------------------------------------------
+
+void encode_cut(net::Writer& w, const CutVector& cut);
+CutVector decode_cut_vector(net::Reader& r);
 
 void encode_view(net::Writer& w, const View& view);
 View decode_view(net::Reader& r);

@@ -1,5 +1,6 @@
 #include "ha/active_standby.h"
 
+#include "telemetry/hub.h"
 #include "util/logging.h"
 
 namespace ha {
@@ -20,6 +21,11 @@ FailoverManager::FailoverManager(sim::Network& net, sim::HostId standby_host,
       do_failover_(std::move(do_failover)),
       heartbeat_interval_(heartbeat_interval),
       detect_timeout_(detect_timeout) {
+  telemetry::Hub& hub = net.sim().telemetry();
+  m_pings_ = hub.metrics().counter("ha.pings_sent");
+  m_failovers_ = hub.metrics().counter("ha.failovers");
+  m_detect_latency_ = hub.metrics().histogram("ha.detect_latency_us");
+  tc_failover_ = hub.trace().intern("ha.failover");
   last_heard_ = sim().now();
   set_timer(heartbeat_interval_, [this] { tick(); });
 }
@@ -29,6 +35,11 @@ void FailoverManager::tick() {
   if (sim().now() - last_heard_ > detect_timeout_) {
     failed_over_ = true;
     failover_time_ = sim().now();
+    m_failovers_.add(1);
+    m_detect_latency_.record((sim().now() - last_heard_).us);
+    sim().telemetry().trace().instant(
+        sim().now().us, host_id(), tc_failover_,
+        static_cast<uint64_t>((sim().now() - last_heard_).us));
     JLOG(kInfo, "ha") << "primary silent for "
                       << (sim().now() - last_heard_).millis()
                       << " ms; failing over";
@@ -36,6 +47,7 @@ void FailoverManager::tick() {
     return;
   }
   // Ping: any response refreshes last_heard_.
+  m_pings_.add(1);
   send(primary_, sim::Payload{0x1});
   set_timer(heartbeat_interval_, [this] { tick(); });
 }

@@ -17,6 +17,7 @@
 #include "sim/calibration.h"
 #include "sim/failure.h"
 #include "sim/process.h"
+#include "telemetry/metrics.h"
 
 namespace ha {
 
@@ -57,6 +58,10 @@ class FailoverManager : public sim::Process {
   sim::Time last_heard_{0};
   bool failed_over_ = false;
   sim::Time failover_time_{0};
+  telemetry::Counter m_pings_;
+  telemetry::Counter m_failovers_;
+  telemetry::Histogram m_detect_latency_;
+  uint16_t tc_failover_ = 0;
 };
 
 class ActiveStandbyCluster {

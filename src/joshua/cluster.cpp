@@ -54,6 +54,7 @@ Cluster::Cluster(ClusterOptions options)
       cfg.group.suspect_timeout = options_.gcs_suspect;
     if (options_.gcs_flush.us > 0)
       cfg.group.flush_timeout = options_.gcs_flush;
+    cfg.group.ordering = options_.ordering;
     cfg.transfer = options_.transfer;
     cfg.auto_rejoin = options_.auto_rejoin;
     joshua_servers_.push_back(std::make_unique<Server>(

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "gcs/ordering_engine.h"
 #include "joshua/client.h"
 #include "joshua/mom_plugin.h"
 #include "joshua/server.h"
@@ -40,6 +41,9 @@ struct ClusterOptions {
   sim::Duration gcs_heartbeat = sim::kDurationZero;
   sim::Duration gcs_suspect = sim::kDurationZero;
   sim::Duration gcs_flush = sim::kDurationZero;
+  /// Total-order engine for the replication group (defaults to the
+  /// JOSHUA_ORDERING environment variable, then all-ack).
+  gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
 };
 
 /// Well-known ports of the testbed.

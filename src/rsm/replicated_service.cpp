@@ -1,6 +1,7 @@
 #include "rsm/replicated_service.h"
 
 #include "net/wire.h"
+#include "telemetry/hub.h"
 #include "util/logging.h"
 
 namespace rsm {
@@ -49,6 +50,13 @@ ReplicaNode::ReplicaNode(sim::Network& net, sim::HostId host,
              }) {
   if (service_ == nullptr)
     throw std::invalid_argument("ReplicaNode: null service");
+  telemetry::Hub& hub = net.sim().telemetry();
+  m_requests_ = hub.metrics().counter("rsm.requests");
+  m_applied_ = hub.metrics().counter("rsm.applied");
+  m_local_reads_ = hub.metrics().counter("rsm.local_reads");
+  m_replies_ = hub.metrics().counter("rsm.replies");
+  m_order_latency_ = hub.metrics().histogram("rsm.order_latency_us");
+  tc_order_ = hub.trace().intern("rsm.order");
 }
 
 void ReplicaNode::start() { group_.join(); }
@@ -61,20 +69,23 @@ void ReplicaNode::shutdown() {
 void ReplicaNode::on_request(sim::Payload request, sim::Endpoint from,
                              uint64_t rpc_id) {
   ++stats_.requests;
+  m_requests_.add(1);
   execute(config_.request_proc, [this, request = std::move(request), from,
                                  rpc_id] {
     if (!group_.is_member()) return;  // client fails over
     if (config_.read_local && service_->is_read_only(request)) {
       ++stats_.local_reads;
+      m_local_reads_.add(1);
       execute(service_->apply_cost(request), [this, request, from, rpc_id] {
         sim::Payload response = service_->apply(request);
         ++stats_.replies;
+        m_replies_.add(1);
         respond(from, rpc_id, std::move(response));
       });
       return;
     }
     uint64_t seq = next_seq_++;
-    pending_[seq] = {from, rpc_id};
+    pending_[seq] = {from, rpc_id, sim().now().us};
     group_.multicast(encode_ordered(group_.id(), seq, request),
                      gcs::Delivery::kAgreed);
   });
@@ -92,13 +103,21 @@ void ReplicaNode::on_deliver(const gcs::Delivered& msg) {
           [this, ordered = std::move(ordered)] {
             sim::Payload response = service_->apply(ordered.request);
             ++stats_.applied;
+            m_applied_.add(1);
             if (ordered.origin != group_.id()) return;
             auto it = pending_.find(ordered.seq);
             if (it == pending_.end()) return;
-            auto [client, rpc_id] = it->second;
+            Pending p = it->second;
             pending_.erase(it);
+            // The ordering decision for this request is final: span from
+            // multicast to ordered application at the origin.
+            m_order_latency_.record(sim().now().us - p.ordered_at_us);
+            sim().telemetry().trace().complete(p.ordered_at_us, sim().now().us,
+                                               host_id(), tc_order_,
+                                               ordered.seq);
             ++stats_.replies;
-            respond(client, rpc_id, std::move(response));
+            m_replies_.add(1);
+            respond(p.client, p.rpc_id, std::move(response));
           });
 }
 

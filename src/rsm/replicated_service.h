@@ -21,6 +21,7 @@
 
 #include "gcs/group_member.h"
 #include "net/rpc.h"
+#include "telemetry/metrics.h"
 
 namespace rsm {
 
@@ -98,8 +99,21 @@ class ReplicaNode : public net::RpcNode {
   IDeterministicService* service_;
   gcs::GroupMember group_;
   uint64_t next_seq_ = 1;
-  std::map<uint64_t, std::pair<sim::Endpoint, uint64_t>> pending_;
+  /// In-flight ordered requests by local seq: reply route plus the time the
+  /// request entered the total order (for the ordering-latency span).
+  struct Pending {
+    sim::Endpoint client;
+    uint64_t rpc_id = 0;
+    int64_t ordered_at_us = 0;
+  };
+  std::map<uint64_t, Pending> pending_;
   Stats stats_;
+  telemetry::Counter m_requests_;
+  telemetry::Counter m_applied_;
+  telemetry::Counter m_local_reads_;
+  telemetry::Counter m_replies_;
+  telemetry::Histogram m_order_latency_;
+  uint16_t tc_order_ = 0;
 };
 
 /// Client with transparent replica failover (mirrors joshua::Client).

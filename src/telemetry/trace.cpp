@@ -24,6 +24,22 @@ void TraceBuffer::set_capacity(size_t capacity) {
   head_ = 0;
   recorded_ = 0;
   dropped_by_cat_.assign(dropped_by_cat_.size(), 0);
+  for (SubRing& s : sub_) {
+    s.buf.clear();
+    s.head = 0;
+  }
+}
+
+void TraceBuffer::set_category_capacity(uint16_t cat, size_t capacity) {
+  if (cat >= categories_.size())
+    throw std::out_of_range("TraceBuffer: unknown category");
+  if (cat >= sub_.size()) sub_.resize(categories_.size());
+  SubRing& s = sub_[cat];
+  s.cap = capacity;
+  s.buf.clear();
+  s.buf.shrink_to_fit();
+  if (capacity > 0) s.buf.reserve(capacity);
+  s.head = 0;
 }
 
 }  // namespace telemetry

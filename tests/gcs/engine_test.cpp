@@ -1,0 +1,198 @@
+// Ordering-engine coverage: the all-ack and token-ring engines must be
+// observationally equivalent (same virtual-synchrony guarantees under the
+// same seeded traffic and view changes), and the token ring must survive
+// its own failure modes -- a lost token and a crashed token holder.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gcs/engine_token.h"
+#include "gcs/gcs_harness.h"
+
+namespace {
+
+using gcstest::GcsHarness;
+
+std::function<void(gcs::GroupConfig&)> use_engine(gcs::OrderingMode mode) {
+  return [mode](gcs::GroupConfig& cfg) { cfg.ordering = mode; };
+}
+
+/// Index of the member currently holding the token, or -1 (in flight).
+int holder_index(const GcsHarness& h) {
+  for (size_t i = 0; i < h.members.size(); ++i) {
+    if (!h.net.host(h.hosts[i]).up()) continue;
+    const gcs::OrderingEngine& e = h.members[i]->engine();
+    if (e.mode() != gcs::OrderingMode::kTokenRing) continue;
+    if (static_cast<const gcs::TokenRingEngine&>(e).holding_token())
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t max_token_id(const GcsHarness& h) {
+  uint64_t id = 0;
+  for (size_t i = 0; i < h.members.size(); ++i) {
+    if (!h.net.host(h.hosts[i]).up()) continue;
+    const gcs::OrderingEngine& e = h.members[i]->engine();
+    if (e.mode() != gcs::OrderingMode::kTokenRing) continue;
+    id = std::max(id,
+                  static_cast<const gcs::TokenRingEngine&>(e).token_id_seen());
+  }
+  return id;
+}
+
+/// One deterministic campaign: n members, six rounds of traffic from every
+/// live member with 10% loss, the last member crashing after round 3.
+/// Returns the per-member delivery logs after the ring quiesces.
+struct CampaignResult {
+  std::vector<std::vector<gcs::Delivered>> logs;
+  std::set<std::pair<gcs::MemberId, uint64_t>> survivor_sent;
+  bool ok = false;
+};
+
+CampaignResult run_campaign(gcs::OrderingMode mode, int n, uint64_t seed) {
+  CampaignResult out;
+  GcsHarness h(n, seed, use_engine(mode));
+  h.join_all();
+  if (!h.run_until_converged(static_cast<size_t>(n))) return out;
+
+  h.net.mutable_config().loss_rate = 0.10;
+  int sent = 0;
+  std::vector<uint64_t> sends(static_cast<size_t>(n), 0);  // k-th send = seq k
+  for (int round = 0; round < 6; ++round) {
+    for (int m = 0; m < n; ++m) {
+      size_t idx = static_cast<size_t>(m);
+      if (!h.net.host(h.hosts[idx]).up()) continue;
+      h.members[idx]->multicast(h.payload_of(sent++));
+      if (m + 1 < n)  // every survivor's full traffic must come through
+        out.survivor_sent.emplace(h.members[idx]->id(), ++sends[idx]);
+      h.sim.run_for(sim::msec(static_cast<int64_t>((seed + m) % 7)));
+    }
+    if (round == 3) {
+      h.net.mutable_config().loss_rate = 0.0;
+      h.net.crash_host(h.hosts.back());
+    }
+  }
+  h.net.mutable_config().loss_rate = 0.0;
+
+  if (!h.run_until_converged(static_cast<size_t>(n - 1))) return out;
+  // Quiesce: every survivor has delivered every survivor-sent message.
+  out.ok = testutil::run_until(h.sim, [&] {
+    for (int m = 0; m + 1 < n; ++m) {
+      std::set<std::pair<gcs::MemberId, uint64_t>> got;
+      for (const gcs::Delivered& d : h.logs[static_cast<size_t>(m)].delivered)
+        got.emplace(d.sender, d.seq);
+      for (const auto& id : out.survivor_sent)
+        if (got.find(id) == got.end()) return false;
+    }
+    return true;
+  });
+  for (const auto& log : h.logs) out.logs.push_back(log.delivered);
+  return out;
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalence, SameGuaranteesUnderSeededFaults) {
+  const uint64_t seed = GetParam();
+  const int n = 4;
+  CampaignResult allack = run_campaign(gcs::OrderingMode::kAllAck, n, seed);
+  CampaignResult token = run_campaign(gcs::OrderingMode::kTokenRing, n, seed);
+  ASSERT_TRUE(allack.ok) << "all-ack campaign did not quiesce";
+  ASSERT_TRUE(token.ok) << "token campaign did not quiesce";
+
+  for (const CampaignResult* r : {&allack, &token}) {
+    // Identical delivery order at every member: pairwise prefix agreement...
+    for (size_t a = 0; a + 1 < r->logs.size() - 1; ++a)
+      for (size_t b = a + 1; b + 1 < r->logs.size(); ++b)
+        EXPECT_TRUE(GcsHarness::prefix_consistent(r->logs[a], r->logs[b]))
+            << "members " << a << " and " << b << " disagree on the order";
+    // ...and per-sender integrity (no gaps, no duplicates).
+    for (const auto& log : r->logs)
+      EXPECT_TRUE(GcsHarness::fifo_clean(log));
+  }
+
+  // Cross-engine: both engines deliver the same survivor traffic (messages
+  // in flight from the crashed member may legitimately differ).
+  auto survivor_set = [&](const CampaignResult& r, size_t member) {
+    std::set<std::pair<gcs::MemberId, uint64_t>> got;
+    for (const gcs::Delivered& d : r.logs[member])
+      if (r.survivor_sent.count({d.sender, d.seq}) != 0)
+        got.emplace(d.sender, d.seq);
+    return got;
+  };
+  for (size_t m = 0; m + 1 < static_cast<size_t>(n); ++m)
+    EXPECT_EQ(survivor_set(allack, m), survivor_set(token, m))
+        << "engines disagree on the delivered survivor traffic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
+                         ::testing::Values(7u, 21u, 42u));
+
+TEST(TokenRing, LostTokenRegeneratesAndDeliveryResumes) {
+  GcsHarness h(3, 5, use_engine(gcs::OrderingMode::kTokenRing));
+  h.join_all();
+  ASSERT_TRUE(h.run_until_converged(3));
+  // A working ring first.
+  h.members[0]->multicast(h.payload_of(1));
+  ASSERT_TRUE(testutil::run_until(h.sim, [&] {
+    for (const auto& log : h.logs)
+      if (log.delivered.size() != 1) return false;
+    return true;
+  }));
+  uint64_t id_before = max_token_id(h);
+
+  // Kill every packet long enough for the in-flight token to vanish, with
+  // traffic queued behind the outage.
+  h.net.mutable_config().loss_rate = 1.0;
+  h.members[1]->multicast(h.payload_of(2));
+  h.sim.run_for(sim::msec(150));
+  h.net.mutable_config().loss_rate = 0.0;
+
+  EXPECT_TRUE(testutil::run_until(h.sim, [&] {
+    for (const auto& log : h.logs)
+      if (log.delivered.size() != 2) return false;
+    return true;
+  })) << "delivery must resume after the token is regenerated";
+  EXPECT_GT(max_token_id(h), id_before)
+      << "recovery must come from a regenerated (higher-id) token";
+  for (const auto& log : h.logs) EXPECT_TRUE(GcsHarness::fifo_clean(log.delivered));
+}
+
+TEST(TokenRing, HolderCrashSurvivedByViewChange) {
+  GcsHarness h(3, 11, use_engine(gcs::OrderingMode::kTokenRing));
+  h.join_all();
+  ASSERT_TRUE(h.run_until_converged(3));
+  for (int i = 0; i < 3; ++i)
+    h.members[static_cast<size_t>(i)]->multicast(h.payload_of(i));
+
+  // Catch the token at a member and crash exactly that member.
+  int holder = -1;
+  ASSERT_TRUE(testutil::run_until(
+      h.sim, [&] { return (holder = holder_index(h)) >= 0; }));
+  h.net.crash_host(h.hosts[static_cast<size_t>(holder)]);
+  ASSERT_TRUE(h.run_until_converged(2));
+
+  // The reformed ring still orders fresh traffic.
+  size_t other = holder == 0 ? 1 : 0;
+  h.members[other]->multicast(h.payload_of(99));
+  EXPECT_TRUE(testutil::run_until(h.sim, [&] {
+    for (size_t i = 0; i < h.members.size(); ++i) {
+      if (static_cast<int>(i) == holder) continue;
+      const auto& log = h.logs[i].delivered;
+      if (log.empty() || log.back().payload != h.payload_of(99)) return false;
+    }
+    return true;
+  })) << "the ring must re-form and keep ordering after the holder dies";
+  for (size_t i = 0; i < h.members.size(); ++i) {
+    if (static_cast<int>(i) == holder) continue;
+    for (size_t j = i + 1; j < h.members.size(); ++j) {
+      if (static_cast<int>(j) == holder) continue;
+      EXPECT_TRUE(
+          GcsHarness::prefix_consistent(h.logs[i].delivered, h.logs[j].delivered));
+    }
+    EXPECT_TRUE(GcsHarness::fifo_clean(h.logs[i].delivered));
+  }
+}
+
+}  // namespace

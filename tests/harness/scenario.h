@@ -49,6 +49,8 @@ struct ScenarioOptions {
   int computes = 2;
   uint64_t seed = 1;
   joshua::TransferMode transfer = joshua::TransferMode::kReplay;
+  /// Total-order engine for the replication group.
+  gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
 
   /// Simulated campaign length (workload + fault injection window).
   sim::Duration duration = sim::hours(6);
@@ -150,6 +152,7 @@ class ScenarioRunner {
     copt.gcs_heartbeat = options_.gcs_heartbeat;
     copt.gcs_suspect = options_.gcs_suspect;
     copt.gcs_flush = options_.gcs_flush;
+    copt.ordering = options_.ordering;
     cluster_ = std::make_unique<joshua::Cluster>(copt);
     if (options_.trace_capacity != 0)
       cluster_->sim().telemetry().trace().set_capacity(options_.trace_capacity);

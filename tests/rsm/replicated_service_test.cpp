@@ -202,6 +202,13 @@ TEST(ReplicatedMetadata, ConcurrentClientsStayConsistent) {
   ASSERT_TRUE(s1 && s2);
   EXPECT_TRUE((*s1 == pvfs::MdStatus::kOk) ^ (*s2 == pvfs::MdStatus::kOk))
       << "exactly one create wins the total order";
+  // The replying replica can apply a hop before its peers hear the ordering
+  // decision; wait for every replica to catch up, then demand agreement.
+  testutil::run_until(h.sim, [&] {
+    for (auto& s : h.services)
+      if (s->snapshot() != h.services[0]->snapshot()) return false;
+    return true;
+  });
   for (auto& s : h.services)
     EXPECT_EQ(s->snapshot(), h.services[0]->snapshot());
 }

@@ -162,6 +162,54 @@ TEST(ChromeTrace, ExportIsWellFormedAndNamesTracks) {
   EXPECT_TRUE(saw_complete);
 }
 
+TEST(TraceBuffer, CategoryQuotaSurvivesFloodFromOtherStreams) {
+  TraceBuffer t;
+  t.set_capacity(8);
+  uint16_t rare = t.intern("gcs.view");
+  uint16_t flood = t.intern("gcs.data");
+  t.set_category_capacity(rare, 4);
+  // Three early rare records, then a flood that wraps the shared ring many
+  // times over. Without the quota the early records would be long gone.
+  for (int64_t i = 0; i < 3; ++i) t.instant(i, 0, rare, static_cast<uint64_t>(i));
+  for (int64_t i = 10; i < 100; ++i) t.instant(i, 0, flood);
+
+  std::vector<int64_t> rare_ts;
+  int64_t prev = -1;
+  bool ordered = true;
+  t.for_each([&](const TraceBuffer::Record& r) {
+    if (r.ts_us < prev) ordered = false;
+    prev = r.ts_us;
+    if (r.cat == rare) rare_ts.push_back(r.ts_us);
+  });
+  EXPECT_TRUE(ordered) << "merged iteration must stay in timestamp order";
+  ASSERT_EQ(rare_ts.size(), 3u) << "early view records must survive the flood";
+  EXPECT_EQ(rare_ts.front(), 0);
+  EXPECT_EQ(t.size(), 8u + 3u);
+  EXPECT_EQ(t.dropped(rare), 0u);
+  EXPECT_GT(t.dropped(flood), 0u);
+}
+
+TEST(TraceBuffer, CategoryQuotaWrapsWithinItsOwnRing) {
+  TraceBuffer t;
+  uint16_t rare = t.intern("rare");
+  t.set_category_capacity(rare, 2);
+  for (int64_t i = 0; i < 5; ++i) t.instant(i, 0, rare);
+  // The sub-ring keeps the newest 2 and charges drops to its own category.
+  std::vector<int64_t> ts;
+  t.for_each([&](const TraceBuffer::Record& r) { ts.push_back(r.ts_us); });
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0], 3);
+  EXPECT_EQ(ts[1], 4);
+  EXPECT_EQ(t.dropped(rare), 3u);
+  EXPECT_EQ(t.recorded(), 5u);
+
+  // Capacity 0 routes the stream back to the shared ring.
+  t.clear();
+  t.set_category_capacity(rare, 0);
+  t.instant(9, 0, rare);
+  EXPECT_EQ(t.size(), 1u);
+}
+
 TEST(ChromeTrace, HostsBeyondNameVectorGetFallbackNames) {
   TraceBuffer t;
   uint16_t cat = t.intern("x");
