@@ -8,9 +8,11 @@ namespace gcs {
 namespace {
 
 // Engine payload sub-types (first byte of every kEngine body).
-constexpr uint8_t kSubToken = 1;      ///< the circulating token (unicast)
-constexpr uint8_t kSubStamps = 2;     ///< batch stamp announcement (broadcast)
-constexpr uint8_t kSubStampNack = 3;  ///< stamp-gap recovery request
+constexpr uint8_t kSubToken = 1;       ///< the circulating token (unicast)
+constexpr uint8_t kSubStamps = 2;      ///< batch stamp announcement (broadcast)
+constexpr uint8_t kSubStampNack = 3;   ///< stamp-gap recovery request
+constexpr uint8_t kSubRegenQuery = 4;  ///< regeneration round: fence + poll
+constexpr uint8_t kSubRegenReply = 5;  ///< regeneration round: next_global
 
 /// Recent-stamp history kept per member for re-announces and flush transfer.
 constexpr size_t kStampLogCap = 4096;
@@ -30,9 +32,15 @@ EngineOut TokenRingEngine::reset(const View& view, MemberId self,
   // traffic -- so a rejoined member can mint without knowing old ids.
   token_id_seen_ = 0;
   rotation_ = 0;
+  regen_pending_ = false;
+  regen_id_ = 0;
+  regen_replies_.clear();
+  nack_head_ = 0;
+  nack_streak_ = 0;
   stamps_.clear();
   my_unstamped_.clear();
   stamp_log_.clear();
+  stamp_by_global_.clear();
   flush_stamps_.clear();
   // next_global_ was raised to the merged maximum by install_transfer_state;
   // everything below it was either flush-delivered or dropped identically
@@ -64,9 +72,15 @@ void TokenRingEngine::clear() {
   idle_streak_ = 0;
   delivered_global_ = 0;
   regen_timeout_us_ = 0;
+  regen_pending_ = false;
+  regen_id_ = 0;
+  regen_replies_.clear();
+  nack_head_ = 0;
+  nack_streak_ = 0;
   stamps_.clear();
   my_unstamped_.clear();
   stamp_log_.clear();
+  stamp_by_global_.clear();
   flush_stamps_.clear();
 }
 
@@ -94,10 +108,27 @@ sim::Payload TokenRingEngine::encode_stamp_nack(uint64_t from_global) const {
   return w.take();
 }
 
+sim::Payload TokenRingEngine::encode_regen_query() const {
+  net::Writer w;
+  w.u8(kSubRegenQuery);
+  w.u64(view_.id.epoch);
+  w.u64(regen_id_);
+  return w.take();
+}
+
 void TokenRingEngine::remember(uint64_t global, const Stamp& s) {
   stamps_.insert_or_assign(global, s);
+  stamp_by_global_.insert_or_assign(global, s);
   stamp_log_.emplace_back(global, s);
-  if (stamp_log_.size() > kStampLogCap) stamp_log_.pop_front();
+  if (stamp_log_.size() > kStampLogCap) {
+    const auto& [g, old] = stamp_log_.front();
+    // A re-stamp leaves two log entries for one global; evicting the older
+    // one must not drop the index entry holding the newer assignment.
+    auto it = stamp_by_global_.find(g);
+    if (it != stamp_by_global_.end() && it->second.token_id == old.token_id)
+      stamp_by_global_.erase(it);
+    stamp_log_.pop_front();
+  }
 }
 
 void TokenRingEngine::apply_stamp(uint64_t global, const Stamp& s) {
@@ -182,7 +213,7 @@ EngineOut TokenRingEngine::on_insert(const DataMsg&, int64_t now_us) {
   return {};
 }
 
-EngineOut TokenRingEngine::on_control(MemberId, const sim::Payload& body,
+EngineOut TokenRingEngine::on_control(MemberId from, const sim::Payload& body,
                                       int64_t now_us) {
   net::Reader r(body);
   uint8_t sub = r.u8();
@@ -234,7 +265,49 @@ EngineOut TokenRingEngine::on_control(MemberId, const sim::Payload& body,
       uint64_t from_global = r.u64();
       r.expect_done();
       if (epoch != view_.id.epoch) return {};
-      return reannounce(from_global);
+      return reannounce(from, from_global);
+    }
+    case kSubRegenQuery: {
+      uint64_t epoch = r.u64();
+      uint64_t regen_id = r.u64();
+      r.expect_done();
+      if (epoch != view_.id.epoch) return {};
+      if (regen_id < token_id_seen_) return {};  // stale round, outlived
+      if (regen_id > token_id_seen_) {
+        // First sighting: the round fences the current token. A holder
+        // relinquishes -- its token id just lost -- keeping its stamps (the
+        // NACK path can re-announce them) and its unstamped backlog (the
+        // minted token will stamp it).
+        token_id_seen_ = regen_id;
+        holding_ = false;
+        forward_pending_ = false;
+      }
+      // Reply even to a repeated query: the previous reply may have been
+      // lost, and the minter cannot take a token until everyone answered.
+      net::Writer w;
+      w.u8(kSubRegenReply);
+      w.u64(view_.id.epoch);
+      w.u64(regen_id);
+      w.u64(next_global_);
+      EngineOut out;
+      out.unicast = {from, w.take()};
+      return out;
+    }
+    case kSubRegenReply: {
+      uint64_t epoch = r.u64();
+      uint64_t regen_id = r.u64();
+      uint64_t next = r.u64();
+      r.expect_done();
+      if (epoch != view_.id.epoch) return {};
+      if (!regen_pending_ || regen_id != regen_id_) return {};
+      next_global_ = std::max(next_global_, next);
+      regen_replies_.insert(from);
+      if (regen_replies_.size() + 1 < view_.size()) return {};
+      // Everyone answered after being fenced, so no member can hold -- or
+      // mint later -- an assignment at or above the merged next_global_:
+      // the replacement token cannot reuse a delivered global.
+      regen_pending_ = false;
+      return take_token(now_us);
     }
     default:
       return {};
@@ -244,21 +317,54 @@ EngineOut TokenRingEngine::on_control(MemberId, const sim::Payload& body,
 EngineOut TokenRingEngine::on_tick(int64_t now_us) {
   if (view_.members.empty()) return {};
   // Token regeneration: the ring has been silent past the loss timeout; the
-  // lowest member mints a replacement fenced by a higher token id.
-  if (!holding_ && view_.lowest() == self_ &&
-      now_us - last_activity_us_ > regen_timeout_us_) {
-    ++token_id_seen_;
-    return take_token(now_us);
+  // lowest member replaces the token. With peers this is a recovery round,
+  // not a direct mint: the query fences the old token and collects every
+  // member's next_global_, so the replacement cannot reassign a global that
+  // was already stamped -- and possibly delivered -- under the old token
+  // even when both the stamp announcement and the hand-off were lost.
+  if (!holding_ && view_.lowest() == self_) {
+    if (regen_pending_) {
+      // Round in flight: re-broadcast the query until everyone's reply
+      // lands (queries and replies are lossy too).
+      EngineOut out;
+      out.broadcast = encode_regen_query();
+      return out;
+    }
+    if (now_us - last_activity_us_ > regen_timeout_us_) {
+      if (view_.size() == 1) {  // nobody to consult (or to diverge from)
+        ++token_id_seen_;
+        return take_token(now_us);
+      }
+      regen_id_ = ++token_id_seen_;
+      regen_pending_ = true;
+      regen_replies_.clear();
+      EngineOut out;
+      out.broadcast = encode_regen_query();
+      return out;
+    }
   }
   // Stamp-gap recovery: delivery is stalled behind a global we never heard
   // the assignment for (the announce was lost); ask the ring. The gap is
   // visible either from a later stamp or from the token's next_global.
   if (view_.size() > 1 && next_global_ > delivered_global_ + 1 &&
       stamps_.find(delivered_global_ + 1) == stamps_.end()) {
+    uint64_t head = delivered_global_ + 1;
+    if (head != nack_head_) {
+      // Fresh gap: give the in-flight announcement one full tick to land
+      // before asking the ring.
+      nack_head_ = head;
+      nack_streak_ = 0;
+      return {};
+    }
+    // Persisted gap: NACK at most every other tick, so one lost
+    // announcement costs the ring a trickle, not a storm.
+    if (++nack_streak_ % 2 != 1) return {};
     EngineOut out;
-    out.broadcast = encode_stamp_nack(delivered_global_ + 1);
+    out.broadcast = encode_stamp_nack(head);
     return out;
   }
+  nack_head_ = 0;
+  nack_streak_ = 0;
   return {};
 }
 
@@ -268,17 +374,19 @@ EngineOut TokenRingEngine::on_forward_timer(int64_t now_us) {
   return stamp_and_forward(now_us, /*may_defer=*/false);
 }
 
-EngineOut TokenRingEngine::reannounce(uint64_t from_global) const {
+EngineOut TokenRingEngine::reannounce(MemberId to, uint64_t from_global) const {
   auto lookup = [this](uint64_t g) -> const Stamp* {
-    auto it = stamps_.find(g);
-    if (it != stamps_.end()) return &it->second;
-    for (auto lit = stamp_log_.rbegin(); lit != stamp_log_.rend(); ++lit)
-      if (lit->first == g) return &lit->second;
-    return nullptr;
+    // stamp_by_global_ indexes the whole log; stamps_ additionally covers
+    // live assignments old enough to have been evicted from it.
+    auto it = stamp_by_global_.find(g);
+    if (it != stamp_by_global_.end()) return &it->second;
+    auto sit = stamps_.find(g);
+    return sit == stamps_.end() ? nullptr : &sit->second;
   };
   // Respond only if we know the assignment at exactly the gap head (anyone
   // may answer; the announcement is idempotent). One announce covers a
-  // contiguous same-token-id run.
+  // contiguous same-token-id run, unicast to the requester -- a broadcast
+  // answer times N requesters is exactly the storm the NACK limiter avoids.
   const Stamp* head = lookup(from_global);
   if (head == nullptr) return {};
   std::vector<MsgId> run;
@@ -299,7 +407,7 @@ EngineOut TokenRingEngine::reannounce(uint64_t from_global) const {
     w.u64(id.seq);
   }
   EngineOut out;
-  out.broadcast = w.take();
+  out.unicast = {to, w.take()};
   return out;
 }
 
@@ -331,14 +439,11 @@ void TokenRingEngine::on_delivered(const DataMsg& m) {
 }
 
 sim::Payload TokenRingEngine::transfer_state() const {
-  // Everything we know about global assignments: live stamps plus the
-  // recent-history log (delivered stamps matter too -- a member that lagged
-  // behind must flush them in the same order we delivered them).
-  std::map<uint64_t, Stamp> all(stamps_);
-  for (const auto& [g, s] : stamp_log_) {
-    auto [it, inserted] = all.emplace(g, s);
-    if (!inserted && s.token_id > it->second.token_id) it->second = s;
-  }
+  // Everything we know about global assignments: the log index (delivered
+  // stamps matter too -- a member that lagged behind must flush them in the
+  // same order we delivered them) plus live stamps the bounded log evicted.
+  std::map<uint64_t, Stamp> all(stamp_by_global_);
+  for (const auto& [g, s] : stamps_) all.emplace(g, s);
   net::Writer w;
   w.u64(next_global_);
   w.u32(static_cast<uint32_t>(all.size()));

@@ -12,13 +12,23 @@
 //
 // Loss handling:
 //   * Lost stamp announcement: delivery stalls behind a global-sequence gap;
-//     the heartbeat tick broadcasts a stamp NACK for the gap head and any
-//     member that knows the stamp re-announces it (idempotent).
+//     once the gap has persisted a full heartbeat tick (in-flight announces
+//     get one tick to land) the stalled member broadcasts a stamp NACK for
+//     the gap head -- at most every other tick, so a lost announcement does
+//     not trigger a ring-wide NACK storm -- and any member that knows the
+//     stamp re-announces a run of it, unicast to the requester (idempotent).
 //   * Lost token: after `token_timeout` (plus slack proportional to the ring
 //     size, since an idle token is only seen every N idle-cap hops) of ring
-//     silence, the lowest view member mints a replacement with a higher
-//     token id. Stale tokens and their stamps are fenced by token id:
-//     higher id wins a stamp conflict, lower-id tokens are discarded.
+//     silence, the lowest view member runs a regeneration round: it
+//     broadcasts a query carrying the replacement's token id, which fences
+//     the old token everywhere it lands (a holder relinquishes), and every
+//     other member replies with its next_global. Only when ALL of them have
+//     answered does the minter take a token seeded with the maximum -- so a
+//     regenerated token can never reassign a global any member has already
+//     stamped or delivered, even when the stamp announcement and the token
+//     hand-off were both lost in the same window. A member that cannot
+//     answer is a suspect, and the view change resets the ring instead.
+//     Lower-id tokens are discarded on arrival.
 //   * Holder crash / partition: the view change resets the ring. Flush state
 //     transfer (transfer_state / merge / install) unions every member's
 //     stamp table so all members flush stamped messages in identical global
@@ -36,6 +46,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "gcs/ordering_engine.h"
@@ -77,6 +88,7 @@ class TokenRingEngine : public OrderingEngine {
   uint64_t delivered_global() const { return delivered_global_; }
   uint64_t next_global() const { return next_global_; }
   uint64_t token_id_seen() const { return token_id_seen_; }
+  bool regen_pending() const { return regen_pending_; }
 
  private:
   /// A global-sequence assignment: which message carries global g, fenced by
@@ -89,7 +101,7 @@ class TokenRingEngine : public OrderingEngine {
   EngineOut take_token(int64_t now_us);
   EngineOut stamp_and_forward(int64_t now_us, bool may_defer);
   EngineOut forward_now(EngineOut out, int64_t now_us);
-  EngineOut reannounce(uint64_t from_global) const;
+  EngineOut reannounce(MemberId to, uint64_t from_global) const;
   void apply_stamp(uint64_t global, const Stamp& s);
   void remember(uint64_t global, const Stamp& s);
   MemberId next_in_ring() const;
@@ -97,6 +109,7 @@ class TokenRingEngine : public OrderingEngine {
 
   sim::Payload encode_token() const;
   sim::Payload encode_stamp_nack(uint64_t from_global) const;
+  sim::Payload encode_regen_query() const;
 
   EngineTuning tuning_;
   View view_;
@@ -120,6 +133,21 @@ class TokenRingEngine : public OrderingEngine {
   int64_t last_activity_us_ = 0;  ///< last token/stamp sighting
   int idle_streak_ = 0;
 
+  // -- regeneration round ----------------------------------------------------
+  /// The lowest member's regeneration round is in flight: the query is
+  /// re-broadcast every tick until every other member's reply arrives.
+  bool regen_pending_ = false;
+  /// Token id the round is minting (== token_id_seen_ while pending).
+  uint64_t regen_id_ = 0;
+  /// Members whose reply to the current round has been recorded.
+  std::set<MemberId> regen_replies_;
+
+  // -- stamp-gap NACK rate limiting ------------------------------------------
+  /// Gap head observed on the previous tick (0: none).
+  uint64_t nack_head_ = 0;
+  /// Consecutive ticks the same head has persisted.
+  int nack_streak_ = 0;
+
   // -- order state -----------------------------------------------------------
   /// Contiguous prefix of globals delivered locally.
   uint64_t delivered_global_ = 0;
@@ -130,6 +158,9 @@ class TokenRingEngine : public OrderingEngine {
   /// Recent stamp history including delivered ones, for gap re-announces and
   /// flush state transfer. Bounded ring (kStampLogCap).
   std::deque<std::pair<uint64_t, Stamp>> stamp_log_;
+  /// Per-global index over stamp_log_ (latest assignment per global), so a
+  /// re-announce lookup is O(log n) instead of a reverse deque scan.
+  std::map<uint64_t, Stamp> stamp_by_global_;
   /// Merged stamp table installed by the view-change commit; consulted only
   /// by order_flush.
   std::map<uint64_t, Stamp> flush_stamps_;

@@ -4,10 +4,14 @@
 // its own failure modes -- a lost token and a crashed token holder.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "gcs/engine_token.h"
 #include "gcs/gcs_harness.h"
+#include "gcs/ordering.h"
 
 namespace {
 
@@ -128,6 +132,166 @@ TEST_P(EngineEquivalence, SameGuaranteesUnderSeededFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
                          ::testing::Values(7u, 21u, 42u));
+
+// ---------------------------------------------------------------------------
+// Direct-drive rig: one TokenRingEngine + OrderingBuffer per member with
+// hand routing, for byte-precise loss windows the stochastic campaigns are
+// very unlikely to hit. The data path is lossless here; only engine control
+// traffic is dropped.
+// ---------------------------------------------------------------------------
+
+// Engine wire sub-types (first payload byte; mirrors engine_token.cpp).
+constexpr uint8_t kSubStamps = 2;
+constexpr uint8_t kSubStampNack = 3;
+
+struct RingNode {
+  RingNode(gcs::MemberId id_, const gcs::EngineTuning& t) : id(id_), eng(t) {
+    buf.attach_engine(&eng);
+  }
+  gcs::MemberId id;
+  gcs::OrderingBuffer buf;
+  gcs::TokenRingEngine eng;
+  std::vector<gcs::DataMsg> delivered;
+};
+
+class TokenRig {
+ public:
+  explicit TokenRig(int n) {
+    view.id = {1, 1};
+    for (int i = 1; i <= n; ++i)
+      view.members.push_back(static_cast<gcs::MemberId>(i));
+    for (gcs::MemberId m : view.members)
+      nodes.push_back(std::make_unique<RingNode>(m, tuning));
+    for (auto& node : nodes) {
+      node->buf.reset(view, node->id);
+      route(node->id, node->eng.reset(view, node->id, now));
+    }
+  }
+
+  RingNode& node(gcs::MemberId id) { return *nodes[id - 1]; }
+
+  /// Route an EngineOut, recursively delivering to peers and draining.
+  /// Payloads sent by `drop_from` vanish (forward timers are kept).
+  void route(gcs::MemberId from, gcs::EngineOut out) {
+    if (out.forward_timer.us > 0) timers.insert(from);
+    if (out.broadcast) {
+      sent.emplace_back((*out.broadcast)[0], true);
+      if (from != drop_from)
+        for (auto& n : nodes)
+          if (n->id != from) deliver(*n, from, *out.broadcast);
+    }
+    if (out.unicast) {
+      sent.emplace_back(out.unicast->second[0], false);
+      if (from != drop_from)
+        deliver(node(out.unicast->first), from, out.unicast->second);
+    }
+  }
+
+  void deliver(RingNode& dst, gcs::MemberId from, const sim::Payload& p) {
+    route(dst.id, dst.eng.on_control(from, p, now));
+    drain(dst);
+  }
+
+  void drain(RingNode& n) {
+    for (gcs::DataMsg& m : n.buf.drain()) n.delivered.push_back(std::move(m));
+  }
+
+  /// One heartbeat tick at every member, in member-id order.
+  void tick() {
+    now += 50'000;
+    for (auto& n : nodes) route(n->id, n->eng.on_tick(now));
+  }
+
+  void multicast(gcs::MemberId sender, uint64_t seq) {
+    now += 1'000;
+    gcs::DataMsg m;
+    m.id = {sender, seq};
+    m.lamport = ++lamport;
+    m.level = gcs::Delivery::kAgreed;
+    for (auto& n : nodes) n->buf.insert(m);
+    route(sender, node(sender).eng.on_local_send(m, now));
+    for (auto& n : nodes)
+      if (n->id != sender) route(n->id, n->eng.on_insert(m, now));
+    for (auto& n : nodes) drain(*n);
+  }
+
+  size_t count_sent(uint8_t sub, bool broadcast) const {
+    size_t c = 0;
+    for (const auto& [s, b] : sent)
+      if (s == sub && b == broadcast) ++c;
+    return c;
+  }
+
+  gcs::EngineTuning tuning;
+  gcs::View view;
+  std::vector<std::unique_ptr<RingNode>> nodes;
+  std::set<gcs::MemberId> timers;  ///< pending idle-forward timers (unfired)
+  gcs::MemberId drop_from = sim::kInvalidHost;
+  std::vector<std::pair<uint8_t, bool>> sent;  ///< (sub-type, was-broadcast)
+  int64_t now = 0;
+  uint64_t lamport = 0;
+};
+
+// REVIEW.md regression: the holder stamps and locally delivers its own
+// message, then the stamp announcement is lost to every peer AND the token
+// hand-off is lost, so no member sees a gap and nothing is NACKable. The
+// regeneration round must still learn that global 1 is taken (from the old
+// holder's reply) instead of minting with a stale next_global and
+// reassigning a delivered global -- which would permanently diverge the
+// total order and orphan the holder's message.
+TEST(TokenRing, RegenRoundNeverReusesDeliveredGlobals) {
+  TokenRig rig(3);
+
+  // Member 2 multicasts; member 1 (initial holder, idling) hands the token
+  // over; member 2 stamps global 1 and delivers its own message locally,
+  // but both of its packets -- the stamp announcement and the onward token
+  // -- vanish.
+  rig.drop_from = 2;
+  rig.multicast(2, 1);
+  rig.drop_from = sim::kInvalidHost;
+  ASSERT_EQ(rig.node(2).eng.delivered_global(), 1u)
+      << "precondition: the holder delivered its own stamped message";
+  ASSERT_TRUE(rig.node(1).delivered.empty());
+  ASSERT_TRUE(rig.node(3).delivered.empty());
+
+  // Traffic queued at member 1 while the ring is dead.
+  rig.multicast(1, 1);
+  ASSERT_TRUE(rig.node(1).delivered.empty());
+
+  // Ring silence past the loss timeout: member 1 (lowest) regenerates. The
+  // recovery round must seed next_global past member 2's unannounced stamp.
+  rig.now += 2'000'000;
+  rig.tick();
+  EXPECT_FALSE(rig.node(1).eng.regen_pending());
+  EXPECT_EQ(rig.node(1).eng.token_id_seen(), 2u)
+      << "recovery must mint a higher-id token";
+  EXPECT_EQ(rig.node(1).eng.next_global(), 3u)
+      << "the regenerated token reused a global assigned by the old holder";
+  // No NACK yet: a fresh gap gets one full tick of grace.
+  EXPECT_EQ(rig.count_sent(kSubStampNack, true), 0u);
+
+  // The gap persists a tick; members 3 then 1 NACK (rate-limited), and the
+  // old holder re-announces its orphaned stamp to each requester.
+  rig.tick();
+  rig.tick();
+  EXPECT_EQ(rig.count_sent(kSubStampNack, true), 2u)
+      << "gap NACKs must be rate-limited to one per stalled member";
+  // Member 2 answers member 3's NACK; members 2 and 3 (which has the stamp
+  // by then) both answer member 1's.
+  EXPECT_EQ(rig.count_sent(kSubStamps, false), 3u)
+      << "re-announces must be unicast to the requester";
+  EXPECT_EQ(rig.count_sent(kSubStamps, true), 2u)
+      << "only the two original batch announcements may be broadcast";
+
+  // Agreement: every member delivered both messages in the same order, with
+  // the old holder's pre-crash-window delivery as the common prefix.
+  for (gcs::MemberId m : rig.view.members) {
+    const auto& log = rig.node(m).delivered;
+    ASSERT_EQ(log.size(), 2u) << "member " << m;
+    EXPECT_EQ(log[0].id, (gcs::MsgId{2, 1})) << "member " << m;
+    EXPECT_EQ(log[1].id, (gcs::MsgId{1, 1})) << "member " << m;
+  }
+}
 
 TEST(TokenRing, LostTokenRegeneratesAndDeliveryResumes) {
   GcsHarness h(3, 5, use_engine(gcs::OrderingMode::kTokenRing));
