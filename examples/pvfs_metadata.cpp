@@ -2,16 +2,23 @@
 // machinery (group communication + interceptor + state transfer) wrapped
 // around a PVFS-style metadata server instead of the batch system.
 //
-//   $ ./examples/pvfs_metadata
+//   $ ./examples/pvfs_metadata [out_prefix]
+//
+// Writes <out_prefix>.report.json (ScenarioReport with the pvfs.* and rsm.*
+// metrics; CI gates it with tools/report_diff against
+// baselines/pvfs_metadata.report.json).
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "pvfs/metadata.h"
 #include "rsm/replicated_service.h"
 #include "sim/calibration.h"
 #include "sim/failure.h"
+#include "telemetry/scenario_report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string prefix = argc > 1 ? argv[1] : "pvfs_metadata";
   sim::Simulation simulation(1);
   sim::Network net(simulation, sim::paper_testbed().network);
 
@@ -24,6 +31,7 @@ int main() {
   std::vector<std::unique_ptr<rsm::ReplicaNode>> replicas;
   for (int i = 0; i < 3; ++i) {
     services.push_back(std::make_unique<pvfs::MetadataServer>());
+    services.back()->instrument(simulation.telemetry().metrics());
     rsm::ReplicaConfig cfg;
     cfg.group = gcs::group_config_from(sim::paper_testbed());
     cfg.group.port = 7100;
@@ -94,6 +102,25 @@ int main() {
   std::printf("\nsurviving replicas byte-identical: %s\n",
               consistent ? "yes" : "NO");
   bool pass = consistent && listing.entries.size() == 2;
+
+  telemetry::ScenarioReport report;
+  report.set_meta("scenario", "pvfs_metadata");
+  report.set("replicas", 3);
+  report.set("surviving_replicas_consistent", consistent ? 1 : 0);
+  report.set("scratch_entries", static_cast<double>(listing.entries.size()));
+  report.set("md_objects_head1",
+             static_cast<double>(services[1]->object_count()));
+  report.set("md_operations_head1",
+             static_cast<double>(services[1]->operations()));
+  report.set("demo_passed", pass ? 1 : 0);
+  report.note_metrics(simulation.telemetry().metrics());
+  std::string report_path = prefix + ".report.json";
+  if (!report.write_file(report_path)) {
+    std::printf("FAILED to write %s\n", report_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", report_path.c_str());
+
   std::printf("%s\n", pass ? "DEMO PASSED" : "DEMO FAILED");
   return pass ? 0 : 1;
 }

@@ -558,6 +558,9 @@ void GroupMember::begin_flush(std::vector<MemberId> membership) {
 void GroupMember::handle_vc_propose(VcProposeWire m, sim::Endpoint from) {
   note_alive(m.header.from);
   if (state_ == State::kDown) return;
+  // A (re)joiner's clock catches up through the flush exchange, so nothing
+  // it sends in the new view orders before messages the old view delivered.
+  tick_lamport(m.header.lamport);
   // Ignore stale proposals.
   if (m.proposed.epoch <= view_.id.epoch) return;
   if (flush_proposed_ && !flush_coordinator_ && m.proposed < *flush_proposed_)
@@ -591,6 +594,7 @@ void GroupMember::handle_vc_propose(VcProposeWire m, sim::Endpoint from) {
 
 void GroupMember::handle_vc_ack(VcAckWire m) {
   note_alive(m.header.from);
+  tick_lamport(m.header.lamport);
   if (!flush_coordinator_ || !flush_proposed_ || m.proposed != *flush_proposed_)
     return;
   flush_acks_[m.header.from] = std::move(m);
@@ -664,6 +668,7 @@ void GroupMember::complete_flush() {
 
 void GroupMember::handle_vc_commit(VcCommitWire m) {
   note_alive(m.header.from);
+  tick_lamport(m.header.lamport);
   if (m.new_view.id <= view_.id) return;
   if (flush_proposed_ && m.new_view.id < *flush_proposed_) return;
   install_view(m);
@@ -707,6 +712,10 @@ void GroupMember::install_view(const VcCommitWire& commit) {
   std::set<MemberId> joiner_set(commit.joiners.begin(), commit.joiners.end());
   for (MemberId m : view_.members) {
     if (joiner_set.count(m)) {
+      // A reincarnated member (crash + rejoin with no intervening view)
+      // survives the buffer's merge pass; its old incarnation's claims must
+      // not gate the fresh stream.
+      buffer_.reset_peer(m);
       buffer_.set_stream_position(m, 0);
     } else {
       auto it = commit.seq_baseline.find(m);

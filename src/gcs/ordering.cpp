@@ -265,6 +265,11 @@ void OrderingBuffer::set_stream_position(MemberId sender, uint64_t seq) {
   promote_out_of_order(sender);
 }
 
+void OrderingBuffer::reset_peer(MemberId m) {
+  auto it = peers_.find(m);
+  if (it != peers_.end()) it->second = PeerState{};
+}
+
 void OrderingBuffer::clear_all() {
   view_ = View{};
   pending_.clear();

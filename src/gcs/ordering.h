@@ -115,6 +115,14 @@ class OrderingBuffer {
   /// fresh (restarted) member's stream is reset to zero everywhere.
   void set_stream_position(MemberId sender, uint64_t seq);
 
+  /// Forget everything member `m` ever claimed (sent watermark + its cut
+  /// vector). Used at view install for a *reincarnated* member: it stayed in
+  /// the membership across a crash+rejoin, so the merge pass in reset() would
+  /// keep its old incarnation's claims, and a stale sent_upto above the fresh
+  /// stream blocks the all-ack condition (and draws NACKs for messages the
+  /// new incarnation never sent) forever.
+  void reset_peer(MemberId m);
+
   /// Drop all per-member counters and state (member rejoin from scratch).
   void clear_all();
 

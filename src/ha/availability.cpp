@@ -35,6 +35,33 @@ double service_availability_correlated(double node_availability, int nodes,
   return common * independent;
 }
 
+double job_availability(double compute_node_availability, int replicas) {
+  if (replicas < 1)
+    throw std::invalid_argument("job_availability: replicas < 1");
+  return service_availability(compute_node_availability, replicas);
+}
+
+double compute_availability_failover(double mttf_hours, double failover_hours) {
+  if (mttf_hours <= 0.0 || failover_hours < 0.0)
+    throw std::invalid_argument("failover: bad MTTF/failover time");
+  return mttf_hours / (mttf_hours + failover_hours);
+}
+
+double failover_latency_hours(double heartbeat_interval_seconds,
+                              int miss_threshold, double requeue_seconds) {
+  if (heartbeat_interval_seconds < 0.0 || miss_threshold < 1 ||
+      requeue_seconds < 0.0)
+    throw std::invalid_argument("failover_latency: bad detector config");
+  return (heartbeat_interval_seconds * miss_threshold + requeue_seconds) /
+         3600.0;
+}
+
+double combined_availability(double head_node_availability, int head_nodes,
+                             double compute_node_availability, int replicas) {
+  return service_availability(head_node_availability, head_nodes) *
+         job_availability(compute_node_availability, replicas);
+}
+
 AvailabilityRow figure12_row(int nodes, double mttf_hours, double mttr_hours) {
   AvailabilityRow row;
   row.nodes = nodes;

@@ -30,6 +30,38 @@ double downtime_seconds_per_year(double service_availability);
 double service_availability_correlated(double node_availability, int nodes,
                                        double beta);
 
+// -- compute-plane extension -------------------------------------------------
+//
+// The paper's equations cover the head service only. The compute-failover
+// experiments add the other half: a job survives the loss of a compute node
+// either because it runs on r nodes at once (replication) or because a
+// heartbeat detector requeues it elsewhere (failover).
+
+/// Availability of one job dispatched to `replicas` distinct compute nodes,
+/// first-to-finish wins: Equation (2) applied to the compute plane.
+/// replicas = 1 degenerates to the bare node availability.
+double job_availability(double compute_node_availability, int replicas);
+
+/// Effective availability of a *non-replicated* job under heartbeat
+/// failover: an interrupted job is requeued after the detector fires, so
+/// the service-level repair time is the failover latency (miss_threshold
+/// heartbeat intervals + requeue/redispatch), not the node's MTTR.
+/// A = MTTF / (MTTF + t_failover).
+double compute_availability_failover(double mttf_hours,
+                                     double failover_hours);
+
+/// Failover latency in hours from the detector configuration.
+double failover_latency_hours(double heartbeat_interval_seconds,
+                              int miss_threshold,
+                              double requeue_seconds);
+
+/// Series composition of the two planes: a job needs the replicated head
+/// service up (Equation (2) over n heads) AND its replica set viable
+/// (job_availability over r compute nodes). With n = 1, r = 1 this is the
+/// paper's single-point-of-failure baseline A_head * A_compute.
+double combined_availability(double head_node_availability, int head_nodes,
+                             double compute_node_availability, int replicas);
+
 struct AvailabilityRow {
   int nodes = 1;
   double availability = 0.0;

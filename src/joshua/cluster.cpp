@@ -27,6 +27,8 @@ Cluster::Cluster(ClusterOptions options)
     cfg.port = Ports::kPbsServer;
     cfg.moms = mom_endpoints;
     cfg.sched = options_.sched;
+    cfg.heartbeat_interval = options_.mom_heartbeat;
+    cfg.heartbeat_miss_limit = options_.heartbeat_miss_limit;
     pbs_servers_.push_back(std::make_unique<pbs::Server>(net_, h, cfg));
   }
 

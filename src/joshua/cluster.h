@@ -35,6 +35,11 @@ struct ClusterOptions {
   bool auto_rejoin = false;
   bool quirk_mom = false;  ///< the paper's observed TORQUE report deficiency
   bool require_majority = false;
+  /// Heartbeat-based compute-node failure detection at every PBS server.
+  /// Zero = off, the paper's behaviour (a dead compute node's job dies with
+  /// it); nonzero enables failover (requeue of jobs left with no replica).
+  sim::Duration mom_heartbeat = sim::kDurationZero;
+  uint32_t heartbeat_miss_limit = 3;
   pbs::SchedulerConfig sched{};  ///< default: FIFO, exclusive cluster
   uint64_t seed = 1;
   /// gcs timing overrides; zero keeps the GroupConfig defaults.

@@ -34,17 +34,19 @@ size_t MomPlugin::head_index_of(sim::HostId host) const {
 void MomPlugin::jmutex(const pbs::Job& job, sim::HostId requesting_head,
                        std::function<void(pbs::PrologueDecision)> done) {
   ++mutex_attempts_;
-  execute(config_.script_proc, [this, id = job.id, requesting_head,
+  execute(config_.script_proc, [this, id = job.id, r = job.spec.replicas,
+                                requesting_head,
                                 done = std::move(done)]() mutable {
     // Ask the requesting head first -- it can multicast its own mutex
     // request; any other head can arbitrate by proxy if it is dead.
-    jmutex_attempt(id, requesting_head, head_index_of(requesting_head),
+    jmutex_attempt(id, requesting_head, r, head_index_of(requesting_head),
                    config_.heads.size() + 1, std::move(done));
   });
 }
 
 void MomPlugin::jmutex_attempt(pbs::JobId job, sim::HostId on_behalf,
-                               size_t head_index, size_t tries_left,
+                               uint32_t replicas, size_t head_index,
+                               size_t tries_left,
                                std::function<void(pbs::PrologueDecision)> done) {
   if (tries_left == 0) {
     ++aborts_;
@@ -57,12 +59,12 @@ void MomPlugin::jmutex_attempt(pbs::JobId job, sim::HostId on_behalf,
                      config_.joshua_port};
   net::CallOptions options;
   options.timeout = config_.rpc_timeout;
-  call(head, encode_plugin(JMutexRequest{job, on_behalf}),
-       [this, job, on_behalf, head_index, tries_left,
+  call(head, encode_plugin(JMutexRequest{job, on_behalf, host_id(), replicas}),
+       [this, job, on_behalf, replicas, head_index, tries_left,
         done = std::move(done)](std::optional<sim::Payload> resp) mutable {
          if (!resp.has_value()) {
-           jmutex_attempt(job, on_behalf, head_index + 1, tries_left - 1,
-                          std::move(done));
+           jmutex_attempt(job, on_behalf, replicas, head_index + 1,
+                          tries_left - 1, std::move(done));
            return;
          }
          try {
@@ -75,8 +77,8 @@ void MomPlugin::jmutex_attempt(pbs::JobId job, sim::HostId on_behalf,
              done(pbs::PrologueDecision::kEmulate);
            }
          } catch (const net::WireError&) {
-           jmutex_attempt(job, on_behalf, head_index + 1, tries_left - 1,
-                          std::move(done));
+           jmutex_attempt(job, on_behalf, replicas, head_index + 1,
+                          tries_left - 1, std::move(done));
          }
        },
        options);
@@ -94,16 +96,21 @@ void MomPlugin::jdone_attempt(pbs::JobId job, int32_t exit_code,
                               size_t head_index, size_t tries_left,
                               std::function<void()> done) {
   if (tries_left == 0) {
-    // No head reachable: proceed with the reports anyway; the mutex entry
-    // stays held, which is safe (job ids are never reused).
-    done();
+    // No head ordered the release: the job would stay live at every head
+    // (completion is applied from the ordered MutexDone). Keep trying until
+    // the head group comes back; the reports wait, they only confirm.
+    set_timer(config_.rpc_timeout, [this, job, exit_code,
+                                    done = std::move(done)]() mutable {
+      jdone_attempt(job, exit_code, 0, config_.heads.size() + 1,
+                    std::move(done));
+    });
     return;
   }
   sim::Endpoint head{config_.heads[head_index % config_.heads.size()],
                      config_.joshua_port};
   net::CallOptions options;
   options.timeout = config_.rpc_timeout;
-  call(head, encode_plugin(JDoneRequest{job, exit_code}),
+  call(head, encode_plugin(JDoneRequest{job, exit_code, host_id()}),
        [this, job, exit_code, head_index, tries_left,
         done = std::move(done)](std::optional<sim::Payload> resp) mutable {
          if (!resp.has_value()) {

@@ -52,7 +52,7 @@ class MomPlugin : public net::RpcNode {
   void jmutex(const pbs::Job& job, sim::HostId requesting_head,
               std::function<void(pbs::PrologueDecision)> done);
   void jmutex_attempt(pbs::JobId job, sim::HostId on_behalf,
-                      size_t head_index, size_t tries_left,
+                      uint32_t replicas, size_t head_index, size_t tries_left,
                       std::function<void(pbs::PrologueDecision)> done);
   void jdone(const pbs::Job& job, int32_t exit_code,
              std::function<void()> done);

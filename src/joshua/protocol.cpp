@@ -33,6 +33,8 @@ sim::Payload encode_group(const GroupMutexReq& m) {
   w.u8(static_cast<uint8_t>(GroupOp::kMutexReq));
   w.u64(m.job);
   w.u32(m.head);
+  w.u32(m.mom);
+  w.u32(m.replicas);
   return w.take();
 }
 
@@ -43,6 +45,8 @@ GroupMutexReq decode_group_mutex_req(const sim::Payload& buf) {
   GroupMutexReq m;
   m.job = r.u64();
   m.head = r.u32();
+  m.mom = r.u32();
+  m.replicas = r.u32();
   r.expect_done();
   return m;
 }
@@ -53,6 +57,7 @@ sim::Payload encode_group(const GroupMutexDone& m) {
   w.u64(m.job);
   w.i64(m.exit_code);
   w.u32(m.head);
+  w.u32(m.mom);
   return w.take();
 }
 
@@ -64,6 +69,24 @@ GroupMutexDone decode_group_mutex_done(const sim::Payload& buf) {
   m.job = r.u64();
   m.exit_code = static_cast<int32_t>(r.i64());
   m.head = r.u32();
+  m.mom = r.u32();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_group(const GroupMutexRevoke& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(GroupOp::kMutexRevoke));
+  w.u32(m.mom);
+  return w.take();
+}
+
+GroupMutexRevoke decode_group_mutex_revoke(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<GroupOp>(r.u8()) != GroupOp::kMutexRevoke)
+    throw net::WireError("joshua: not a mutex revoke");
+  GroupMutexRevoke m;
+  m.mom = r.u32();
   r.expect_done();
   return m;
 }
@@ -73,6 +96,8 @@ sim::Payload encode_plugin(const JMutexRequest& m) {
   w.u8(static_cast<uint8_t>(PluginOp::kJMutex));
   w.u64(m.job);
   w.u32(m.head);
+  w.u32(m.mom);
+  w.u32(m.replicas);
   return w.take();
 }
 
@@ -83,6 +108,8 @@ JMutexRequest decode_jmutex(const sim::Payload& buf) {
   JMutexRequest m;
   m.job = r.u64();
   m.head = r.u32();
+  m.mom = r.u32();
+  m.replicas = r.u32();
   r.expect_done();
   return m;
 }
@@ -92,6 +119,7 @@ sim::Payload encode_plugin(const JDoneRequest& m) {
   w.u8(static_cast<uint8_t>(PluginOp::kJDone));
   w.u64(m.job);
   w.i64(m.exit_code);
+  w.u32(m.mom);
   return w.take();
 }
 
@@ -102,6 +130,7 @@ JDoneRequest decode_jdone(const sim::Payload& buf) {
   JDoneRequest m;
   m.job = r.u64();
   m.exit_code = static_cast<int32_t>(r.i64());
+  m.mom = r.u32();
   r.expect_done();
   return m;
 }

@@ -12,9 +12,10 @@ namespace joshua {
 
 /// Payloads multicast (AGREED) through the group communication system.
 enum class GroupOp : uint8_t {
-  kCommand = 1,    ///< an intercepted PBS user command
-  kMutexReq = 2,   ///< jmutex: request to launch a job
-  kMutexDone = 3,  ///< jdone: the job's real run finished
+  kCommand = 1,      ///< an intercepted PBS user command
+  kMutexReq = 2,     ///< jmutex: request to launch a job (replica) on a mom
+  kMutexDone = 3,    ///< jdone: a real run finished (first in order wins)
+  kMutexRevoke = 4,  ///< a mom died; release its undone launch claims
 };
 
 /// An intercepted PBS user command; replayed at every head in total order.
@@ -27,21 +28,34 @@ struct GroupCommand {
 struct GroupMutexReq {
   pbs::JobId job = pbs::kInvalidJob;
   gcs::MemberId head = sim::kInvalidHost;  ///< launch attempt on behalf of
+  sim::HostId mom = sim::kInvalidHost;     ///< mom the prologue runs on
+  uint32_t replicas = 1;  ///< job's replication factor (exactly-r slots)
 };
 
 struct GroupMutexDone {
   pbs::JobId job = pbs::kInvalidJob;
   int32_t exit_code = 0;
   gcs::MemberId head = sim::kInvalidHost;
+  sim::HostId mom = sim::kInvalidHost;  ///< mom whose real run finished
+};
+
+/// Multicast when a head detects a compute-node failure: every undone
+/// launch claim held by that mom is released so a relaunched replica
+/// (on another node) can win its slot. Idempotent -- several heads may
+/// announce the same failure.
+struct GroupMutexRevoke {
+  sim::HostId mom = sim::kInvalidHost;
 };
 
 GroupOp peek_group_op(const sim::Payload&);
 sim::Payload encode_group(const GroupCommand&);
 sim::Payload encode_group(const GroupMutexReq&);
 sim::Payload encode_group(const GroupMutexDone&);
+sim::Payload encode_group(const GroupMutexRevoke&);
 GroupCommand decode_group_command(const sim::Payload&);
 GroupMutexReq decode_group_mutex_req(const sim::Payload&);
 GroupMutexDone decode_group_mutex_done(const sim::Payload&);
+GroupMutexRevoke decode_group_mutex_revoke(const sim::Payload&);
 
 /// Mom-plugin RPC ops share the joshua server port with PBS user commands;
 /// the tag byte range is disjoint from pbs::Op.
@@ -53,6 +67,8 @@ enum class PluginOp : uint8_t {
 struct JMutexRequest {
   pbs::JobId job = pbs::kInvalidJob;
   gcs::MemberId head = sim::kInvalidHost;  ///< origin of the launch attempt
+  sim::HostId mom = sim::kInvalidHost;     ///< mom running the prologue
+  uint32_t replicas = 1;                   ///< job's replication factor
 };
 struct JMutexResponse {
   bool won = false;
@@ -61,6 +77,7 @@ struct JMutexResponse {
 struct JDoneRequest {
   pbs::JobId job = pbs::kInvalidJob;
   int32_t exit_code = 0;
+  sim::HostId mom = sim::kInvalidHost;  ///< mom whose real run finished
 };
 
 sim::Payload encode_plugin(const JMutexRequest&);

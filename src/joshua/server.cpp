@@ -81,6 +81,24 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
       terminal_jobs_.insert(job.id);
       if (previous) previous(job);
     };
+    // Ordered duplicate-completion suppression: with r-way replication the
+    // mom reports only confirm what the ordered MutexDone already decided.
+    local_pbs_->accept_report = [this](const pbs::JobReport& report) {
+      return filter_report(report);
+    };
+    // Compute-node failure -> ordered mutex revocation, so every head
+    // releases the dead mom's claims at the same point in the stream.
+    auto prev_failed = std::move(local_pbs_->on_node_failed);
+    local_pbs_->on_node_failed = [this, prev_failed](sim::HostId mom) {
+      // One revoke per detected failure across the whole group: the first
+      // delivered revoke arms the damping set on every head before their
+      // own detectors fire, so late detections stay local.
+      if (group_.is_member() && revoked_moms_.insert(mom).second) {
+        group_.multicast(encode_group(GroupMutexRevoke{mom}),
+                         gcs::Delivery::kAgreed);
+      }
+      if (prev_failed) prev_failed(mom);
+    };
   }
   telemetry::Hub& hub = net.sim().telemetry();
   telemetry::Registry& m = hub.metrics();
@@ -89,6 +107,10 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
   m_replays_applied_ = m.counter("joshua.replays_applied");
   m_mutex_grants_ = m.counter("joshua.mutex_grants");
   m_mutex_denials_ = m.counter("joshua.mutex_denials");
+  m_mutex_revokes_ = m.counter("joshua.mutex_revokes");
+  m_dup_done_suppressed_ = m.counter("joshua.dup_completions_suppressed");
+  m_ordered_completions_ = m.counter("joshua.ordered_completions");
+  m_reports_rejected_ = m.counter("joshua.reports_rejected");
   m_replay_divergence_ =
       m.counter("joshua.replay_divergence." + net.host(host).name());
   m_intercept_latency_ = m.histogram("joshua.intercept_to_reply_us");
@@ -96,6 +118,7 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
   tc_command_ = hub.trace().intern("joshua.command");
   tc_replay_ = hub.trace().intern("joshua.replay");
   tc_jview_ = hub.trace().intern("joshua.view");
+  tc_revoke_ = hub.trace().intern("joshua.mutex_revoke");
 }
 
 void Server::start() { group_.join(); }
@@ -214,6 +237,9 @@ void Server::on_deliver(const gcs::Delivered& msg) {
         break;
       case GroupOp::kMutexDone:
         apply_mutex_done(decode_group_mutex_done(msg.payload));
+        break;
+      case GroupOp::kMutexRevoke:
+        apply_mutex_revoke(decode_group_mutex_revoke(msg.payload));
         break;
     }
   } catch (const net::WireError& e) {
@@ -377,6 +403,15 @@ void Server::install_state(const sim::Payload& state) {
     return;
   }
   auto& [kind, body] = unwrapped;
+  // A joiner's arbitration state is stale by construction: MutexReq and
+  // MutexDone messages delivered while it was out of the view are gone for
+  // good, and a retained !done entry would reject the job's completion
+  // reports forever. Start clean; delivered claims rebuild live entries and
+  // a missing entry makes filter_report accept the mom's report directly.
+  mutexes_.clear();
+  mutex_waiters_.clear();  // the moms' pending RPCs time out and rotate
+  mutex_cast_.clear();
+  revoked_moms_.clear();
   if (kind == TransferKind::kSnapshot) {
     if (local_pbs_ == nullptr) {
       JLOG(kError, "joshua") << name()
@@ -464,68 +499,189 @@ void Server::replay_next() {
 // jmutex / jdone
 // ---------------------------------------------------------------------------
 
+bool Server::mutex_winner(const MutexState& state, sim::HostId mom,
+                          gcs::MemberId head) {
+  if (state.done) return false;
+  uint32_t rank = 0;
+  for (const auto& claim : state.claims) {
+    // A slot is won by one (mom, head) pair: the mom must rank within the
+    // first max_real claimants AND this must be the head whose launch
+    // attempt claimed for it -- the other heads' attempts emulate, which is
+    // the paper's exactly-once start generalised to exactly-r.
+    if (claim.first == mom) return rank < state.max_real && claim.second == head;
+    ++rank;
+  }
+  return false;
+}
+
+bool Server::mutex_answerable(const MutexState& state, sim::HostId mom) {
+  if (state.done) return true;
+  for (const auto& claim : state.claims)
+    if (claim.first == mom) return true;
+  return false;
+}
+
 void Server::handle_jmutex(const JMutexRequest& req, sim::Endpoint from,
                            uint64_t rpc_id) {
   ++stats_.mutex_requests;
   if (!group_.is_member()) return;  // no answer; the plugin rotates heads
   auto it = mutexes_.find(req.job);
-  if (it != mutexes_.end() && !it->second.order.empty()) {
-    bool won = !it->second.done && it->second.order.front() == req.head;
+  if (it != mutexes_.end() && mutex_answerable(it->second, req.mom)) {
+    bool won = mutex_winner(it->second, req.mom, req.head);
     (won ? stats_.mutex_grants : stats_.mutex_denials)++;
     (won ? m_mutex_grants_ : m_mutex_denials_).add(1);
     if (won) m_jmutex_wait_.record(0);  // arbitration already settled
     respond(from, rpc_id, encode_jmutex_response(JMutexResponse{won}));
     return;
   }
-  mutex_waiters_.emplace(req.job,
-                         MutexWaiter{req.head, from, rpc_id, sim().now()});
-  if (mutex_cast_.insert({req.job, req.head}).second) {
-    group_.multicast(encode_group(GroupMutexReq{req.job, req.head}),
-                     gcs::Delivery::kAgreed);
+  mutex_waiters_.emplace(
+      req.job, MutexWaiter{req.head, req.mom, from, rpc_id, sim().now()});
+  if (mutex_cast_.insert({req.job, req.mom}).second) {
+    group_.multicast(
+        encode_group(GroupMutexReq{req.job, req.head, req.mom, req.replicas}),
+        gcs::Delivery::kAgreed);
   }
 }
 
 void Server::handle_jdone(const JDoneRequest& req, sim::Endpoint from,
                           uint64_t rpc_id) {
-  // Ack immediately; the release is ordered through the group.
-  respond(from, rpc_id, sim::Payload{});
+  // Completion is driven by the ordered MutexDone, so an ack without the
+  // multicast would lose the job: stay silent when out of the group and let
+  // the plugin rotate to a head that can actually order the release.
   if (!group_.is_member()) return;
-  group_.multicast(
-      encode_group(GroupMutexDone{req.job, req.exit_code, group_.id()}),
-      gcs::Delivery::kAgreed);
+  respond(from, rpc_id, sim::Payload{});
+  group_.multicast(encode_group(GroupMutexDone{req.job, req.exit_code,
+                                               group_.id(), req.mom}),
+                   gcs::Delivery::kAgreed);
 }
 
 void Server::apply_mutex_req(const GroupMutexReq& req) {
   MutexState& state = mutexes_[req.job];
-  if (std::find(state.order.begin(), state.order.end(), req.head) ==
-      state.order.end()) {
-    state.order.push_back(req.head);
-  }
+  // The first delivered claim fixes r for everyone; delivery order is the
+  // same at every head, so every head pins the same value.
+  if (state.claims.empty() && !state.done)
+    state.max_real = std::max(1u, req.replicas);
+  bool known = false;
+  for (const auto& claim : state.claims)
+    if (claim.first == req.mom) known = true;
+  if (!known) state.claims.emplace_back(req.mom, req.head);
+  // A fresh claim means the mom is (back) in service: re-arm revocation.
+  revoked_moms_.erase(req.mom);
   answer_mutex_waiters(req.job);
 }
 
 void Server::apply_mutex_done(const GroupMutexDone& done) {
   MutexState& state = mutexes_[done.job];
+  if (state.done) {
+    // A losing replica that really ran (it won a slot) also sends jdone;
+    // only the first one in total order decides the job.
+    ++stats_.dup_completions_suppressed;
+    m_dup_done_suppressed_.add(1);
+    return;
+  }
   state.done = true;
   state.exit_code = done.exit_code;
+  state.winner_mom = done.mom;
   terminal_jobs_.insert(done.job);
   answer_mutex_waiters(done.job);
+  // Ordered completion: apply the result to the local PBS here, at the same
+  // point of the command stream on every head. The winner's own report then
+  // only confirms (and survives the winner dying right after jdone).
+  if (local_pbs_ != nullptr) {
+    pbs::JobReport report;
+    report.job_id = done.job;
+    report.exit_code = done.exit_code;
+    report.mom_host = done.mom;
+    auto job = local_pbs_->find_job(done.job);
+    report.cancelled = job.has_value() ? job->cancelled : false;
+    ++stats_.ordered_completions;
+    m_ordered_completions_.add(1);
+    net::CallOptions options;
+    options.timeout = config_.local_rpc_timeout;
+    call(local_pbs_endpoint(), pbs::encode_request(report),
+         [](std::optional<sim::Payload>) {}, options);
+  }
+}
+
+void Server::apply_mutex_revoke(const GroupMutexRevoke& rev) {
+  ++stats_.mutex_revokes;
+  m_mutex_revokes_.add(1);
+  revoked_moms_.insert(rev.mom);
+  size_t released = 0;
+  for (auto& [job, state] : mutexes_) {
+    if (state.done) continue;
+    auto is_dead = [&](const std::pair<sim::HostId, gcs::MemberId>& claim) {
+      return claim.first == rev.mom;
+    };
+    auto cut = std::remove_if(state.claims.begin(), state.claims.end(),
+                              is_dead);
+    if (cut != state.claims.end()) {
+      state.claims.erase(cut, state.claims.end());
+      ++released;
+    }
+    (void)job;
+  }
+  // Forget the dead mom's multicast dedup entries too, so a relaunched
+  // replica's fresh claim actually goes out.
+  for (auto it = mutex_cast_.begin(); it != mutex_cast_.end();) {
+    if (it->second == rev.mom)
+      it = mutex_cast_.erase(it);
+    else
+      ++it;
+  }
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_revoke_,
+                                    rev.mom, released);
+  JLOG(kInfo, "joshua") << name() << ": revoked " << released
+                        << " claim(s) of failed mom " << rev.mom;
+  // Converge the local node table with the group's decision: mark the node
+  // down, drop its replicas and requeue jobs left without one. Idempotent,
+  // so the head whose detector triggered the revoke is unaffected.
+  if (local_pbs_ != nullptr) local_pbs_->note_node_failed(rev.mom);
 }
 
 void Server::answer_mutex_waiters(pbs::JobId job) {
   auto it = mutexes_.find(job);
-  if (it == mutexes_.end() || it->second.order.empty()) return;
+  if (it == mutexes_.end()) return;
   const MutexState& state = it->second;
   auto [begin, end] = mutex_waiters_.equal_range(job);
-  for (auto w = begin; w != end; ++w) {
-    bool won = !state.done && state.order.front() == w->second.head;
+  for (auto w = begin; w != end;) {
+    // A waiter is only answerable once its own claim is delivered (so its
+    // rank among the first max_real is settled) or the job is done.
+    if (!mutex_answerable(state, w->second.mom)) {
+      ++w;
+      continue;
+    }
+    bool won = mutex_winner(state, w->second.mom, w->second.head);
     (won ? stats_.mutex_grants : stats_.mutex_denials)++;
     (won ? m_mutex_grants_ : m_mutex_denials_).add(1);
     if (won) m_jmutex_wait_.record((sim().now() - w->second.asked).us);
     respond(w->second.from, w->second.rpc_id,
             encode_jmutex_response(JMutexResponse{won}));
+    w = mutex_waiters_.erase(w);
   }
-  mutex_waiters_.erase(begin, end);
+}
+
+bool Server::filter_report(const pbs::JobReport& report) {
+  // Cancellations are ordered (jdel/qsig went through the group), so the
+  // local cancelled flag is identical at every head: accept the matching
+  // report directly.
+  if (report.cancelled && local_pbs_ != nullptr) {
+    auto job = local_pbs_->find_job(report.job_id);
+    if (job.has_value() && job->cancelled) return true;
+  }
+  auto it = mutexes_.find(report.job_id);
+  if (it == mutexes_.end()) return true;  // never arbitrated (no prologue)
+  const MutexState& state = it->second;
+  if (!state.done) {
+    // The winner is not decided yet; the ordered MutexDone will complete
+    // the job when it is. Dropping the report is safe - completion no
+    // longer depends on it.
+    m_reports_rejected_.add(1);
+    return false;
+  }
+  if (state.winner_mom == report.mom_host) return true;
+  m_reports_rejected_.add(1);
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +717,7 @@ void Server::on_crash() {
   mutexes_.clear();
   mutex_waiters_.clear();
   mutex_cast_.clear();
+  revoked_moms_.clear();
   command_log_.clear();
   terminal_jobs_.clear();
   max_job_id_seen_ = pbs::kInvalidJob;

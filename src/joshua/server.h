@@ -87,6 +87,9 @@ class Server : public net::RpcNode {
     uint64_t mutex_requests = 0;
     uint64_t mutex_grants = 0;   ///< jmutex answered "won"
     uint64_t mutex_denials = 0;  ///< jmutex answered "lost"
+    uint64_t mutex_revokes = 0;  ///< ordered compute-node revocations applied
+    uint64_t dup_completions_suppressed = 0;  ///< extra MutexDones ignored
+    uint64_t ordered_completions = 0;  ///< completions applied from MutexDone
     uint64_t state_transfers_served = 0;
     uint64_t replays_applied = 0;
   };
@@ -112,7 +115,11 @@ class Server : public net::RpcNode {
                     uint64_t rpc_id);
   void apply_mutex_req(const GroupMutexReq& req);
   void apply_mutex_done(const GroupMutexDone& done);
+  void apply_mutex_revoke(const GroupMutexRevoke& rev);
   void answer_mutex_waiters(pbs::JobId job);
+  /// pbs::Server::accept_report hook: ordered duplicate-completion
+  /// suppression for replicated jobs.
+  bool filter_report(const pbs::JobReport& report);
 
   // gcs callbacks.
   void on_view(const gcs::View& view);
@@ -144,21 +151,36 @@ class Server : public net::RpcNode {
   };
   std::map<uint64_t, PendingReply> pending_replies_;
 
-  /// jmutex arbitration.
+  /// jmutex arbitration, generalised from "exactly once" to "exactly r".
   struct MutexState {
-    std::vector<gcs::MemberId> order;  ///< delivery order; front() wins
+    /// Delivered claims, one per mom, in total order: (mom, claiming head).
+    /// The first max_real distinct moms win their launch slot.
+    std::vector<std::pair<sim::HostId, gcs::MemberId>> claims;
+    /// Replication factor, fixed by the first delivered claim so every head
+    /// arbitrates with the same r even if requesters disagree.
+    uint32_t max_real = 1;
     bool done = false;
+    sim::HostId winner_mom = sim::kInvalidHost;  ///< mom of the first jdone
     int32_t exit_code = 0;
   };
+  static bool mutex_winner(const MutexState& state, sim::HostId mom,
+                           gcs::MemberId head);
+  static bool mutex_answerable(const MutexState& state, sim::HostId mom);
   std::map<pbs::JobId, MutexState> mutexes_;
   struct MutexWaiter {
     gcs::MemberId head;
+    sim::HostId mom;
     sim::Endpoint from;
     uint64_t rpc_id;
     sim::Time asked{0};  ///< when the jmutex request arrived
   };
   std::multimap<pbs::JobId, MutexWaiter> mutex_waiters_;
-  std::set<std::pair<pbs::JobId, gcs::MemberId>> mutex_cast_;
+  /// (job, mom) pairs whose claim this head has already multicast.
+  std::set<std::pair<pbs::JobId, sim::HostId>> mutex_cast_;
+  /// Moms whose failure has already been revoked through the group; damps
+  /// the revoke storm when every head's detector fires. Re-armed when a
+  /// fresh claim from the mom is delivered (it came back).
+  std::set<sim::HostId> revoked_moms_;
 
   /// Replay-mode command log: request + the job id it produced/affected,
   /// compacted as jobs reach terminal state.
@@ -185,6 +207,10 @@ class Server : public net::RpcNode {
   telemetry::Counter m_replays_applied_;
   telemetry::Counter m_mutex_grants_;
   telemetry::Counter m_mutex_denials_;
+  telemetry::Counter m_mutex_revokes_;
+  telemetry::Counter m_dup_done_suppressed_;
+  telemetry::Counter m_ordered_completions_;
+  telemetry::Counter m_reports_rejected_;
   /// Per-head ("joshua.replay_divergence.<host>"): replayed commands whose
   /// local PBS response disagreed with what the replayed log implies. Any
   /// nonzero value means this head's rebuilt state drifted from the group.
@@ -194,6 +220,7 @@ class Server : public net::RpcNode {
   uint16_t tc_command_ = 0;  ///< trace category "joshua.command"
   uint16_t tc_replay_ = 0;   ///< trace category "joshua.replay"
   uint16_t tc_jview_ = 0;    ///< trace category "joshua.view"
+  uint16_t tc_revoke_ = 0;   ///< trace category "joshua.mutex_revoke"
 };
 
 }  // namespace joshua

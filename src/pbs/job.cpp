@@ -37,6 +37,7 @@ void encode_job_spec(net::Writer& w, const JobSpec& spec) {
   w.i64(spec.walltime.us);
   w.i64(spec.run_time.us);
   w.i64(spec.priority);
+  w.u32(spec.replicas);
   w.str(spec.script);
 }
 
@@ -48,6 +49,7 @@ JobSpec decode_job_spec(net::Reader& r) {
   spec.walltime = sim::Duration{r.i64()};
   spec.run_time = sim::Duration{r.i64()};
   spec.priority = static_cast<int32_t>(r.i64());
+  spec.replicas = r.u32();
   spec.script = r.str();
   return spec;
 }
@@ -63,6 +65,8 @@ void encode_job(net::Writer& w, const Job& job) {
   w.boolean(job.cancelled);
   w.u64(job.queue_rank);
   w.u32(job.exec_host);
+  w.vec(job.replica_hosts,
+        [](net::Writer& w2, sim::HostId h) { w2.u32(h); });
 }
 
 Job decode_job(net::Reader& r) {
@@ -77,6 +81,8 @@ Job decode_job(net::Reader& r) {
   job.cancelled = r.boolean();
   job.queue_rank = r.u64();
   job.exec_host = r.u32();
+  job.replica_hosts =
+      r.vec<sim::HostId>([](net::Reader& r2) { return r2.u32(); });
   return job;
 }
 

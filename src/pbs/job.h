@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/wire.h"
 #include "sim/time.h"
@@ -35,6 +36,10 @@ struct JobSpec {
   sim::Duration walltime = sim::minutes(10);  ///< requested limit
   sim::Duration run_time = sim::seconds(1);   ///< actual (simulated) runtime
   int32_t priority = 0;
+  /// Replication factor: dispatch to `replicas` disjoint node sets;
+  /// first-to-finish wins and the losers are reaped. 1 = the paper's
+  /// unreplicated compute plane.
+  uint32_t replicas = 1;
   std::string script;           ///< payload carried for realism
 };
 
@@ -50,6 +55,9 @@ struct Job {
   bool cancelled = false;
   uint64_t queue_rank = 0;   ///< FIFO position (submission order)
   sim::HostId exec_host = sim::kInvalidHost;  ///< mom host while running
+  /// Mother-superior hosts of every live replica (exec_host is the first).
+  /// Shrinks as replicas fail or are reaped; empty once the job completes.
+  std::vector<sim::HostId> replica_hosts;
 
   bool terminal() const { return state == JobState::kComplete; }
   bool active() const {

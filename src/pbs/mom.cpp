@@ -23,8 +23,9 @@ void Mom::on_request(sim::Payload request, sim::Endpoint from,
   } catch (const net::WireError&) {
     return;
   }
-  execute(config_.launch_proc, [this, request = std::move(request), from,
-                                rpc_id, op] {
+  sim::Duration cost =
+      op == Op::kMomPing ? config_.ping_proc : config_.launch_proc;
+  execute(cost, [this, request = std::move(request), from, rpc_id, op] {
     try {
       switch (op) {
         case Op::kMomLaunch:
@@ -35,6 +36,9 @@ void Mom::on_request(sim::Payload request, sim::Endpoint from,
           break;
         case Op::kMomEmuComplete:
           handle_emu_complete(decode_mom_emu_complete(request), from, rpc_id);
+          break;
+        case Op::kMomPing:
+          handle_ping(decode_mom_ping(request), from, rpc_id);
           break;
         default:
           respond(from, rpc_id,
@@ -62,8 +66,7 @@ void Mom::handle_launch(MomLaunchRequest req, sim::Endpoint from,
     report_to(req.server_host, inst, 0);
     return;
   }
-  if (inst.state == InstanceState::kRunning ||
-      inst.state == InstanceState::kEmulated) {
+  if (inst.state == InstanceState::kRunning) {
     // Attach: the requester gets its report when the instance completes.
     ++launches_emulated_;
     respond(from, rpc_id,
@@ -71,19 +74,27 @@ void Mom::handle_launch(MomLaunchRequest req, sim::Endpoint from,
     return;
   }
 
-  // First decision for this launch attempt: run the prologue.
+  // kStarting: first decision for this launch attempt. kEmulated: arbitrate
+  // again -- a failover (mutex revoke) may have freed the launch slot this
+  // instance lost earlier, in which case the prologue now says run.
   if (!prologue_) {
     respond(from, rpc_id,
             encode_response(MomLaunchResponse{Status::kOk, false}));
-    start_job(inst);
+    if (inst.state != InstanceState::kRunning) start_job(inst);
     return;
   }
-  sim::HostId requester = req.server_host;
-  prologue_(inst.job, requester,
+  run_prologue(id, req.server_host, from, rpc_id);
+}
+
+void Mom::run_prologue(JobId id, sim::HostId requester, sim::Endpoint from,
+                       uint64_t rpc_id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  prologue_(it->second.job, requester,
             [this, id, requester, from, rpc_id](PrologueDecision decision) {
-              auto it = instances_.find(id);
-              if (it == instances_.end()) return;
-              Instance& inst = it->second;
+              auto it2 = instances_.find(id);
+              if (it2 == instances_.end()) return;
+              Instance& inst = it2->second;
               switch (decision) {
                 case PrologueDecision::kRun:
                   respond(from, rpc_id,
@@ -117,6 +128,7 @@ void Mom::start_job(Instance& inst) {
   inst.real_run_here = true;
   inst.start_time = sim().now();
   ++jobs_executed_;
+  ++real_run_log_[inst.job.id];
   JLOG(kDebug, "mom") << name() << ": job " << inst.job.id << " started ("
                       << inst.job.spec.run_time.millis() << " ms)";
   JobId id = inst.job.id;
@@ -205,6 +217,17 @@ void Mom::handle_kill(const MomKillRequest& req, sim::Endpoint from,
   }
 }
 
+void Mom::handle_ping(const MomPingRequest& req, sim::Endpoint from,
+                      uint64_t rpc_id) {
+  MomPingResponse resp;
+  resp.seq = req.seq;
+  for (const auto& [id, inst] : instances_) {
+    (void)id;
+    if (inst.state == InstanceState::kRunning) ++resp.running_jobs;
+  }
+  respond(from, rpc_id, encode_response(resp));
+}
+
 void Mom::handle_emu_complete(const MomEmuCompleteRequest& req,
                               sim::Endpoint from, uint64_t rpc_id) {
   respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
@@ -219,8 +242,9 @@ void Mom::handle_emu_complete(const MomEmuCompleteRequest& req,
 
 void Mom::on_crash() {
   net::RpcNode::on_crash();
-  // Running jobs die with the node (compute-node fault tolerance is out of
-  // scope, as in the paper).
+  // Running jobs die with the node. real_run_log_ is deliberately kept: it
+  // models the mom's on-disk job records, which is how campaigns verify the
+  // exactly-r invariant across crashes.
   instances_.clear();
 }
 

@@ -37,6 +37,7 @@ struct MomConfig {
   sim::Port port = 15002;
   sim::Port server_port = 15001;
   sim::Duration launch_proc = sim::msec(25);
+  sim::Duration ping_proc = sim::msec(1);  ///< heartbeat answer cost
   sim::Duration report_retry = sim::seconds(2);
   int report_attempts = 3;  ///< per report, when the quirk is off
   bool quirk_hold_on_head_failure = false;
@@ -82,6 +83,12 @@ class Mom : public net::RpcNode {
   uint64_t jobs_executed() const { return jobs_executed_; }
   uint64_t launches_emulated() const { return launches_emulated_; }
   uint64_t reports_sent() const { return reports_sent_; }
+  /// Per-job count of real executions on this node. Modelled as the mom's
+  /// on-disk job records: it survives crashes (unlike instances_), so
+  /// campaigns can check the exactly-r invariant across node failures.
+  const std::map<JobId, uint32_t>& real_run_log() const {
+    return real_run_log_;
+  }
 
   // net::RpcNode:
   void on_request(sim::Payload request, sim::Endpoint from,
@@ -95,6 +102,10 @@ class Mom : public net::RpcNode {
                    uint64_t rpc_id);
   void handle_emu_complete(const MomEmuCompleteRequest& req,
                            sim::Endpoint from, uint64_t rpc_id);
+  void handle_ping(const MomPingRequest& req, sim::Endpoint from,
+                   uint64_t rpc_id);
+  void run_prologue(JobId id, sim::HostId requester, sim::Endpoint from,
+                    uint64_t rpc_id);
 
   void start_job(Instance& inst);
   void finish_job(JobId id, int32_t exit_code, bool cancelled);
@@ -104,6 +115,7 @@ class Mom : public net::RpcNode {
   PrologueHook prologue_;
   EpilogueHook epilogue_;
   std::map<JobId, Instance> instances_;
+  std::map<JobId, uint32_t> real_run_log_;  ///< survives crashes (job records)
   uint64_t jobs_executed_ = 0;
   uint64_t launches_emulated_ = 0;
   uint64_t reports_sent_ = 0;

@@ -175,6 +175,21 @@ MomEmuCompleteRequest decode_mom_emu_complete(const sim::Payload& buf) {
   return m;
 }
 
+sim::Payload encode_request(const MomPingRequest& m) {
+  net::Writer w = begin(Op::kMomPing);
+  w.u32(m.server_host);
+  w.u64(m.seq);
+  return w.take();
+}
+MomPingRequest decode_mom_ping(const sim::Payload& buf) {
+  net::Reader r = open(buf, Op::kMomPing);
+  MomPingRequest m;
+  m.server_host = r.u32();
+  m.seq = r.u64();
+  r.expect_done();
+  return m;
+}
+
 sim::Payload encode_request(const JobReport& m) {
   net::Writer w = begin(Op::kJobReport);
   w.u64(m.job_id);
@@ -269,6 +284,23 @@ MomLaunchResponse decode_mom_launch_response(const sim::Payload& buf) {
   MomLaunchResponse m;
   m.status = static_cast<Status>(r.u8());
   m.emulated = r.boolean();
+  r.expect_done();
+  return m;
+}
+
+sim::Payload encode_response(const MomPingResponse& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(m.status));
+  w.u64(m.seq);
+  w.u32(m.running_jobs);
+  return w.take();
+}
+MomPingResponse decode_mom_ping_response(const sim::Payload& buf) {
+  net::Reader r(buf);
+  MomPingResponse m;
+  m.status = static_cast<Status>(r.u8());
+  m.seq = r.u64();
+  m.running_jobs = r.u32();
   r.expect_done();
   return m;
 }

@@ -30,6 +30,7 @@ enum class Op : uint8_t {
   kMomLaunch = 20,
   kMomKill = 21,
   kMomEmuComplete = 22,  ///< head tells mom an emulated launch finished
+  kMomPing = 23,         ///< heartbeat probe (server -> mom)
   // mom -> server
   kJobReport = 30,  ///< job completion / statistics report
 };
@@ -114,6 +115,16 @@ struct MomEmuCompleteRequest {
   int32_t exit_code = 0;
 };
 
+struct MomPingRequest {
+  sim::HostId server_host = sim::kInvalidHost;
+  uint64_t seq = 0;  ///< heartbeat sequence number (echoed back)
+};
+struct MomPingResponse {
+  Status status = Status::kOk;
+  uint64_t seq = 0;
+  uint32_t running_jobs = 0;  ///< instances currently on this mom
+};
+
 struct JobReport {
   JobId job_id = kInvalidJob;
   int32_t exit_code = 0;
@@ -139,6 +150,7 @@ sim::Payload encode_request(const LoadStateRequest&);
 sim::Payload encode_request(const MomLaunchRequest&);
 sim::Payload encode_request(const MomKillRequest&);
 sim::Payload encode_request(const MomEmuCompleteRequest&);
+sim::Payload encode_request(const MomPingRequest&);
 sim::Payload encode_request(const JobReport&);
 
 SubmitRequest decode_submit(const sim::Payload&);
@@ -151,6 +163,7 @@ LoadStateRequest decode_load_state(const sim::Payload&);
 MomLaunchRequest decode_mom_launch(const sim::Payload&);
 MomKillRequest decode_mom_kill(const sim::Payload&);
 MomEmuCompleteRequest decode_mom_emu_complete(const sim::Payload&);
+MomPingRequest decode_mom_ping(const sim::Payload&);
 JobReport decode_job_report(const sim::Payload&);
 
 sim::Payload encode_response(const SubmitResponse&);
@@ -158,11 +171,13 @@ sim::Payload encode_response(const StatResponse&);
 sim::Payload encode_response(const SimpleResponse&);
 sim::Payload encode_response(const DumpStateResponse&);
 sim::Payload encode_response(const MomLaunchResponse&);
+sim::Payload encode_response(const MomPingResponse&);
 
 SubmitResponse decode_submit_response(const sim::Payload&);
 StatResponse decode_stat_response(const sim::Payload&);
 SimpleResponse decode_simple_response(const sim::Payload&);
 DumpStateResponse decode_dump_state_response(const sim::Payload&);
 MomLaunchResponse decode_mom_launch_response(const sim::Payload&);
+MomPingResponse decode_mom_ping_response(const sim::Payload&);
 
 }  // namespace pbs

@@ -34,6 +34,31 @@ size_t up_nodes(const std::vector<NodeState>& nodes) {
   return count;
 }
 
+/// Carve `count` disjoint sets of `width` nodes off the front of `free`
+/// (anti-affinity by construction). Assumes free.size() >= width * count.
+std::vector<std::vector<sim::HostId>> take_sets(std::vector<sim::HostId>& free,
+                                                uint32_t width,
+                                                uint32_t count) {
+  std::vector<std::vector<sim::HostId>> sets;
+  sets.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    sets.emplace_back(free.begin(),
+                      free.begin() + static_cast<ptrdiff_t>(width));
+    free.erase(free.begin(), free.begin() + static_cast<ptrdiff_t>(width));
+  }
+  return sets;
+}
+
+/// How many replicas of a `width`-node job fit in `free_count` nodes:
+/// at least 1 (the job itself), at most the requested factor.
+uint32_t fit_replicas(uint32_t requested, uint32_t width, size_t free_count) {
+  uint32_t want = requested == 0 ? 1 : requested;
+  if (width == 0) return 1;
+  uint32_t fit = static_cast<uint32_t>(free_count / width);
+  if (fit < 1) fit = 1;
+  return std::min(want, fit);
+}
+
 }  // namespace
 
 std::vector<LaunchDecision> Scheduler::cycle(
@@ -46,21 +71,26 @@ std::vector<LaunchDecision> Scheduler::cycle(
   std::vector<sim::HostId> free = free_nodes(nodes);
 
   if (config_.exclusive_cluster) {
-    // One job at a time on the whole cluster.
+    // One job at a time on the whole cluster. Exclusive access leaves no
+    // disjoint node set for a second replica: r clamps to 1.
     if (free.size() != up_nodes(nodes) || free.empty()) return decisions;
-    decisions.push_back(LaunchDecision{queue.front()->id, free});
+    LaunchDecision d{queue.front()->id, free, {}};
+    d.replica_sets.push_back(d.nodes);
+    decisions.push_back(std::move(d));
     return decisions;
   }
 
   size_t next = 0;
-  // Strict FIFO: launch from the head while nodes suffice.
+  // Strict FIFO: launch from the head while nodes suffice. Replication is
+  // best-effort: the primary set only needs spec.nodes free; additional
+  // disjoint replica sets are carved out of whatever else is free.
   while (next < queue.size() && queue[next]->spec.nodes <= free.size()) {
+    const Job* job = queue[next];
+    uint32_t r = fit_replicas(job->spec.replicas, job->spec.nodes, free.size());
     LaunchDecision d;
-    d.job = queue[next]->id;
-    d.nodes.assign(free.begin(),
-                   free.begin() + static_cast<ptrdiff_t>(queue[next]->spec.nodes));
-    free.erase(free.begin(),
-               free.begin() + static_cast<ptrdiff_t>(queue[next]->spec.nodes));
+    d.job = job->id;
+    d.replica_sets = take_sets(free, job->spec.nodes, r);
+    d.nodes = d.replica_sets.front();
     decisions.push_back(std::move(d));
     ++next;
   }
@@ -105,6 +135,9 @@ std::vector<LaunchDecision> Scheduler::cycle(
                    free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
     free.erase(free.begin(),
                free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
+    // Backfilled jobs run unreplicated: extra replica sets would eat into
+    // the shadow-time budget and delay the blocked head job.
+    d.replica_sets.push_back(d.nodes);
     if (!fits_before_shadow && fits_spare) {
       // Runs past the shadow but on nodes the blocked job will not use.
       spare_at_shadow -= candidate->spec.nodes;

@@ -40,6 +40,11 @@ struct SchedulerConfig {
 struct LaunchDecision {
   JobId job = kInvalidJob;
   std::vector<sim::HostId> nodes;  ///< first node is the mother superior
+  /// One node set per replica; replica_sets[0] == nodes. The sets are
+  /// pairwise disjoint (anti-affinity: a node failure takes out at most one
+  /// replica). Fewer than spec.replicas sets when the cluster is too small
+  /// -- replication is best-effort, never a reason not to start the job.
+  std::vector<std::vector<sim::HostId>> replica_sets;
 };
 
 class Scheduler {

@@ -30,12 +30,23 @@ Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
   m_jobs_launched_ = m.counter("pbs.jobs_launched");
   m_jobs_completed_ = m.counter("pbs.jobs_completed");
   m_sched_cycles_ = m.counter("pbs.sched_cycles");
+  m_replicas_dispatched_ = m.counter("pbs.replicas_dispatched");
+  m_replicas_reaped_ = m.counter("pbs.replicas_reaped");
+  m_reports_suppressed_ = m.counter("pbs.reports_suppressed");
+  m_jobs_requeued_ = m.counter("pbs.jobs_requeued");
+  m_heartbeat_misses_ = m.counter("pbs.heartbeat_misses");
+  m_node_failovers_ = m.counter("pbs.node_failovers");
+  m_node_recoveries_ = m.counter("pbs.node_recoveries");
   m_queue_wait_ = m.histogram("pbs.queue_wait_us");
+  m_failover_detect_ = m.histogram("pbs.failover_detect_us");
   tc_sched_ = hub.trace().intern("pbs.sched_cycle");
   tc_job_start_ = hub.trace().intern("pbs.job_start");
   tc_job_complete_ = hub.trace().intern("pbs.job_complete");
+  tc_replica_ = hub.trace().intern("pbs.replica");
+  tc_node_fail_ = hub.trace().intern("pbs.node_failover");
   recover();
   arm_checkpoint_timer();
+  arm_heartbeat_timer();
   sched_timer_ = set_timer(config_.sched_interval, [this] {
     sched_timer_ = 0;
     request_sched_cycle();
@@ -189,11 +200,11 @@ void Server::handle_delete(const DeleteRequest& req, sim::Endpoint from,
   if (job.state == JobState::kRunning) {
     job.state = JobState::kExiting;
     job.cancelled = true;
-    MomKillRequest kill{job.id, host_id()};
-    call(sim::Endpoint{job.exec_host, config_.moms.empty()
-                                          ? sim::Port(15002)
-                                          : config_.moms.front().port},
-         encode_request(kill), [](std::optional<sim::Payload>) {});
+    if (job.replica_hosts.empty()) {
+      kill_on(job.exec_host, job.id);
+    } else {
+      for (sim::HostId h : job.replica_hosts) kill_on(h, job.id);
+    }
   } else {
     job.state = JobState::kComplete;
     job.cancelled = true;
@@ -222,11 +233,11 @@ void Server::handle_signal(const SignalRequest& req, sim::Endpoint from,
   if (req.signal == 15 || req.signal == 9) {
     job.state = JobState::kExiting;
     job.cancelled = true;
-    MomKillRequest kill{job.id, host_id()};
-    call(sim::Endpoint{job.exec_host, config_.moms.empty()
-                                          ? sim::Port(15002)
-                                          : config_.moms.front().port},
-         encode_request(kill), [](std::optional<sim::Payload>) {});
+    if (job.replica_hosts.empty()) {
+      kill_on(job.exec_host, job.id);
+    } else {
+      for (sim::HostId h : job.replica_hosts) kill_on(h, job.id);
+    }
     persist();
   }
   respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
@@ -280,7 +291,14 @@ void Server::handle_report(const JobReport& report, sim::Endpoint from,
     return;
   }
   Job& job = it->second;
-  if (job.terminal()) return;  // duplicate report
+  if (job.terminal()) {
+    m_reports_suppressed_.add(1);  // duplicate report
+    return;
+  }
+  if (accept_report && !accept_report(report)) {
+    m_reports_suppressed_.add(1);
+    return;
+  }
   complete_job(job, report);
   request_sched_cycle();
 }
@@ -323,7 +341,11 @@ void Server::run_sched_cycle() {
   for (const LaunchDecision& d : scheduler_.cycle(jobs_, nodes_, sim().now())) {
     auto it = jobs_.find(d.job);
     if (it == jobs_.end()) continue;
-    launch(it->second, d.nodes);
+    if (d.replica_sets.empty()) {
+      launch(it->second, {d.nodes});
+    } else {
+      launch(it->second, d.replica_sets);
+    }
   }
   if (sched_timer_ == 0) {
     sched_timer_ = set_timer(config_.sched_interval, [this] {
@@ -333,64 +355,86 @@ void Server::run_sched_cycle() {
   }
 }
 
-void Server::launch(Job& job, const std::vector<sim::HostId>& node_hosts) {
-  if (job.state != JobState::kQueued || node_hosts.empty()) return;
+void Server::launch(Job& job,
+                    const std::vector<std::vector<sim::HostId>>& sets) {
+  if (job.state != JobState::kQueued || sets.empty() || sets.front().empty())
+    return;
   job.state = JobState::kRunning;
   job.start_time = sim().now();
-  job.exec_host = node_hosts.front();
-  for (sim::HostId h : node_hosts) {
-    if (NodeState* n = node_by_host(h)) n->running = job.id;
+  job.exec_host = sets.front().front();
+  job.replica_hosts.clear();
+  for (const std::vector<sim::HostId>& set : sets) {
+    job.replica_hosts.push_back(set.front());
+    for (sim::HostId h : set) {
+      if (NodeState* n = node_by_host(h)) n->running = job.id;
+    }
   }
   m_jobs_launched_.add(1);
+  m_replicas_dispatched_.add(sets.size());
   m_queue_wait_.record((job.start_time - job.submit_time).us);
   sim().telemetry().trace().instant(job.start_time.us, host_id(),
                                     tc_job_start_, job.id, job.exec_host);
+  if (sets.size() > 1) {
+    sim().telemetry().trace().instant(job.start_time.us, host_id(),
+                                      tc_replica_, job.id, sets.size());
+  }
   persist();
   if (on_job_start) on_job_start(job);
 
-  // The mother superior (first node) runs the job.
-  sim::Endpoint mom{job.exec_host, config_.moms.front().port};
-  for (const sim::Endpoint& m : config_.moms) {
-    if (m.host == job.exec_host) mom = m;
+  // Each replica set's mother superior (first node) runs a copy of the job.
+  for (const std::vector<sim::HostId>& set : sets) {
+    send_replica_launch(job.id, set.front());
   }
-  MomLaunchRequest req{job, host_id()};
-  JobId id = job.id;
+}
+
+void Server::send_replica_launch(JobId id, sim::HostId mom_host) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  MomLaunchRequest req{it->second, host_id()};
   net::CallOptions options;
   options.timeout = config_.mom_launch_timeout;
-  call(mom, encode_request(req),
-       [this, id](std::optional<sim::Payload> resp) {
-         auto it = jobs_.find(id);
-         if (it == jobs_.end()) return;
-         Job& job = it->second;
+  call(mom_endpoint(mom_host), encode_request(req),
+       [this, id, mom_host](std::optional<sim::Payload> resp) {
          if (!resp.has_value()) {
-           // Mom unreachable: mark the node down and requeue.
-           JLOG(kWarn, "pbs") << name() << ": launch of job " << id
-                              << " timed out; requeueing";
-           if (NodeState* n = node_by_host(job.exec_host)) n->up = false;
-           if (job.state == JobState::kRunning) {
-             free_nodes_of(job.id);
-             job.state = JobState::kQueued;
-             job.exec_host = sim::kInvalidHost;
-             persist();
-             request_sched_cycle();
-           }
+           // Mom unreachable: declare the node dead (which drops this
+           // replica and requeues the job if it was the last one).
+           JLOG(kWarn, "pbs") << name() << ": launch of job " << id << " on "
+                              << mom_host << " timed out";
+           note_node_failed(mom_host);
            return;
          }
          try {
            MomLaunchResponse launch = decode_mom_launch_response(*resp);
-           if (launch.status != Status::kOk) {
-             if (job.state == JobState::kRunning) {
-               free_nodes_of(job.id);
-               job.state = JobState::kQueued;
-               job.exec_host = sim::kInvalidHost;
-               persist();
-               request_sched_cycle();
-             }
-           }
+           if (launch.status != Status::kOk) replica_launch_failed(id, mom_host);
          } catch (const net::WireError&) {
          }
        },
        options);
+}
+
+/// A mom refused a launch attempt: drop that replica; requeue when it was
+/// the last one. (A timed-out launch goes through note_node_failed instead.)
+void Server::replica_launch_failed(JobId id, sim::HostId mom_host) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (!job.active()) return;
+  auto& reps = job.replica_hosts;
+  reps.erase(std::remove(reps.begin(), reps.end(), mom_host), reps.end());
+  if (NodeState* n = node_by_host(mom_host)) {
+    if (n->running == id) n->running = kInvalidJob;
+  }
+  if (!reps.empty()) {
+    if (job.exec_host == mom_host) job.exec_host = reps.front();
+    persist();
+    return;  // surviving replicas carry the job
+  }
+  free_nodes_of(id);
+  job.state = JobState::kQueued;
+  job.exec_host = sim::kInvalidHost;
+  m_jobs_requeued_.add(1);
+  persist();
+  request_sched_cycle();
 }
 
 void Server::complete_job(Job& job, const JobReport& report) {
@@ -399,6 +443,8 @@ void Server::complete_job(Job& job, const JobReport& report) {
   job.cancelled = job.cancelled || report.cancelled;
   if (report.start_time.us > 0) job.start_time = report.start_time;
   job.end_time = report.end_time.us > 0 ? report.end_time : sim().now();
+  reap_losers(job, report.mom_host);
+  job.replica_hosts.clear();
   free_nodes_of(job.id);
   m_jobs_completed_.add(1);
   sim().telemetry().trace().instant(
@@ -408,6 +454,77 @@ void Server::complete_job(Job& job, const JobReport& report) {
   JLOG(kDebug, "pbs") << name() << ": job " << job.id << " complete (exit "
                       << job.exit_code << ")";
   if (on_job_complete) on_job_complete(job);
+}
+
+/// First-to-finish wins: kill every other replica's instance. Kills are
+/// idempotent at the mom (a completed instance ignores them), so every
+/// head reaping the same losers is safe.
+void Server::reap_losers(const Job& job, sim::HostId winner) {
+  for (sim::HostId h : job.replica_hosts) {
+    if (h == winner || h == sim::kInvalidHost) continue;
+    m_replicas_reaped_.add(1);
+    sim().telemetry().trace().instant(sim().now().us, host_id(), tc_replica_,
+                                      job.id, h);
+    kill_on(h, job.id);
+  }
+}
+
+void Server::kill_on(sim::HostId mom_host, JobId id) {
+  MomKillRequest kill{id, host_id()};
+  call(mom_endpoint(mom_host), encode_request(kill),
+       [](std::optional<sim::Payload>) {});
+}
+
+void Server::note_node_failed(sim::HostId host) {
+  NodeState* n = node_by_host(host);
+  if (n == nullptr || !n->up) return;
+  n->up = false;
+  n->running = kInvalidJob;
+  m_node_failovers_.add(1);
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_node_fail_,
+                                    host, 0);
+  auto first_miss = hb_first_miss_.find(host);
+  if (first_miss != hb_first_miss_.end()) {
+    m_failover_detect_.record((sim().now() - first_miss->second).us);
+    hb_first_miss_.erase(first_miss);
+  }
+  JLOG(kWarn, "pbs") << name() << ": compute node " << host
+                     << " declared dead";
+  // Drop the dead replica from every active job; requeue jobs left without
+  // a live replica (automatic failover of non-replicated jobs).
+  bool requeued = false;
+  for (auto& [id, job] : jobs_) {
+    if (!job.active()) continue;
+    auto& reps = job.replica_hosts;
+    bool on_dead = job.exec_host == host ||
+                   std::find(reps.begin(), reps.end(), host) != reps.end();
+    if (!on_dead) continue;
+    reps.erase(std::remove(reps.begin(), reps.end(), host), reps.end());
+    if (!reps.empty()) {
+      if (job.exec_host == host) job.exec_host = reps.front();
+      continue;  // surviving replicas carry the job
+    }
+    if (job.state == JobState::kExiting) {
+      // The job was being cancelled and its last mom died before reporting:
+      // nobody is left to report, so complete it as cancelled here.
+      JobReport synth;
+      synth.job_id = id;
+      synth.exit_code = 271;
+      synth.cancelled = true;
+      complete_job(job, synth);
+      continue;
+    }
+    free_nodes_of(id);
+    job.state = JobState::kQueued;
+    job.exec_host = sim::kInvalidHost;
+    m_jobs_requeued_.add(1);
+    requeued = true;
+    JLOG(kInfo, "pbs") << name() << ": job " << id
+                       << " lost its last replica; requeued";
+  }
+  persist();
+  if (on_node_failed) on_node_failed(host);
+  if (requeued) request_sched_cycle();
 }
 
 void Server::free_nodes_of(JobId id) {
@@ -421,6 +538,60 @@ NodeState* Server::node_by_host(sim::HostId host) {
     if (n.host == host) return &n;
   }
   return nullptr;
+}
+
+sim::Endpoint Server::mom_endpoint(sim::HostId host) const {
+  for (const sim::Endpoint& m : config_.moms) {
+    if (m.host == host) return m;
+  }
+  return {host, config_.moms.empty() ? sim::Port(15002)
+                                     : config_.moms.front().port};
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure detection
+// ---------------------------------------------------------------------------
+
+void Server::arm_heartbeat_timer() {
+  if (config_.heartbeat_interval.us <= 0) return;
+  heartbeat_timer_ = set_timer(config_.heartbeat_interval, [this] {
+    heartbeat_timer_ = 0;
+    run_heartbeat_round();
+    arm_heartbeat_timer();
+  });
+}
+
+void Server::run_heartbeat_round() {
+  for (const sim::Endpoint& mom : config_.moms) {
+    MomPingRequest ping{host_id(), ++hb_seq_};
+    net::CallOptions options;
+    options.timeout = config_.heartbeat_timeout;
+    sim::HostId h = mom.host;
+    call(mom, encode_request(ping),
+         [this, h](std::optional<sim::Payload> resp) {
+           NodeState* n = node_by_host(h);
+           if (n == nullptr) return;
+           if (resp.has_value()) {
+             hb_misses_[h] = 0;
+             hb_first_miss_.erase(h);
+             if (!n->up) {
+               // The mom answers again: return the node to service.
+               n->up = true;
+               m_node_recoveries_.add(1);
+               JLOG(kInfo, "pbs") << name() << ": compute node " << h
+                                  << " back in service";
+               request_sched_cycle();
+             }
+             return;
+           }
+           m_heartbeat_misses_.add(1);
+           hb_first_miss_.try_emplace(h, sim().now());
+           if (++hb_misses_[h] >= config_.heartbeat_miss_limit && n->up) {
+             note_node_failed(h);
+           }
+         },
+         options);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -456,6 +627,7 @@ void Server::apply_state(const sim::Payload& state) {
     if (job.active()) {
       job.state = JobState::kQueued;
       job.exec_host = sim::kInvalidHost;
+      job.replica_hosts.clear();
     }
     jobs_.emplace(job.id, std::move(job));
   }
@@ -513,7 +685,10 @@ void Server::on_crash() {
   net::RpcNode::on_crash();
   sched_timer_ = 0;
   checkpoint_timer_ = 0;
+  heartbeat_timer_ = 0;
   sched_pending_ = false;
+  hb_misses_.clear();
+  hb_first_miss_.clear();
 }
 
 void Server::on_restart() {
@@ -528,6 +703,7 @@ void Server::on_restart() {
   }
   recover();
   arm_checkpoint_timer();
+  arm_heartbeat_timer();
   sched_timer_ = set_timer(config_.sched_interval, [this] {
     sched_timer_ = 0;
     request_sched_cycle();

@@ -52,6 +52,15 @@ struct ServerConfig {
   std::shared_ptr<std::map<std::string, std::string>> shared_storage;
 
   sim::Duration mom_launch_timeout = sim::seconds(8);
+
+  /// Heartbeat-based compute-node failure detection. 0 = off, the paper's
+  /// behaviour: a failed compute node's job simply dies with it. When on,
+  /// the server pings every mom each interval; heartbeat_miss_limit
+  /// consecutive misses declare the node dead, its replicas are dropped and
+  /// jobs left without a live replica are requeued.
+  sim::Duration heartbeat_interval = sim::kDurationZero;
+  uint32_t heartbeat_miss_limit = 3;
+  sim::Duration heartbeat_timeout = sim::seconds(2);
 };
 
 /// Fill the cost fields from the testbed calibration.
@@ -74,6 +83,20 @@ class Server : public net::RpcNode {
   /// Observers (used by JOSHUA's interceptor and by tests).
   std::function<void(const Job&)> on_job_start;
   std::function<void(const Job&)> on_job_complete;
+  /// Fires once per up->down transition when a compute node is declared
+  /// dead (heartbeat misses or a launch timeout). JOSHUA multicasts its
+  /// ordered mutex revoke from here.
+  std::function<void(sim::HostId)> on_node_failed;
+  /// Completion-report filter. Return false to suppress the report (it is
+  /// counted, not applied). JOSHUA installs its ordered duplicate-completion
+  /// suppression here; unset = accept everything (plain TORQUE behaviour).
+  std::function<bool(const JobReport&)> accept_report;
+
+  /// Declare a compute node dead: mark it down, drop its replicas from
+  /// running jobs, and requeue jobs left without a live replica. Idempotent.
+  /// Called by heartbeat misses, launch timeouts, and by JOSHUA when an
+  /// ordered mutex revoke is delivered (so every head converges).
+  void note_node_failed(sim::HostId host);
 
   /// Force a recovery from persistent storage (also runs on host restart).
   void recover();
@@ -127,10 +150,19 @@ class Server : public net::RpcNode {
 
   void request_sched_cycle();
   void run_sched_cycle();
-  void launch(Job& job, const std::vector<sim::HostId>& nodes);
+  void launch(Job& job, const std::vector<std::vector<sim::HostId>>& sets);
+  void send_replica_launch(JobId id, sim::HostId mom_host);
+  void replica_launch_failed(JobId id, sim::HostId mom_host);
   void complete_job(Job& job, const JobReport& report);
+  void reap_losers(const Job& job, sim::HostId winner);
+  void kill_on(sim::HostId mom_host, JobId id);
   void free_nodes_of(JobId id);
   NodeState* node_by_host(sim::HostId host);
+  sim::Endpoint mom_endpoint(sim::HostId host) const;
+
+  // Heartbeat failure detection.
+  void arm_heartbeat_timer();
+  void run_heartbeat_round();
 
   // Persistence.
   sim::Payload serialize_state() const;
@@ -149,16 +181,30 @@ class Server : public net::RpcNode {
   bool sched_pending_ = false;
   sim::TimerId sched_timer_ = 0;
   sim::TimerId checkpoint_timer_ = 0;
+  sim::TimerId heartbeat_timer_ = 0;
+  uint64_t hb_seq_ = 0;
+  std::map<sim::HostId, uint32_t> hb_misses_;
+  std::map<sim::HostId, sim::Time> hb_first_miss_;
 
   // Telemetry ("pbs.*" metrics; registered in the ctor body).
   telemetry::Counter m_jobs_queued_;
   telemetry::Counter m_jobs_launched_;
   telemetry::Counter m_jobs_completed_;
   telemetry::Counter m_sched_cycles_;
+  telemetry::Counter m_replicas_dispatched_;
+  telemetry::Counter m_replicas_reaped_;
+  telemetry::Counter m_reports_suppressed_;
+  telemetry::Counter m_jobs_requeued_;
+  telemetry::Counter m_heartbeat_misses_;
+  telemetry::Counter m_node_failovers_;
+  telemetry::Counter m_node_recoveries_;
   telemetry::Histogram m_queue_wait_;
+  telemetry::Histogram m_failover_detect_;
   uint16_t tc_sched_ = 0;         ///< trace category "pbs.sched_cycle"
   uint16_t tc_job_start_ = 0;     ///< trace category "pbs.job_start"
   uint16_t tc_job_complete_ = 0;  ///< trace category "pbs.job_complete"
+  uint16_t tc_replica_ = 0;       ///< trace category "pbs.replica"
+  uint16_t tc_node_fail_ = 0;     ///< trace category "pbs.node_failover"
 };
 
 }  // namespace pbs

@@ -119,17 +119,43 @@ sim::Payload MetadataServer::apply(const sim::Payload& request) {
 
 MdResponse MetadataServer::apply_typed(const MdRequest& request) {
   ++op_counter_;
+  MdResponse response{MdStatus::kInvalid, kInvalidHandle, {}, {}};
   switch (request.op) {
-    case MdOp::kLookup: return lookup(request);
-    case MdOp::kCreate: return create(request, ObjType::kFile);
-    case MdOp::kMkdir: return create(request, ObjType::kDirectory);
-    case MdOp::kRemove: return remove(request);
-    case MdOp::kReaddir: return readdir(request);
-    case MdOp::kGetattr: return getattr(request);
-    case MdOp::kSetattr: return setattr(request);
-    case MdOp::kRename: return rename(request);
+    case MdOp::kLookup: response = lookup(request); break;
+    case MdOp::kCreate: response = create(request, ObjType::kFile); break;
+    case MdOp::kMkdir: response = create(request, ObjType::kDirectory); break;
+    case MdOp::kRemove: response = remove(request); break;
+    case MdOp::kReaddir: response = readdir(request); break;
+    case MdOp::kGetattr: response = getattr(request); break;
+    case MdOp::kSetattr: response = setattr(request); break;
+    case MdOp::kRename: response = rename(request); break;
   }
-  return {MdStatus::kInvalid, kInvalidHandle, {}, {}};
+  m_ops_.add();
+  auto kind = static_cast<size_t>(request.op);
+  m_ops_by_kind_[kind < m_ops_by_kind_.size() ? kind : 0].add();
+  if (response.status != MdStatus::kOk) m_errors_.add();
+  if (request.op == MdOp::kReaddir && response.status == MdStatus::kOk)
+    m_readdir_entries_.record(static_cast<int64_t>(response.entries.size()));
+  m_objects_.set(static_cast<int64_t>(objects_.size()));
+  return response;
+}
+
+void MetadataServer::instrument(telemetry::Registry& metrics) {
+  m_ops_ = metrics.counter("pvfs.md_ops");
+  m_errors_ = metrics.counter("pvfs.md_errors");
+  static constexpr std::string_view kOpName[] = {
+      "other",   "lookup",  "create", "mkdir", "remove",
+      "readdir", "getattr", "setattr", "rename"};
+  for (size_t i = 0; i < m_ops_by_kind_.size(); ++i) {
+    m_ops_by_kind_[i] =
+        metrics.counter("pvfs.md_ops." + std::string(kOpName[i]));
+  }
+  m_objects_ = metrics.gauge("pvfs.objects");
+  m_readdir_entries_ = metrics.histogram("pvfs.readdir_entries");
+  m_snapshots_ = metrics.counter("pvfs.snapshots");
+  m_snapshot_bytes_ = metrics.histogram("pvfs.snapshot_bytes");
+  m_installs_ = metrics.counter("pvfs.snapshot_installs");
+  m_objects_.set(static_cast<int64_t>(objects_.size()));
 }
 
 bool MetadataServer::is_read_only(const sim::Payload& request) const {
@@ -296,7 +322,10 @@ sim::Payload MetadataServer::snapshot() const {
       w.u64(child);
     }
   }
-  return w.take();
+  sim::Payload buf = w.take();
+  m_snapshots_.add();
+  m_snapshot_bytes_.record(static_cast<int64_t>(buf.size()));
+  return buf;
 }
 
 void MetadataServer::install(const sim::Payload& snapshot) {
@@ -320,6 +349,8 @@ void MetadataServer::install(const sim::Payload& snapshot) {
   objects_ = std::move(objects);
   next_handle_ = next_handle;
   op_counter_ = op_counter;
+  m_installs_.add();
+  m_objects_.set(static_cast<int64_t>(objects_.size()));
 }
 
 // -- helpers ------------------------------------------------------------------

@@ -12,6 +12,7 @@
 // request stream stay bit-identical.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "rsm/replicated_service.h"
+#include "telemetry/metrics.h"
 
 namespace pvfs {
 
@@ -103,6 +105,13 @@ class MetadataServer : public rsm::IDeterministicService {
   /// Typed entry point (also used directly by unit tests).
   MdResponse apply_typed(const MdRequest& request);
 
+  /// Register this server's metrics (pvfs.* counters/gauge/histograms) with
+  /// a registry. Optional: un-instrumented servers pay nothing (default
+  /// handles are no-op sinks). The registry aggregates across replicas, so
+  /// N instrumented replicas applying the same ordered stream report N
+  /// times the single-server op counts -- itself a cheap replication check.
+  void instrument(telemetry::Registry& metrics);
+
   // -- introspection ---------------------------------------------------------
   size_t object_count() const { return objects_.size(); }
   uint64_t operations() const { return op_counter_; }
@@ -131,6 +140,19 @@ class MetadataServer : public rsm::IDeterministicService {
   std::map<Handle, Object> objects_;
   Handle next_handle_ = kRootHandle + 1;
   uint64_t op_counter_ = 0;
+
+  // Telemetry handles (no-op sinks until instrument() is called). Indexed
+  // by MdOp value; slot 0 backs out-of-range ops.
+  telemetry::Counter m_ops_;
+  telemetry::Counter m_errors_;
+  std::array<telemetry::Counter, 9> m_ops_by_kind_;
+  telemetry::Gauge m_objects_;
+  telemetry::Histogram m_readdir_entries_;
+  // snapshot() is const but still worth counting: state transfers are the
+  // expensive rsm path.
+  mutable telemetry::Counter m_snapshots_;
+  mutable telemetry::Histogram m_snapshot_bytes_;
+  telemetry::Counter m_installs_;
 };
 
 }  // namespace pvfs

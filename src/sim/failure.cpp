@@ -54,6 +54,63 @@ int FailureInjector::random_failures(HostId host, Duration mttf, Duration mttr,
   }
 }
 
+void FailureInjector::mom_hang(HostId host, Time at, Time heal) {
+  // A hang is a reachability failure, not a state loss: model it as the
+  // host alone in a private island. 1000+host keeps hang islands disjoint
+  // from the small island numbers scripted partitions use.
+  partition(host, 1000 + static_cast<int>(host), at, heal);
+  compute_faults_.push_back({host, ComputeFaultKind::kHang, at, heal});
+}
+
+void FailureInjector::segment_partition(const std::vector<HostId>& hosts,
+                                        int island, Time at, Time heal) {
+  for (HostId host : hosts) {
+    partition(host, island, at, heal);
+    compute_faults_.push_back({host, ComputeFaultKind::kPartition, at, heal});
+  }
+}
+
+int FailureInjector::random_compute_faults(const std::vector<HostId>& hosts,
+                                           Duration mttf, Duration mttr,
+                                           Time until) {
+  if (hosts.empty()) return 0;
+  jutil::Rng& rng = net_.sim().rng();
+  Time t = net_.sim().now();
+  int count = 0;
+  // One pooled fault process: inter-fault gap scales with pool size (each
+  // node fails with the given MTTF, so the pool fails hosts.size() times as
+  // often), victim and kind drawn per fault.
+  double pool_mttf =
+      static_cast<double>(mttf.us) / static_cast<double>(hosts.size());
+  while (true) {
+    Duration up{static_cast<int64_t>(rng.exponential(pool_mttf))};
+    Duration down{
+        static_cast<int64_t>(rng.exponential(static_cast<double>(mttr.us)))};
+    if (down.us < 1) down = usec(1);
+    Time fail_at = t + up;
+    if (fail_at >= until) return count;
+    Time heal_at = std::min(fail_at + down, until);
+    size_t vi = rng.next_u64(hosts.size());
+    HostId victim = hosts[vi];
+    double mix = rng.next_double();
+    if (mix < 0.60) {
+      outage(victim, fail_at, heal_at - fail_at);
+      compute_faults_.push_back(
+          {victim, ComputeFaultKind::kCrash, fail_at, heal_at});
+    } else if (mix < 0.85 || hosts.size() < 2) {
+      mom_hang(victim, fail_at, heal_at);
+    } else {
+      // Pair partition: the victim and a distinct pool neighbour share the
+      // failed segment.
+      HostId buddy =
+          hosts[(vi + 1 + rng.next_u64(hosts.size() - 1)) % hosts.size()];
+      segment_partition({victim, buddy}, 900 + count, fail_at, heal_at);
+    }
+    ++count;
+    t = heal_at;
+  }
+}
+
 Duration FailureInjector::recorded_downtime(HostId host) const {
   // Union of intervals: overlapping scripted outages must not double-count
   // the overlap (a host is either down or up at any instant), and an outage

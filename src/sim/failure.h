@@ -37,6 +37,44 @@ class FailureInjector {
   /// failures were scheduled.
   int random_failures(HostId host, Duration mttf, Duration mttr, Time until);
 
+  // -- compute-plane faults --------------------------------------------------
+  //
+  // The compute-failover experiments distinguish how a compute node dies:
+  // a crash loses the mom's volatile state, a hang keeps the process alive
+  // but unreachable (modelled as a single-host partition), and a segment
+  // partition takes a whole compute island away at once.
+
+  enum class ComputeFaultKind : uint8_t { kCrash = 0, kHang = 1, kPartition = 2 };
+
+  struct ComputeFault {
+    HostId host;
+    ComputeFaultKind kind;
+    Time at;
+    Time heal;
+  };
+
+  /// Hang `host` from `at` to `heal`: the mom process survives but is
+  /// unreachable (cable-pull into a private island). Unlike a crash, state
+  /// is NOT lost, so the job it was running may still complete after heal.
+  void mom_hang(HostId host, Time at, Time heal);
+
+  /// Partition every host in `hosts` into one island (a failed compute
+  /// segment switch) from `at` to `heal`.
+  void segment_partition(const std::vector<HostId>& hosts, int island, Time at,
+                         Time heal);
+
+  /// Exponential compute-fault process over a pool of compute nodes: each
+  /// fault picks a victim and a kind (crash-heavy mix: 60% crash, 25% hang,
+  /// 15% pair partition) from the simulation RNG. Returns faults scheduled.
+  int random_compute_faults(const std::vector<HostId>& hosts, Duration mttf,
+                            Duration mttr, Time until);
+
+  /// Every compute fault scheduled so far (crashes recorded here in addition
+  /// to the outage ledger).
+  const std::vector<ComputeFault>& compute_faults() const {
+    return compute_faults_;
+  }
+
   /// Total downtime recorded so far for a host via this injector's
   /// crash/restart pairs (valid after the simulation ran). Computed as the
   /// union of the scripted intervals: overlapping outages are merged rather
@@ -55,6 +93,7 @@ class FailureInjector {
  private:
   Network& net_;
   std::vector<Outage> outages_;
+  std::vector<ComputeFault> compute_faults_;
 };
 
 }  // namespace sim

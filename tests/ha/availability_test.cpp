@@ -124,4 +124,63 @@ TEST(Availability, MoreNodesMonotonicallyBetter) {
   }
 }
 
+// -- compute-plane extension --------------------------------------------------
+
+TEST(ComputeAvailability, ReplicationDegeneratesToBareNodeAtR1) {
+  // r = 1 must reproduce the paper's un-replicated compute plane exactly:
+  // job availability IS the node availability (Equation (2) with n = 1).
+  for (double a : {0.5, 0.9, 0.99, 0.9999}) {
+    EXPECT_DOUBLE_EQ(job_availability(a, 1), a);
+  }
+}
+
+TEST(ComputeAvailability, HandComputedReplication) {
+  // A_c = 0.99, r = 2: 1 - 0.01^2 = 0.9999.
+  EXPECT_NEAR(job_availability(0.99, 2), 0.9999, 1e-12);
+  // A_c = 0.9, r = 3: 1 - 0.1^3 = 0.999.
+  EXPECT_NEAR(job_availability(0.9, 3), 0.999, 1e-12);
+}
+
+TEST(ComputeAvailability, HandComputedFailoverLatency) {
+  // 5 s heartbeat, 3 misses, 45 s requeue/redispatch: 60 s = 1/60 h.
+  EXPECT_NEAR(failover_latency_hours(5.0, 3, 45.0), 1.0 / 60.0, 1e-15);
+  // Zero-cost detector degenerates to zero repair time.
+  EXPECT_DOUBLE_EQ(failover_latency_hours(0.0, 1, 0.0), 0.0);
+}
+
+TEST(ComputeAvailability, FailoverShrinksEffectiveRepairTime) {
+  // Paper's node parameters: MTTF 5000 h, MTTR 72 h. Without failover the
+  // job sees the full 72 h repair; with a 60 s failover it sees 1/60 h.
+  double without = node_availability(5000, 72);
+  double with = compute_availability_failover(5000, 1.0 / 60.0);
+  // Hand-computed: 5000 / (5000 + 1/60) = 300000/300001.
+  EXPECT_NEAR(with, 300000.0 / 300001.0, 1e-15);
+  EXPECT_GT(with, without);
+  // Failover latency equal to the node MTTR degenerates to Equation (1).
+  EXPECT_DOUBLE_EQ(compute_availability_failover(5000, 72),
+                   node_availability(5000, 72));
+}
+
+TEST(ComputeAvailability, HandComputedCombined) {
+  // n = 1, r = 1 is the unprotected series system A_head * A_compute.
+  EXPECT_DOUBLE_EQ(combined_availability(0.9, 1, 0.8, 1), 0.72);
+  // n = 2 heads at 0.9 (1 - 0.01 = 0.99), r = 2 computes at 0.8
+  // (1 - 0.04 = 0.96): 0.99 * 0.96 = 0.9504.
+  EXPECT_NEAR(combined_availability(0.9, 2, 0.8, 2), 0.9504, 1e-12);
+  // The combined model can never beat either plane alone.
+  EXPECT_LE(combined_availability(0.99, 3, 0.95, 2),
+            service_availability(0.99, 3));
+  EXPECT_LE(combined_availability(0.99, 3, 0.95, 2),
+            job_availability(0.95, 2));
+}
+
+TEST(ComputeAvailability, RejectsBadArguments) {
+  EXPECT_THROW(job_availability(0.9, 0), std::invalid_argument);
+  EXPECT_THROW(compute_availability_failover(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(compute_availability_failover(100.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(failover_latency_hours(5.0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(failover_latency_hours(-1.0, 1, 1.0), std::invalid_argument);
+}
+
 }  // namespace

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
@@ -42,6 +43,18 @@
 #include "testutil.h"
 
 namespace scenariotest {
+
+/// Environment sweep knob: campaigns read e.g. JOSHUA_REPLICATION=3 or
+/// JOSHUA_COMPUTES=4 so CI sweeps r and the compute pool without
+/// recompiling. Unset/garbage falls back; values are clamped to [lo, hi].
+inline int env_int(const char* name, int fallback, int lo, int hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(std::clamp<long>(parsed, lo, hi));
+}
 
 struct ScenarioOptions {
   std::string name = "scenario";
@@ -77,6 +90,26 @@ struct ScenarioOptions {
   sim::Duration mttf = sim::hours(2);
   sim::Duration mttr = sim::minutes(5);
 
+  // -- compute plane ---------------------------------------------------------
+  /// Replication factor stamped on every submitted job: the scheduler
+  /// dispatches each job to `replication` distinct compute nodes
+  /// (anti-affinity), first to finish wins.
+  uint32_t replication = 1;
+  /// Mom heartbeat detection at every PBS server; zero = off (the paper's
+  /// behaviour: a failed compute node takes its job with it).
+  sim::Duration mom_heartbeat = sim::kDurationZero;
+  uint32_t heartbeat_miss_limit = 3;
+  /// Stochastic compute faults over the whole pool (crash-heavy mix of
+  /// crashes, hangs and segment partitions; see
+  /// sim::FailureInjector::random_compute_faults).
+  bool random_compute_faults = false;
+  sim::Duration compute_mttf = sim::hours(6);
+  sim::Duration compute_mttr = sim::minutes(1);
+  /// Paper-baseline leg (r = 1, heartbeat off): compute failures
+  /// legitimately strand accepted jobs. Count them in jobs_lost instead of
+  /// flagging accepted-then-lost violations.
+  bool tolerate_lost_jobs = false;
+
   // -- timing / bookkeeping --------------------------------------------------
   /// Coarser gcs timers than the sub-second defaults: a multi-day campaign
   /// would otherwise spend most of its events on heartbeats.
@@ -104,6 +137,7 @@ struct ScenarioResult {
   uint64_t digest = 0;
 
   int failure_cycles = 0;  ///< crash/restart pairs scheduled on heads
+  int compute_fault_count = 0;  ///< compute faults scheduled (crash/hang/part)
   int max_concurrent_down = 0;
   uint64_t view_changes_seen = 0;
   uint64_t convergence_checks = 0;
@@ -123,6 +157,13 @@ struct ScenarioResult {
   uint64_t commands_failed = 0;  ///< no head answered within the timeout
   uint64_t client_failovers = 0;
   uint64_t jobs_completed = 0;  ///< distinct accepted ids seen terminal
+  /// Accepted jobs never seen terminal by the end of the drain. Only
+  /// populated when tolerate_lost_jobs is set (the r = 1, heartbeat-off
+  /// baseline); otherwise losses surface as violations instead.
+  uint64_t jobs_lost = 0;
+  /// Terminal transitions observed twice for one job at one head within a
+  /// single service incarnation. Always a violation when nonzero.
+  uint64_t duplicate_completions = 0;
 
   std::vector<std::string> violations;
 
@@ -153,9 +194,26 @@ class ScenarioRunner {
     copt.gcs_suspect = options_.gcs_suspect;
     copt.gcs_flush = options_.gcs_flush;
     copt.ordering = options_.ordering;
+    copt.mom_heartbeat = options_.mom_heartbeat;
+    copt.heartbeat_miss_limit = options_.heartbeat_miss_limit;
     cluster_ = std::make_unique<joshua::Cluster>(copt);
     if (options_.trace_capacity != 0)
       cluster_->sim().telemetry().trace().set_capacity(options_.trace_capacity);
+
+    // Duplicate-completion watch: chain behind JOSHUA's own hook (installed
+    // in the Server ctor) so both run. A head legitimately re-derives
+    // completions after a crash + replay, so the per-head ledger is cleared
+    // on every service (re)start -- see rejoin_restarted_heads.
+    completed_per_head_.resize(cluster_->head_count());
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      auto& server = cluster_->pbs_server(i);
+      auto previous = std::move(server.on_job_complete);
+      server.on_job_complete = [this, i, previous](const pbs::Job& job) {
+        if (!completed_per_head_[i].insert(job.id).second)
+          ++duplicate_completions_;
+        if (previous) previous(job);
+      };
+    }
   }
 
   joshua::Cluster& cluster() { return *cluster_; }
@@ -178,6 +236,12 @@ class ScenarioRunner {
         result.failure_cycles += cluster.faults().random_failures(
             head, options_.mttf, options_.mttr, until);
       }
+    }
+    if (options_.random_compute_faults) {
+      sim::Time until = sim.now() + options_.duration;
+      result.compute_fault_count = cluster.faults().random_compute_faults(
+          cluster.compute_hosts(), options_.compute_mttf,
+          options_.compute_mttr, until);
     }
     result.max_concurrent_down = max_concurrent_down();
 
@@ -253,6 +317,7 @@ class ScenarioRunner {
     ++tally_.jsub_attempted;
     pbs::JobSpec spec;
     spec.name = "campaign";
+    spec.replicas = options_.replication;
     jutil::Rng& rng = cluster_->sim().rng();
     spec.run_time = sim::Duration{rng.uniform(options_.job_runtime_min.us,
                                               options_.job_runtime_max.us)};
@@ -307,6 +372,9 @@ class ScenarioRunner {
     for (size_t i = 0; i < cluster_->head_count(); ++i) {
       if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
       if (cluster_->joshua_server(i).in_service()) continue;
+      // The restarting head re-derives completions from its replayed log;
+      // those are a fresh incarnation, not protocol duplicates.
+      completed_per_head_[i].clear();
       cluster_->joshua_server(i).start();
     }
   }
@@ -420,7 +488,7 @@ class ScenarioRunner {
     } else {
       ++result.convergence_checks;
     }
-    check_exactly_once(result);
+    check_exactly_r(result);
   }
 
   /// All live, in-service heads share one view (no flush in flight).
@@ -458,21 +526,36 @@ class ScenarioRunner {
     return ref.has_value();
   }
 
-  /// Invariant 1: across all moms, no job id has more than one launch
-  /// attempt that really executed (real_run_here). Moms are never failed in
-  /// these campaigns, so their instance tables are complete history.
-  void check_exactly_once(ScenarioResult& result) {
-    std::map<pbs::JobId, int> real_runs;
+  /// Invariant 1, generalised from exactly-once to exactly-r: across all
+  /// moms, no job id has more real executions than its replication factor
+  /// -- except that each compute fault on a host that really ran the job
+  /// excuses one failover re-run (the fault killed that run, so requeueing
+  /// it elsewhere is the feature, not a violation). The mom's real_run_log
+  /// is its on-disk job records, so the count survives node crashes. With
+  /// r = 1 and no compute faults this is exactly the old invariant.
+  void check_exactly_r(ScenarioResult& result) {
+    std::map<sim::HostId, uint32_t> faults_by_host;
+    for (const auto& f : cluster_->faults().compute_faults())
+      ++faults_by_host[f.host];
+    std::map<pbs::JobId, uint32_t> real_runs;
+    std::map<pbs::JobId, uint32_t> excused;
     for (size_t m = 0; m < cluster_->compute_count(); ++m) {
-      for (const auto& [id, inst] : cluster_->mom(m).instances()) {
-        if (inst.real_run_here) ++real_runs[id];
+      sim::HostId host = cluster_->compute_hosts()[m];
+      auto fit = faults_by_host.find(host);
+      uint32_t host_faults = fit == faults_by_host.end() ? 0 : fit->second;
+      for (const auto& [id, runs] : cluster_->mom(m).real_run_log()) {
+        real_runs[id] += runs;
+        excused[id] += host_faults;
       }
     }
     for (const auto& [id, runs] : real_runs) {
-      if (runs > 1 && double_launched_.insert(id).second) {
-        result.violations.push_back("job " + std::to_string(id) +
-                                    " really launched " +
-                                    std::to_string(runs) + " times");
+      uint32_t cap = options_.replication + excused[id];
+      if (runs > cap && double_launched_.insert(id).second) {
+        result.violations.push_back(
+            "job " + std::to_string(id) + " really launched " +
+            std::to_string(runs) + " times (cap " + std::to_string(cap) +
+            " = r " + std::to_string(options_.replication) + " + excused " +
+            std::to_string(excused[id]) + ")");
       }
     }
   }
@@ -489,8 +572,17 @@ class ScenarioRunner {
     }
   }
 
-  /// Invariant 4: every accepted job id is terminal-or-live at the end.
+  /// Invariant 4: every accepted job id is terminal-or-live at the end. In
+  /// tolerate_lost_jobs mode (the r = 1, heartbeat-off paper baseline),
+  /// compute failures legitimately strand jobs; everything accepted and
+  /// never completed is tallied as lost instead of flagged.
   void check_accepted_then_lost(ScenarioResult& result) {
+    if (options_.tolerate_lost_jobs) {
+      for (pbs::JobId id : accepted_order_) {
+        if (completed_seen_.count(id) == 0) ++result.jobs_lost;
+      }
+      return;
+    }
     std::set<pbs::JobId> live_now;
     for (size_t i = 0; i < cluster_->head_count(); ++i) {
       if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
@@ -611,9 +703,15 @@ class ScenarioRunner {
 
   void finalize(ScenarioResult& result) {
     sim::Simulation& sim = cluster_->sim();
-    check_exactly_once(result);
+    check_exactly_r(result);
     check_replay_divergence(result);
     check_accepted_then_lost(result);
+    result.duplicate_completions = duplicate_completions_;
+    if (duplicate_completions_ != 0) {
+      result.violations.push_back(
+          std::to_string(duplicate_completions_) +
+          " duplicate completion(s) delivered to a head");
+    }
 
     result.jsub_attempted = tally_.jsub_attempted;
     result.jsub_accepted = tally_.jsub_accepted;
@@ -655,8 +753,16 @@ class ScenarioRunner {
     r.set_meta("digest", std::to_string(result.digest));
     r.set("scenario.heads", options_.heads);
     r.set("scenario.computes", options_.computes);
+    r.set("scenario.replication", static_cast<double>(options_.replication));
+    r.set("scenario.mom_heartbeat_s",
+          static_cast<double>(options_.mom_heartbeat.us) / 1e6);
     r.set("scenario.duration_s", static_cast<double>(options_.duration.us) / 1e6);
     r.set("scenario.failure_cycles", result.failure_cycles);
+    r.set("scenario.compute_faults",
+          static_cast<double>(result.compute_fault_count));
+    r.set("scenario.jobs_lost", static_cast<double>(result.jobs_lost));
+    r.set("scenario.duplicate_completions",
+          static_cast<double>(result.duplicate_completions));
     r.set("scenario.max_concurrent_down", result.max_concurrent_down);
     r.set("scenario.service_gap_polls",
           static_cast<double>(result.service_gap_polls));
@@ -697,6 +803,9 @@ class ScenarioRunner {
   std::vector<pbs::JobId> live_ids_;  ///< accepted, not yet seen terminal
   std::set<pbs::JobId> completed_seen_;
   std::set<pbs::JobId> double_launched_;
+  /// Per head: job ids whose completion this service incarnation delivered.
+  std::vector<std::set<pbs::JobId>> completed_per_head_;
+  uint64_t duplicate_completions_ = 0;
 };
 
 }  // namespace scenariotest

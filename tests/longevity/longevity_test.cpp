@@ -127,6 +127,103 @@ TEST(LongevitySmoke, OneDayCampaign) {
   expect_availability_band(options, result);
 }
 
+// -- compute-plane campaigns -------------------------------------------------
+//
+// The head plane stays healthy here; all churn comes from compute-node
+// crashes, hangs and segment partitions. JOSHUA_REPLICATION / JOSHUA_COMPUTES
+// sweep the replication factor and pool size without recompiling.
+
+ScenarioOptions compute_campaign_options(sim::Duration duration,
+                                         uint64_t seed) {
+  ScenarioOptions options;
+  options.name = "compute_failover";
+  options.heads = 3;
+  options.computes = scenariotest::env_int("JOSHUA_COMPUTES", 4, 2, 16);
+  options.replication = static_cast<uint32_t>(std::min(
+      scenariotest::env_int("JOSHUA_REPLICATION", 2, 1, 3), options.computes));
+  options.seed = seed;
+  options.duration = duration;
+  options.random_head_faults = false;
+  // Longer jobs than the head campaigns: a fault only matters if it lands
+  // while the victim is running something. Keep mean runtime (70 s) under
+  // the mean jsub interarrival (100 s) so the FIFO backlog stays bounded.
+  options.command_interval = sim::seconds(60);
+  options.job_runtime_min = sim::seconds(20);
+  options.job_runtime_max = sim::seconds(120);
+  // Pooled compute faults: MTTF 1 h over the pool of 4 gives a fault about
+  // every 15 simulated minutes, 60/25/15 crash/hang/partition.
+  options.random_compute_faults = true;
+  options.compute_mttf = sim::hours(1);
+  options.compute_mttr = sim::minutes(2);
+  // Heartbeat failover on by default; the baseline leg switches it off.
+  options.mom_heartbeat = sim::seconds(5);
+  options.heartbeat_miss_limit = 3;
+  return options;
+}
+
+// The acceptance campaign: stochastic compute faults at r = 2 with heartbeat
+// failover must lose nothing -- every accepted job completes exactly once,
+// no job really executes more than r + excused times, and no head ever sees
+// the same completion twice in one service incarnation.
+TEST(ComputeFailover, ReplicatedCampaignSurvivesComputeFaults) {
+  ScenarioOptions options = compute_campaign_options(sim::hours(12), 20260807);
+  ScenarioRunner runner(options);
+  ScenarioResult result = runner.run();
+
+  EXPECT_GE(result.compute_fault_count, 20)
+      << "seed precondition: the injector must actually exercise the pool";
+  EXPECT_GT(result.jsub_accepted, 300u);
+  EXPECT_GT(result.jobs_completed, 300u);
+  expect_invariants(result);
+  EXPECT_EQ(result.jobs_lost, 0u);
+  EXPECT_EQ(result.duplicate_completions, 0u);
+  EXPECT_EQ(result.report.meta().at("meta.scenario"), "compute_failover");
+}
+
+// The paper's accepted failure mode, measured: with r = 1 and no heartbeat,
+// a compute-node crash takes its running job with it. The same fault
+// schedule that the replicated campaign absorbs must strand work here.
+TEST(ComputeFailover, PaperBaselineLosesJobsWithoutReplication) {
+  ScenarioOptions options = compute_campaign_options(sim::hours(12), 20260807);
+  options.replication = 1;
+  options.mom_heartbeat = sim::kDurationZero;  // paper behaviour: no failover
+  options.tolerate_lost_jobs = true;
+  ScenarioRunner runner(options);
+  ScenarioResult result = runner.run();
+
+  EXPECT_GE(result.compute_fault_count, 20);
+  expect_invariants(result);
+  EXPECT_GT(result.jobs_lost, 0u)
+      << "an unreplicated compute plane under this fault schedule must lose "
+         "jobs -- if it does not, the injector or the baseline broke";
+  EXPECT_EQ(result.duplicate_completions, 0u);
+}
+
+// CI-bounded smoke: six hours of compute churn, run by the workflow's
+// regression job under both ordering engines.
+TEST(ComputeFailoverSmoke, SixHourCampaign) {
+  ScenarioOptions options = compute_campaign_options(sim::hours(6), 11);
+  ScenarioRunner runner(options);
+  ScenarioResult result = runner.run();
+
+  EXPECT_GE(result.compute_fault_count, 8);
+  expect_invariants(result);
+  EXPECT_EQ(result.jobs_lost, 0u);
+  EXPECT_EQ(result.duplicate_completions, 0u);
+}
+
+// Compute-fault campaigns must be as reproducible as head-fault ones: the
+// digest folds in every counter, so one flipped completion shows up here.
+TEST(ComputeFailoverDeterminism, SameSeedBitIdentical) {
+  ScenarioOptions options = compute_campaign_options(sim::hours(3), 5);
+  ScenarioResult first = ScenarioRunner(options).run();
+  ScenarioResult second = ScenarioRunner(options).run();
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.compute_fault_count, second.compute_fault_count);
+  EXPECT_EQ(first.jobs_completed, second.jobs_completed);
+  EXPECT_EQ(first.jobs_lost, second.jobs_lost);
+}
+
 // Determinism guard: the same seed must reproduce the campaign bit-for-bit
 // (event count, command outcomes, outage schedule, every counter), and a
 // different seed must not.

@@ -264,4 +264,45 @@ TEST_F(MetadataTest, CorruptRequestYieldsInvalid) {
   EXPECT_EQ(resp.status, MdStatus::kInvalid);
 }
 
+TEST_F(MetadataTest, InstrumentedServerReportsItsWork) {
+  telemetry::Registry metrics;
+  md.instrument(metrics);
+
+  Handle dir = mkdir(kRootHandle, "a").handle;
+  create(dir, "f");
+  lookup(dir, "f");
+  lookup(dir, "missing");  // error
+  MdRequest rd;
+  rd.op = MdOp::kReaddir;
+  rd.dir = dir;
+  md.apply_typed(rd);
+
+  EXPECT_EQ(metrics.find_counter("pvfs.md_ops")->value, 5u);
+  EXPECT_EQ(metrics.find_counter("pvfs.md_ops.mkdir")->value, 1u);
+  EXPECT_EQ(metrics.find_counter("pvfs.md_ops.create")->value, 1u);
+  EXPECT_EQ(metrics.find_counter("pvfs.md_ops.lookup")->value, 2u);
+  EXPECT_EQ(metrics.find_counter("pvfs.md_ops.readdir")->value, 1u);
+  EXPECT_EQ(metrics.find_counter("pvfs.md_errors")->value, 1u);
+  const auto* entries = metrics.find_histogram("pvfs.readdir_entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->data.count, 1u);
+  EXPECT_EQ(entries->data.max, 1);  // /a holds exactly one file
+
+  // Snapshot round-trips are counted on both sides.
+  sim::Payload snap = md.snapshot();
+  MetadataServer other;
+  other.instrument(metrics);
+  other.install(snap);
+  EXPECT_EQ(metrics.find_counter("pvfs.snapshots")->value, 1u);
+  EXPECT_EQ(metrics.find_counter("pvfs.snapshot_installs")->value, 1u);
+  EXPECT_EQ(metrics.find_histogram("pvfs.snapshot_bytes")->data.count, 1u);
+}
+
+TEST_F(MetadataTest, UninstrumentedServerStillWorks) {
+  // Default telemetry handles are no-op sinks; behaviour is unchanged.
+  Handle dir = mkdir(kRootHandle, "plain").handle;
+  EXPECT_NE(dir, kInvalidHandle);
+  EXPECT_EQ(lookup(kRootHandle, "plain").handle, dir);
+}
+
 }  // namespace

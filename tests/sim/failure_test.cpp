@@ -150,4 +150,90 @@ TEST_F(FailureTest, OutagesRecorded) {
   EXPECT_EQ(faults_.outages()[1].up, sim::kTimeInfinity);
 }
 
+// -- compute-plane faults ----------------------------------------------------
+
+TEST_F(FailureTest, MomHangIsUnreachableButAlive) {
+  faults_.mom_hang(b_, sim::Time{1000}, sim::Time{5000});
+  sim_.run_until(sim::Time{2000});
+  EXPECT_TRUE(net_.host(b_).up()) << "a hang is not a crash";
+  EXPECT_EQ(net_.host(b_).partition(), 1000 + static_cast<int>(b_));
+  sim_.run_until(sim::Time{6000});
+  EXPECT_EQ(net_.host(b_).partition(), 0);
+  ASSERT_EQ(faults_.compute_faults().size(), 1u);
+  EXPECT_EQ(faults_.compute_faults()[0].kind,
+            sim::FailureInjector::ComputeFaultKind::kHang);
+  EXPECT_EQ(faults_.compute_faults()[0].host, b_);
+  EXPECT_EQ(faults_.recorded_downtime(b_).us, 0)
+      << "hangs must not appear in the crash/outage ledger";
+}
+
+TEST_F(FailureTest, SegmentPartitionTakesTheWholeSegment) {
+  faults_.segment_partition({a_, b_}, 7, sim::Time{1000}, sim::Time{4000});
+  sim_.run_until(sim::Time{2000});
+  EXPECT_EQ(net_.host(a_).partition(), 7);
+  EXPECT_EQ(net_.host(b_).partition(), 7);
+  sim_.run_until(sim::Time{5000});
+  EXPECT_EQ(net_.host(a_).partition(), 0);
+  EXPECT_EQ(net_.host(b_).partition(), 0);
+  ASSERT_EQ(faults_.compute_faults().size(), 2u);
+  for (const auto& f : faults_.compute_faults()) {
+    EXPECT_EQ(f.kind, sim::FailureInjector::ComputeFaultKind::kPartition);
+    EXPECT_EQ(f.at.us, 1000);
+    EXPECT_EQ(f.heal.us, 4000);
+  }
+}
+
+TEST_F(FailureTest, RandomComputeFaultsDeterministicPerSeed) {
+  // Same seed, same pool: the whole fault ledger -- victim, kind, and both
+  // instants -- must be identical (campaign reruns depend on it).
+  sim::Simulation s2(1);
+  sim::Network n2(s2, sim::NetworkConfig{});
+  n2.add_host("a");
+  n2.add_host("b");
+  sim::FailureInjector f2(n2);
+  int c1 = faults_.random_compute_faults({a_, b_}, sim::hours(4),
+                                         sim::minutes(5),
+                                         sim::Time{0} + sim::hours(100));
+  int c2 = f2.random_compute_faults({0, 1}, sim::hours(4), sim::minutes(5),
+                                    sim::Time{0} + sim::hours(100));
+  EXPECT_EQ(c1, c2);
+  ASSERT_EQ(faults_.compute_faults().size(), f2.compute_faults().size());
+  for (size_t i = 0; i < faults_.compute_faults().size(); ++i) {
+    const auto& x = faults_.compute_faults()[i];
+    const auto& y = f2.compute_faults()[i];
+    EXPECT_EQ(x.host, y.host) << "fault " << i;
+    EXPECT_EQ(x.kind, y.kind) << "fault " << i;
+    EXPECT_EQ(x.at.us, y.at.us) << "fault " << i;
+    EXPECT_EQ(x.heal.us, y.heal.us) << "fault " << i;
+  }
+}
+
+TEST_F(FailureTest, RandomComputeFaultsMixKindsWithinHorizon) {
+  int count = faults_.random_compute_faults({a_, b_}, sim::hours(2),
+                                            sim::minutes(5),
+                                            sim::Time{0} + sim::hours(400));
+  EXPECT_GT(count, 50) << "pooled process: ~1 fault per pool-hour expected";
+  bool saw_crash = false, saw_hang = false, saw_partition = false;
+  for (const auto& f : faults_.compute_faults()) {
+    EXPECT_TRUE(f.host == a_ || f.host == b_);
+    EXPECT_LE(f.heal.us, (sim::Time{0} + sim::hours(400)).us);
+    EXPECT_LT(f.at.us, f.heal.us);
+    switch (f.kind) {
+      case sim::FailureInjector::ComputeFaultKind::kCrash: saw_crash = true; break;
+      case sim::FailureInjector::ComputeFaultKind::kHang: saw_hang = true; break;
+      case sim::FailureInjector::ComputeFaultKind::kPartition:
+        saw_partition = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_hang);
+  EXPECT_TRUE(saw_partition);
+  sim_.run();
+  EXPECT_TRUE(net_.host(a_).up());
+  EXPECT_TRUE(net_.host(b_).up());
+  EXPECT_EQ(net_.host(a_).partition(), 0);
+  EXPECT_EQ(net_.host(b_).partition(), 0);
+}
+
 }  // namespace
