@@ -1,0 +1,125 @@
+// fed::Federation: the sharded testbed -- one joshua::Cluster's worth of
+// machinery per shard, all over a single simulated network.
+//
+// Each shard is an unmodified replica group: its own gcs ordering group
+// ("joshua-s<k>" on disjoint head hosts), its own PBS replica set numbering
+// jobs from the shard's id block, its own compute nodes and mom plugins.
+// Nothing crosses shards below the router: a shard's heads never exchange a
+// message with another shard's, which is exactly why aggregate ordered
+// throughput scales with the shard count while every per-shard guarantee
+// (total order, exactly-once output, state transfer) is the paper's,
+// unchanged. shard_count = 1 wires byte-for-byte what joshua::Cluster
+// wires: the federation defaults must stay behaviour-identical.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fed/router.h"
+#include "fed/shard_map.h"
+#include "joshua/cluster.h"
+
+namespace fed {
+
+struct FederationOptions {
+  int shard_count = 1;
+  int heads_per_shard = 2;
+  int computes_per_shard = 2;
+  pbs::JobId id_stride = kDefaultIdStride;
+  /// Optional queue-glob routing (empty = hash placement); see ShardMap.
+  std::vector<std::vector<std::string>> queue_globs;
+
+  sim::Calibration cal = sim::paper_testbed();
+  joshua::TransferMode transfer = joshua::TransferMode::kReplay;
+  bool auto_rejoin = false;
+  bool require_majority = false;
+  /// Per-shard local-read fast path for jstat (satellite knob; off keeps
+  /// every command ordered, the paper's semantics).
+  bool jstat_local = false;
+  /// PBS persistence. Benches preloading millions of jobs switch it off --
+  /// the encode cost is real but not what they measure.
+  bool pbs_persist = true;
+  pbs::SchedulerConfig sched{};
+  uint64_t seed = 1;
+  sim::Duration mom_heartbeat = sim::kDurationZero;
+  uint32_t heartbeat_miss_limit = 3;
+  /// gcs timing/cost overrides; zero keeps the GroupConfig defaults.
+  sim::Duration gcs_heartbeat = sim::kDurationZero;
+  sim::Duration gcs_suspect = sim::kDurationZero;
+  sim::Duration gcs_flush = sim::kDurationZero;
+  sim::Duration gcs_hb_proc = sim::kDurationZero;
+  sim::Duration gcs_ctrl_proc = sim::kDurationZero;
+  gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
+};
+
+/// Build FederationOptions from a parsed deployment file's ClusterOptions.
+/// Requires a uniform layout (equal heads per shard); the configuration
+/// validator already guarantees the head sets partition the head list.
+FederationOptions federation_options_from(const joshua::ClusterOptions& co);
+
+class Federation {
+ public:
+  explicit Federation(FederationOptions options);
+  ~Federation();
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  sim::FailureInjector& faults() { return faults_; }
+  const FederationOptions& options() const { return options_; }
+  const ShardMap& shard_map() const { return map_; }
+  uint32_t shard_count() const { return map_.shard_count(); }
+
+  // Flat indexing across shards (head i belongs to shard i / heads_per_shard,
+  // mirroring joshua::Cluster's accessors so harnesses can switch between
+  // the two without renumbering anything).
+  size_t head_count() const { return joshua_servers_.size(); }
+  size_t compute_count() const { return moms_.size(); }
+  uint32_t shard_of_head(size_t head) const {
+    return static_cast<uint32_t>(head /
+                                 static_cast<size_t>(options_.heads_per_shard));
+  }
+  const std::vector<sim::HostId>& head_hosts() const { return head_hosts_; }
+  const std::vector<sim::HostId>& compute_hosts() const {
+    return compute_hosts_;
+  }
+  sim::HostId login_host() const { return login_host_; }
+  pbs::Server& pbs_server(size_t head) { return *pbs_servers_.at(head); }
+  pbs::Mom& mom(size_t compute) { return *moms_.at(compute); }
+  joshua::Server& joshua_server(size_t head) {
+    return *joshua_servers_.at(head);
+  }
+  joshua::MomPlugin& mom_plugin(size_t compute) { return *plugins_.at(compute); }
+
+  /// Start every shard's JOSHUA servers.
+  void start();
+
+  /// Every shard's live heads share one installed view.
+  bool converged() const;
+  /// One shard's live heads share one installed view of its live size.
+  bool converged_shard(uint32_t shard) const;
+  bool run_until_converged(sim::Duration deadline = sim::seconds(30));
+
+  /// A router on the login node fronting every shard.
+  Router& make_router();
+
+ private:
+  FederationOptions options_;
+  ShardMap map_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::FailureInjector faults_;
+  std::vector<sim::HostId> head_hosts_;
+  std::vector<sim::HostId> compute_hosts_;
+  sim::HostId login_host_ = sim::kInvalidHost;
+  std::vector<std::unique_ptr<pbs::Server>> pbs_servers_;
+  std::vector<std::unique_ptr<pbs::Mom>> moms_;
+  std::vector<std::unique_ptr<joshua::Server>> joshua_servers_;
+  std::vector<std::unique_ptr<joshua::MomPlugin>> plugins_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  sim::Port next_client_port_ = joshua::Ports::kClientBase;
+};
+
+}  // namespace fed

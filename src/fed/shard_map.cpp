@@ -1,0 +1,110 @@
+#include "fed/shard_map.h"
+
+#include <set>
+
+#include "telemetry/report_diff.h"
+#include "util/config.h"
+
+namespace fed {
+
+namespace {
+
+/// FNV-1a over the queue name, then the salt bytes. Stable across builds
+/// and hosts -- placement must be a pure function of the config.
+uint64_t fnv1a(std::string_view text, uint64_t salt) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    h ^= (salt >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(ShardMapConfig config) : config_(std::move(config)) {
+  if (config_.shard_count < 1)
+    throw jutil::ConfigError("ShardMap: shard_count must be >= 1");
+  if (config_.id_stride == 0)
+    throw jutil::ConfigError("ShardMap: id_stride must be > 0");
+  if (config_.queue_globs.empty()) return;  // hash placement
+  if (config_.queue_globs.size() != config_.shard_count)
+    throw jutil::ConfigError(
+        "ShardMap: queue_globs must have one entry per shard (" +
+        std::to_string(config_.queue_globs.size()) + " lists for " +
+        std::to_string(config_.shard_count) + " shards)");
+
+  // Same contract the configuration-file parser enforces: overlap-free and
+  // total (a catch-all "*" exists, so no queue can be unassigned).
+  bool catch_all = false;
+  std::set<std::string> seen;
+  for (size_t s = 0; s < config_.queue_globs.size(); ++s) {
+    if (config_.queue_globs[s].empty())
+      throw jutil::ConfigError("ShardMap: shard " + std::to_string(s) +
+                               " has no queue globs while others do");
+    for (const std::string& glob : config_.queue_globs[s]) {
+      if (glob == "*") catch_all = true;
+      if (!seen.insert(glob).second)
+        throw jutil::ConfigError("ShardMap: queue glob '" + glob +
+                                 "' claimed by more than one shard");
+    }
+  }
+  for (size_t s = 0; s < config_.queue_globs.size(); ++s) {
+    for (const std::string& literal : config_.queue_globs[s]) {
+      if (literal.find_first_of("*?") != std::string::npos) continue;
+      for (size_t t = 0; t < config_.queue_globs.size(); ++t) {
+        if (t == s) continue;
+        for (const std::string& glob : config_.queue_globs[t]) {
+          // The catch-all is the fallback, consulted only when no specific
+          // glob matches -- it overlaps nothing by construction.
+          if (glob == "*") continue;
+          if (telemetry::glob_match(glob, literal))
+            throw jutil::ConfigError("ShardMap: queue '" + literal +
+                                     "' (shard " + std::to_string(s) +
+                                     ") overlaps glob '" + glob + "' (shard " +
+                                     std::to_string(t) + ")");
+        }
+      }
+    }
+  }
+  if (!catch_all)
+    throw jutil::ConfigError(
+        "ShardMap: no shard owns the catch-all '*' glob; queues matching no "
+        "glob would be unassigned");
+}
+
+std::optional<uint32_t> ShardMap::owner_of(pbs::JobId id) const {
+  if (id == pbs::kInvalidJob) return std::nullopt;
+  pbs::JobId block = (id - 1) / config_.id_stride;
+  if (block >= config_.shard_count) return std::nullopt;
+  return static_cast<uint32_t>(block);
+}
+
+std::optional<uint32_t> ShardMap::shard_of_queue(std::string_view queue) const {
+  if (!routes_by_queue()) return std::nullopt;
+  // First-match within a shard is fine: validation made cross-shard matches
+  // impossible for literal names, and the catch-all backstops the rest.
+  std::string name(queue);
+  for (size_t s = 0; s < config_.queue_globs.size(); ++s)
+    for (const std::string& glob : config_.queue_globs[s])
+      if (glob != "*" && telemetry::glob_match(glob, name))
+        return static_cast<uint32_t>(s);
+  for (size_t s = 0; s < config_.queue_globs.size(); ++s)
+    for (const std::string& glob : config_.queue_globs[s])
+      if (glob == "*") return static_cast<uint32_t>(s);
+  return std::nullopt;  // unreachable for a validated map
+}
+
+uint32_t ShardMap::place(std::string_view queue, uint64_t salt) const {
+  if (single_shard()) return 0;
+  if (routes_by_queue()) {
+    if (std::optional<uint32_t> s = shard_of_queue(queue)) return *s;
+  }
+  return static_cast<uint32_t>(fnv1a(queue, salt) % config_.shard_count);
+}
+
+}  // namespace fed

@@ -1,0 +1,77 @@
+// ShardMap: the partition function of the federated control plane.
+//
+// The job-id space is carved into contiguous blocks of `id_stride` ids --
+// shard s owns (s*stride, (s+1)*stride] -- so ownership of any id the
+// system ever issued is a pure computation, with no directory service to
+// replicate or fail over. Queue ownership is either explicit (per-shard
+// glob lists, validated overlap-free and total) or implicit (a stable hash
+// of the queue name spreads submits across shards).
+//
+// Everything here is deterministic and state-free: every router, head and
+// test that evaluates the same ShardMapConfig agrees on every placement,
+// which is what lets shards order commands independently without ever
+// disagreeing about who owns what.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pbs/job.h"
+
+namespace fed {
+
+/// Default job-id block per shard: 2^32 ids. Large enough that no shard
+/// exhausts its block over any realistic campaign, small enough that 2^32
+/// shards fit the 64-bit id space.
+constexpr pbs::JobId kDefaultIdStride = 1ull << 32;
+
+struct ShardMapConfig {
+  uint32_t shard_count = 1;
+  pbs::JobId id_stride = kDefaultIdStride;
+  /// Queue globs per shard. Empty = hash placement. When non-empty, must
+  /// have exactly shard_count entries, be overlap-free, and include a
+  /// catch-all "*" somewhere (no queue may be unassigned).
+  std::vector<std::vector<std::string>> queue_globs;
+};
+
+class ShardMap {
+ public:
+  /// Single-shard identity map (today's monolithic routing).
+  ShardMap() = default;
+  /// Throws jutil::ConfigError on an invalid partition (zero shards, zero
+  /// stride, malformed or overlapping queue globs, uncovered queue space).
+  explicit ShardMap(ShardMapConfig config);
+
+  uint32_t shard_count() const { return config_.shard_count; }
+  pbs::JobId id_stride() const { return config_.id_stride; }
+  bool single_shard() const { return config_.shard_count <= 1; }
+  /// True when submits route by queue globs rather than by hash.
+  bool routes_by_queue() const { return !config_.queue_globs.empty(); }
+
+  /// First job id of a shard's block (what its PBS replicas number from).
+  pbs::JobId first_id(uint32_t shard) const {
+    return static_cast<pbs::JobId>(shard) * config_.id_stride + 1;
+  }
+
+  /// The shard whose block contains `id`, or nullopt for kInvalidJob and
+  /// ids beyond every shard's block (no shard can ever have issued them).
+  std::optional<uint32_t> owner_of(pbs::JobId id) const;
+
+  /// Glob-routing lookup: the shard owning `queue`, or nullopt when this
+  /// map routes by hash. Validation guarantees a match in glob mode.
+  std::optional<uint32_t> shard_of_queue(std::string_view queue) const;
+
+  /// Submit placement: glob owner when routing by queue, otherwise a stable
+  /// FNV-1a hash of (queue, salt) modulo shard_count. The salt lets a
+  /// router spread a stream of same-queue submits; placement is a pure
+  /// function of (config, queue, salt) -- identical on every caller.
+  uint32_t place(std::string_view queue, uint64_t salt = 0) const;
+
+ private:
+  ShardMapConfig config_{};
+};
+
+}  // namespace fed

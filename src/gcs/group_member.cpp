@@ -49,6 +49,12 @@ GroupMember::GroupMember(sim::Network& net, sim::HostId host,
   m_token_rotations_ = m.counter("gcs.token.rotations");
   m_order_latency_ = m.histogram("gcs.order_latency_us");
   m_token_hold_ = m.histogram("gcs.token.hold_us");
+  if (!config_.telemetry_scope.empty()) {
+    m_scope_delivered_ =
+        m.counter("gcs." + config_.telemetry_scope + ".delivered");
+    m_scope_order_latency_ =
+        m.histogram("gcs." + config_.telemetry_scope + ".order_latency_us");
+  }
   tc_view_ = hub.trace().intern("gcs.view");
   tc_flush_ = hub.trace().intern("gcs.flush");
 
@@ -301,11 +307,15 @@ void GroupMember::deliver_ready() {
 void GroupMember::deliver_to_app(const DataMsg& m) {
   ++stats_.delivered;
   m_delivered_.add(1);
+  m_scope_delivered_.add(1);
   if (m.id.sender == id()) {
     // Multicast -> own ordered delivery latency (the paper's "latency of
     // the total-ordering protocol" metric).
     const auto& [seq, sent_us] = order_inflight_[m.id.seq & 63];
-    if (seq == m.id.seq) m_order_latency_.record(sim().now().us - sent_us);
+    if (seq == m.id.seq) {
+      m_order_latency_.record(sim().now().us - sent_us);
+      m_scope_order_latency_.record(sim().now().us - sent_us);
+    }
   }
   Delivered d{m.id.sender, m.id.seq, m.level, m.payload};
   if (awaiting_state_) {

@@ -59,6 +59,11 @@ struct GroupConfig {
   sim::Duration nack_delay = sim::msec(15);
   sim::Duration state_retry = sim::msec(300);
 
+  /// When non-empty, delivery metrics are additionally recorded under
+  /// "gcs.<scope>.*" (per-shard order latency and delivered counts for the
+  /// federation layer). Empty = the single-group default, no extra cells.
+  std::string telemetry_scope;
+
   /// Only form views containing a strict majority of `peers` (primary
   /// component semantics). Off by default: the paper's deployment is a
   /// single hub where partitions do not occur.
@@ -249,6 +254,10 @@ class GroupMember : public sim::Process {
   telemetry::Counter m_token_rotations_;
   telemetry::Histogram m_order_latency_;
   telemetry::Histogram m_token_hold_;
+  /// Scoped duplicates ("gcs.<telemetry_scope>.*"); null cells when the
+  /// scope is empty, so recording them is a no-op outside federations.
+  telemetry::Counter m_scope_delivered_;
+  telemetry::Histogram m_scope_order_latency_;
   uint16_t tc_view_ = 0;   ///< trace category "gcs.view"
   uint16_t tc_flush_ = 0;  ///< trace category "gcs.flush"
   /// Start of the flush this member is currently in, or -1 (for the

@@ -62,6 +62,25 @@ double combined_availability(double head_node_availability, int head_nodes,
          job_availability(compute_node_availability, replicas);
 }
 
+double shard_availability(double node_availability, int heads_per_shard) {
+  return service_availability(node_availability, heads_per_shard);
+}
+
+double federation_availability(double node_availability, int heads_per_shard,
+                               int shards) {
+  if (shards < 1) shards = 1;
+  return std::pow(shard_availability(node_availability, heads_per_shard),
+                  shards);
+}
+
+double federation_job_availability(double head_node_availability,
+                                   int heads_per_shard,
+                                   double compute_node_availability,
+                                   int replicas) {
+  return combined_availability(head_node_availability, heads_per_shard,
+                               compute_node_availability, replicas);
+}
+
 AvailabilityRow figure12_row(int nodes, double mttf_hours, double mttr_hours) {
   AvailabilityRow row;
   row.nodes = nodes;

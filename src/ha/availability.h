@@ -62,6 +62,34 @@ double failover_latency_hours(double heartbeat_interval_seconds,
 double combined_availability(double head_node_availability, int head_nodes,
                              double compute_node_availability, int replicas);
 
+// -- federation extension ----------------------------------------------------
+//
+// A federated control plane (src/fed/) partitions the job space over
+// `shards` independent replica groups of `heads_per_shard` heads each. Two
+// availability notions split apart that coincide in the monolithic design:
+// a GIVEN job only needs its own shard (Equation (2) per shard, independent
+// of the shard count), while the WHOLE control plane needs every shard
+// (series composition). Sharding therefore trades full-plane availability
+// for per-shard scheduling cost -- the model quantifies the trade.
+
+/// Equation (2) applied to one shard's replica group: >= 1 of its
+/// heads_per_shard heads up. shards = 1, heads_per_shard = n recovers the
+/// paper's A_service.
+double shard_availability(double node_availability, int heads_per_shard);
+
+/// Probability every shard has service (all ordered groups accepting
+/// commands): shard_availability ^ shards.
+double federation_availability(double node_availability, int heads_per_shard,
+                               int shards);
+
+/// Availability of one job under federation: its own shard's head group in
+/// series with its compute replica set (combined_availability per shard).
+/// Independent of the shard count -- the per-job guarantee sharding keeps.
+double federation_job_availability(double head_node_availability,
+                                   int heads_per_shard,
+                                   double compute_node_availability,
+                                   int replicas);
+
 struct AvailabilityRow {
   int nodes = 1;
   double availability = 0.0;

@@ -24,6 +24,24 @@
 
 namespace joshua {
 
+/// Federation layout (the configuration file's `shards` section): how the
+/// job-id space / queue set is partitioned across independent ordering
+/// groups. `Cluster` itself ignores it -- count <= 1 is the paper's single
+/// replication group -- and `fed::Federation` consumes it to wire one gcs
+/// group + PBS replica set per shard.
+struct ShardLayout {
+  int count = 1;
+  /// Job-id block size per shard; 0 = the federation default (2^32).
+  pbs::JobId id_stride = 0;
+  /// Per shard: indexes into the cluster's head list. Must partition
+  /// 0..heads-1 when count > 1.
+  std::vector<std::vector<int>> heads;
+  /// Per shard: queue globs this shard owns (may be empty everywhere, in
+  /// which case submits place by hash of the queue name).
+  std::vector<std::vector<std::string>> queues;
+  bool sharded() const { return count > 1; }
+};
+
 struct ClusterOptions {
   int head_count = 2;
   int compute_count = 2;
@@ -49,6 +67,8 @@ struct ClusterOptions {
   /// Total-order engine for the replication group (defaults to the
   /// JOSHUA_ORDERING environment variable, then all-ack).
   gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
+  /// Federation layout; ignored by Cluster (see ShardLayout).
+  ShardLayout shards{};
 };
 
 /// Well-known ports of the testbed.

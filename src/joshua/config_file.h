@@ -19,6 +19,18 @@
 //     suspect_ms = 500
 //     flush_ms = 1200
 //   }
+//   shards {                 # federation layout (optional; default 1 shard)
+//     count = 2
+//     stride = 4294967296    # job-id block per shard (optional)
+//     shard 0 {
+//       heads = {0, 1}       # indexes into the head list
+//       queues = {"batch*"}  # queue globs this shard owns
+//     }
+//     shard 1 {
+//       heads = {2, 3}
+//       queues = {"*"}
+//     }
+//   }
 #pragma once
 
 #include <string_view>

@@ -113,7 +113,10 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
   m_reports_rejected_ = m.counter("joshua.reports_rejected");
   m_replay_divergence_ =
       m.counter("joshua.replay_divergence." + net.host(host).name());
+  m_jstat_local_ = m.counter("pbs.jstat_local");
+  m_shard_rejects_ = m.counter("joshua.shard_rejects");
   m_intercept_latency_ = m.histogram("joshua.intercept_to_reply_us");
+  m_jstat_local_latency_ = m.histogram("joshua.jstat_local_us");
   m_jmutex_wait_ = m.histogram("joshua.jmutex_wait_us");
   tc_command_ = hub.trace().intern("joshua.command");
   tc_replay_ = hub.trace().intern("joshua.replay");
@@ -196,8 +199,69 @@ void Server::handle_client_command(sim::Payload request, sim::Endpoint from,
       reject(pbs::Status::kUnsupported);
       return;
   }
+  // Federation: commands naming a job id outside this shard's block can
+  // never succeed here (the id was issued by another shard's replicas), so
+  // reject them up front instead of ordering a guaranteed failure.
+  if (config_.shard.sharded()) {
+    pbs::JobId target = pbs::kInvalidJob;
+    try {
+      switch (op) {
+        case pbs::Op::kStat:
+          target = pbs::decode_stat(request).job_id;
+          break;
+        case pbs::Op::kDelete:
+          target = pbs::decode_delete(request).job_id;
+          break;
+        case pbs::Op::kHold:
+          target = pbs::decode_hold(request).job_id;
+          break;
+        case pbs::Op::kRelease:
+          target = pbs::decode_release(request).job_id;
+          break;
+        default:
+          break;
+      }
+    } catch (const net::WireError&) {
+      return;
+    }
+    if (target != pbs::kInvalidJob && !config_.shard.owns(target)) {
+      ++stats_.shard_rejects;
+      m_shard_rejects_.add(1);
+      reject(pbs::Status::kUnknownJob);
+      return;
+    }
+  }
   if (!group_.is_member()) {
     reject(pbs::Status::kServerBusy);
+    return;
+  }
+  // Local-read fast path: a member's replica holds the same totally-ordered
+  // prefix as every peer, so a stat can be answered off the colocated PBS
+  // without a group round -- unless a replay transfer is still rebuilding
+  // the table, in which case the ordered path (which holds commands until
+  // the replay drains) stays authoritative.
+  if (op == pbs::Op::kStat && config_.jstat_local && local_pbs_ != nullptr &&
+      !replaying_) {
+    ++stats_.jstat_local_served;
+    m_jstat_local_.add(1);
+    sim::Time intercepted = sim().now();
+    net::CallOptions options;
+    options.timeout = config_.local_rpc_timeout;
+    call(local_pbs_endpoint(), std::move(request),
+         [this, from, rpc_id, intercepted](std::optional<sim::Payload> resp) {
+           if (!resp.has_value()) {
+             respond(from, rpc_id,
+                     error_response(pbs::Op::kStat, pbs::Status::kInternal));
+             return;
+           }
+           execute(config_.relay_proc,
+                   [this, from, rpc_id, intercepted, r = std::move(*resp)] {
+                     m_jstat_local_latency_.record(
+                         (sim().now() - intercepted).us);
+                     respond(from, rpc_id, r);
+                   });
+         },
+         options);
     return;
   }
   ++stats_.commands_intercepted;

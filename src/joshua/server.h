@@ -36,6 +36,21 @@ namespace joshua {
 
 enum class TransferMode : uint8_t { kReplay = 0, kSnapshot = 1 };
 
+/// This server's slice of a federated job-id space. The federation layer
+/// (src/fed/) carves the id space into contiguous blocks of `id_stride` ids
+/// per shard; shard s owns (s*stride, (s+1)*stride]. count <= 1 means
+/// unsharded -- every id is owned, today's single-group behaviour.
+struct ShardIdentity {
+  uint32_t shard = 0;
+  uint32_t count = 1;
+  pbs::JobId id_stride = 0;
+  bool sharded() const { return count > 1 && id_stride != 0; }
+  bool owns(pbs::JobId id) const {
+    if (!sharded()) return true;
+    return id != pbs::kInvalidJob && (id - 1) / id_stride == shard;
+  }
+};
+
 struct JoshuaConfig {
   sim::Port client_port = 17000;  ///< jsub/jstat/jdel + jmutex/jdone RPCs
   sim::Port pbs_port = 15001;     ///< the colocated PBS server
@@ -46,6 +61,17 @@ struct JoshuaConfig {
   /// suspicion). Off by default: the paper treats exclusion as shutdown.
   bool auto_rejoin = false;
   sim::Duration rejoin_delay = sim::seconds(2);
+
+  /// Federation: the shard this server belongs to. Commands naming a job id
+  /// outside the shard's block are rejected with kUnknownJob -- the router
+  /// never sends them here, so one arriving means a misrouted direct client.
+  ShardIdentity shard;
+  /// Serve jstat from the local replica without entering the ordered path.
+  /// Reads commute with reads, and within one shard every replica holds the
+  /// same totally-ordered prefix, so a member's answer is a consistent
+  /// (possibly slightly stale) snapshot. Off by default: the paper orders
+  /// every command, and the default config must stay behaviour-identical.
+  bool jstat_local = false;
 
   // CPU cost model.
   sim::Duration cmd_proc = sim::msec(6);
@@ -92,6 +118,8 @@ class Server : public net::RpcNode {
     uint64_t ordered_completions = 0;  ///< completions applied from MutexDone
     uint64_t state_transfers_served = 0;
     uint64_t replays_applied = 0;
+    uint64_t jstat_local_served = 0;  ///< stats answered off the local replica
+    uint64_t shard_rejects = 0;       ///< commands naming out-of-shard ids
   };
   const Stats& stats() const { return stats_; }
 
@@ -215,7 +243,13 @@ class Server : public net::RpcNode {
   /// local PBS response disagreed with what the replayed log implies. Any
   /// nonzero value means this head's rebuilt state drifted from the group.
   telemetry::Counter m_replay_divergence_;
+  /// "pbs.jstat_local": stat queries served from the local replica, the
+  /// read path that never pays for total order (ROADMAP "millions of
+  /// users" axis). "joshua.shard_rejects": out-of-shard ids turned away.
+  telemetry::Counter m_jstat_local_;
+  telemetry::Counter m_shard_rejects_;
   telemetry::Histogram m_intercept_latency_;  ///< intercept -> client reply
+  telemetry::Histogram m_jstat_local_latency_;  ///< local-read intercept->reply
   telemetry::Histogram m_jmutex_wait_;        ///< jmutex arrival -> grant
   uint16_t tc_command_ = 0;  ///< trace category "joshua.command"
   uint16_t tc_replay_ = 0;   ///< trace category "joshua.replay"

@@ -33,6 +33,7 @@ std::string job_id_string(JobId id, const std::string& server_suffix) {
 void encode_job_spec(net::Writer& w, const JobSpec& spec) {
   w.str(spec.name);
   w.str(spec.user);
+  w.str(spec.queue);
   w.u32(spec.nodes);
   w.i64(spec.walltime.us);
   w.i64(spec.run_time.us);
@@ -45,6 +46,7 @@ JobSpec decode_job_spec(net::Reader& r) {
   JobSpec spec;
   spec.name = r.str();
   spec.user = r.str();
+  spec.queue = r.str();
   spec.nodes = r.u32();
   spec.walltime = sim::Duration{r.i64()};
   spec.run_time = sim::Duration{r.i64()};

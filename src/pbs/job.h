@@ -32,6 +32,10 @@ char state_letter(JobState s);
 struct JobSpec {
   std::string name = "job";
   std::string user = "user";
+  /// Destination queue (qsub -q). The PBS server itself treats every queue
+  /// alike (single-queue semantics, as the paper's testbed); the federation
+  /// layer routes submits to the shard whose queue globs match.
+  std::string queue = "batch";
   uint32_t nodes = 1;           ///< requested node count
   sim::Duration walltime = sim::minutes(10);  ///< requested limit
   sim::Duration run_time = sim::seconds(1);   ///< actual (simulated) runtime

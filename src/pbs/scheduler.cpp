@@ -65,10 +65,15 @@ std::vector<LaunchDecision> Scheduler::cycle(
     const std::map<JobId, Job>& jobs, const std::vector<NodeState>& nodes,
     sim::Time now) const {
   std::vector<LaunchDecision> decisions;
+  // With no free node nothing can launch (every branch below needs at least
+  // one); skip the O(queued log queued) FIFO projection entirely. A deep
+  // backlog -- millions of queued jobs on a busy or compute-less shard --
+  // would otherwise pay that sort on every cycle for nothing.
+  std::vector<sim::HostId> free = free_nodes(nodes);
+  if (free.empty()) return decisions;
+
   std::vector<const Job*> queue = eligible_fifo(jobs);
   if (queue.empty()) return decisions;
-
-  std::vector<sim::HostId> free = free_nodes(nodes);
 
   if (config_.exclusive_cluster) {
     // One job at a time on the whole cluster. Exclusive access leaves no

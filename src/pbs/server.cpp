@@ -21,6 +21,7 @@ Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
                    "pbs_server@" + net.host(host).name()),
       config_(std::move(config)),
       scheduler_(config_.sched) {
+  next_job_id_ = config_.job_id_base;
   for (const sim::Endpoint& mom : config_.moms) {
     nodes_.push_back(NodeState{mom.host, true, kInvalidJob});
   }
@@ -672,9 +673,24 @@ void Server::recover() {
   }
 }
 
+void Server::preload_queued(uint64_t count, const JobSpec& spec) {
+  auto hint = jobs_.end();
+  for (uint64_t i = 0; i < count; ++i) {
+    Job job;
+    job.id = next_job_id_++;
+    job.spec = spec;
+    job.state = JobState::kQueued;
+    job.submit_time = sim().now();
+    job.queue_rank = next_rank_++;
+    hint = jobs_.emplace_hint(hint, job.id, std::move(job));
+    ++submissions_;
+  }
+  m_jobs_queued_.add(count);
+}
+
 void Server::reset_state() {
   jobs_.clear();
-  next_job_id_ = 1;
+  next_job_id_ = config_.job_id_base;
   next_rank_ = 1;
   submissions_ = 0;
   for (NodeState& n : nodes_) n.running = kInvalidJob;
@@ -694,7 +710,7 @@ void Server::on_crash() {
 void Server::on_restart() {
   // Fresh daemon: volatile state resets, then recovery from storage.
   jobs_.clear();
-  next_job_id_ = 1;
+  next_job_id_ = config_.job_id_base;
   next_rank_ = 1;
   submissions_ = 0;
   for (NodeState& n : nodes_) {

@@ -53,6 +53,12 @@ struct ServerConfig {
 
   sim::Duration mom_launch_timeout = sim::seconds(8);
 
+  /// First job id this server hands out (and returns to on reset). A
+  /// federated shard sets this to the base of its id block so every id it
+  /// ever issues identifies its owning shard, even after a crashed head
+  /// rejoins with an empty transfer log.
+  JobId job_id_base = 1;
+
   /// Heartbeat-based compute-node failure detection. 0 = off, the paper's
   /// behaviour: a failed compute node's job simply dies with it. When on,
   /// the server pings every mom each interval; heartbeat_miss_limit
@@ -114,6 +120,14 @@ class Server : public net::RpcNode {
   /// Drop all jobs and counters (a freshly installed server, as the paper
   /// assumes on a joining head before its state transfer).
   void reset_state();
+
+  /// Insert `count` already-queued copies of `spec` directly into the job
+  /// table, bypassing the RPC path (ids and FIFO ranks assigned as normal
+  /// submits would). Benches use this to model an established backlog of
+  /// millions of queued jobs; every replica of a group must be preloaded
+  /// identically before service starts. Not persisted and no scheduling
+  /// cycle is triggered -- the next real mutation does both.
+  void preload_queued(uint64_t count, const JobSpec& spec);
 
   /// Raise the id counter to at least `floor`. A replay-mode state transfer
   /// calls this with the donor's counter: the compacted log omits terminal

@@ -1,0 +1,246 @@
+// Federation integration: independent ordering groups per shard behind the
+// router. Covers routed submits (glob and hash placement), the merged
+// jstat-all read, the mass delete, misrouted-id rejection at both the
+// router and the server, and the jstat local-read fast path.
+#include "fed/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace {
+
+fed::FederationOptions fast_fed(int shards, int heads_per_shard,
+                                int computes_per_shard, uint64_t seed = 1) {
+  fed::FederationOptions options;
+  options.shard_count = shards;
+  options.heads_per_shard = heads_per_shard;
+  options.computes_per_shard = computes_per_shard;
+  options.cal = sim::fast_calibration();
+  options.seed = seed;
+  return options;
+}
+
+pbs::JobSpec queued_job(const std::string& queue,
+                        sim::Duration run_time = sim::seconds(300)) {
+  pbs::JobSpec spec;
+  spec.name = "t";
+  spec.queue = queue;
+  spec.run_time = run_time;
+  return spec;
+}
+
+pbs::JobId jsub_sync(fed::Federation& f, fed::Router& router,
+                     pbs::JobSpec spec) {
+  std::optional<pbs::SubmitResponse> resp;
+  bool done = false;
+  router.jsub(std::move(spec), [&](std::optional<pbs::SubmitResponse> r) {
+    done = true;
+    resp = r;
+  });
+  testutil::run_until(f.sim(), [&] { return done; }, sim::seconds(60));
+  if (!resp || resp->status != pbs::Status::kOk) return pbs::kInvalidJob;
+  return resp->job_id;
+}
+
+TEST(Federation, SingleShardMatchesMonolithicNumbering) {
+  fed::Federation f(fast_fed(1, 2, 1));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+  // No sharding: ids come out 1, 2, 3 exactly as joshua::Cluster hands
+  // them out -- the behaviour-identical default the baselines depend on.
+  EXPECT_EQ(jsub_sync(f, router, queued_job("batch")), 1u);
+  EXPECT_EQ(jsub_sync(f, router, queued_job("debug")), 2u);
+  EXPECT_EQ(jsub_sync(f, router, queued_job("gpu")), 3u);
+  EXPECT_EQ(router.stats().rejects, 0u);
+}
+
+TEST(Federation, GlobRoutedSubmitsLandInOwningShards) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  options.queue_globs = {{"batch*"}, {"*"}};
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+
+  pbs::JobId batch_id = jsub_sync(f, router, queued_job("batch"));
+  pbs::JobId debug_id = jsub_sync(f, router, queued_job("debug"));
+  ASSERT_NE(batch_id, pbs::kInvalidJob);
+  ASSERT_NE(debug_id, pbs::kInvalidJob);
+  EXPECT_EQ(f.shard_map().owner_of(batch_id), 0u);
+  EXPECT_EQ(f.shard_map().owner_of(debug_id), 1u);
+  EXPECT_EQ(batch_id, f.shard_map().first_id(0));
+  EXPECT_EQ(debug_id, f.shard_map().first_id(1));
+
+  // Every replica of the owning shard has the job; the other shard's
+  // replicas have never heard of it -- the groups share nothing.
+  for (size_t h = 0; h < f.head_count(); ++h) {
+    bool owner = f.shard_of_head(h) == 0;
+    EXPECT_EQ(f.pbs_server(h).find_job(batch_id).has_value(), owner)
+        << "head " << h;
+  }
+}
+
+TEST(Federation, JstatAllMergesShardsSortedById) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  options.queue_globs = {{"batch*"}, {"*"}};
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+
+  pbs::JobId debug_id = jsub_sync(f, router, queued_job("debug"));
+  pbs::JobId batch_id = jsub_sync(f, router, queued_job("batch"));
+  ASSERT_NE(debug_id, pbs::kInvalidJob);
+  ASSERT_NE(batch_id, pbs::kInvalidJob);
+
+  std::optional<pbs::StatResponse> all;
+  bool done = false;
+  pbs::StatRequest req;  // job_id = 0: every shard
+  router.jstat(req, [&](std::optional<pbs::StatResponse> r) {
+    done = true;
+    all = std::move(r);
+  });
+  testutil::run_until(f.sim(), [&] { return done; }, sim::seconds(60));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->status, pbs::Status::kOk);
+  ASSERT_EQ(all->jobs.size(), 2u);
+  // batch_id (shard 0's block) sorts before debug_id (shard 1's block)
+  // even though the debug job was submitted first.
+  EXPECT_EQ(all->jobs[0].id, batch_id);
+  EXPECT_EQ(all->jobs[1].id, debug_id);
+  EXPECT_EQ(router.stats().fanouts, 1u);
+  EXPECT_EQ(router.stats().fanout_reads, 2u);
+}
+
+TEST(Federation, MassDeleteSpansShards) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  options.queue_globs = {{"batch*"}, {"*"}};
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+
+  std::vector<pbs::JobId> ids;
+  ids.push_back(jsub_sync(f, router, queued_job("batch")));
+  ids.push_back(jsub_sync(f, router, queued_job("batch2")));
+  ids.push_back(jsub_sync(f, router, queued_job("debug")));
+  for (pbs::JobId id : ids) ASSERT_NE(id, pbs::kInvalidJob);
+
+  std::optional<uint64_t> deleted;
+  bool done = false;
+  router.jdel_all([&](std::optional<uint64_t> n) {
+    done = true;
+    deleted = n;
+  });
+  testutil::run_until(f.sim(), [&] { return done; }, sim::seconds(120));
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_EQ(*deleted, 3u);
+  EXPECT_EQ(router.stats().mass_deleted, 3u);
+  for (pbs::JobId id : ids) {
+    auto job = f.pbs_server(0).find_job(id);
+    if (!job) job = f.pbs_server(2).find_job(id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_TRUE(job->cancelled) << "job " << id;
+  }
+}
+
+TEST(Federation, MisroutedIdsRejectedAtBothLayers) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+  pbs::JobId id = jsub_sync(f, router, queued_job("batch"));
+  ASSERT_NE(id, pbs::kInvalidJob);
+
+  // Router layer: an id beyond every shard's block never touches the wire.
+  pbs::JobId impossible = f.shard_map().first_id(2) + 7;
+  std::optional<pbs::SimpleResponse> resp;
+  bool done = false;
+  router.jdel(impossible, [&](std::optional<pbs::SimpleResponse> r) {
+    done = true;
+    resp = r;
+  });
+  EXPECT_TRUE(done) << "rejected locally, synchronously";
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, pbs::Status::kUnknownJob);
+  EXPECT_EQ(router.stats().rejects, 1u);
+
+  // Server layer: a direct client asking the wrong shard for a perfectly
+  // valid id is turned away before the ordered path.
+  uint32_t owner = *f.shard_map().owner_of(id);
+  std::optional<pbs::StatResponse> stat;
+  done = false;
+  pbs::StatRequest req;
+  req.job_id = id;
+  router.client(1 - owner).jstat(req, [&](std::optional<pbs::StatResponse> r) {
+    done = true;
+    stat = std::move(r);
+  });
+  testutil::run_until(f.sim(), [&] { return done; }, sim::seconds(60));
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->status, pbs::Status::kUnknownJob);
+  uint64_t shard_rejects = 0;
+  for (size_t h = 0; h < f.head_count(); ++h)
+    shard_rejects += f.joshua_server(h).stats().shard_rejects;
+  EXPECT_EQ(shard_rejects, 1u);
+}
+
+TEST(Federation, JstatLocalFastPathSkipsOrdering) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  options.jstat_local = true;
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+  pbs::JobId id = jsub_sync(f, router, queued_job("batch"));
+  ASSERT_NE(id, pbs::kInvalidJob);
+
+  uint64_t ordered_before = 0;
+  for (size_t h = 0; h < f.head_count(); ++h)
+    ordered_before += f.joshua_server(h).stats().commands_executed;
+
+  std::optional<pbs::StatResponse> stat;
+  bool done = false;
+  pbs::StatRequest req;
+  req.job_id = id;
+  router.jstat(req, [&](std::optional<pbs::StatResponse> r) {
+    done = true;
+    stat = std::move(r);
+  });
+  testutil::run_until(f.sim(), [&] { return done; }, sim::seconds(60));
+  ASSERT_TRUE(stat.has_value());
+  ASSERT_EQ(stat->status, pbs::Status::kOk);
+  ASSERT_EQ(stat->jobs.size(), 1u);
+  EXPECT_EQ(stat->jobs[0].id, id);
+
+  uint64_t served_local = 0, ordered_after = 0;
+  for (size_t h = 0; h < f.head_count(); ++h) {
+    served_local += f.joshua_server(h).stats().jstat_local_served;
+    ordered_after += f.joshua_server(h).stats().commands_executed;
+  }
+  EXPECT_EQ(served_local, 1u) << "answered off the local replica";
+  EXPECT_EQ(ordered_after, ordered_before)
+      << "the read never entered the ordered path";
+}
+
+TEST(Federation, SurvivesHeadLossPerShard) {
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  fed::Router& router = f.make_router();
+  ASSERT_NE(jsub_sync(f, router, queued_job("batch")), pbs::kInvalidJob);
+
+  // Kill one head of shard 0; the shard reforms with its survivor and both
+  // shards keep accepting commands. Shard 1 never notices.
+  f.faults().crash_at(f.head_hosts()[0], f.sim().now() + sim::msec(10));
+  f.sim().run_for(sim::msec(20));
+  ASSERT_TRUE(f.run_until_converged());
+  EXPECT_NE(jsub_sync(f, router, queued_job("batch")), pbs::kInvalidJob);
+  EXPECT_NE(jsub_sync(f, router, queued_job("other")), pbs::kInvalidJob);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// ShardMap edge cases: the partition function must degenerate exactly to
+// today's single-group routing, refuse ids no shard can own, and place
+// deterministically -- every router and head computing the same answer is
+// what stands in for a replicated directory service.
+#include "fed/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include "joshua/server.h"
+#include "util/config.h"
+#include "util/rng.h"
+
+namespace {
+
+using fed::ShardMap;
+using fed::ShardMapConfig;
+
+TEST(ShardMap, SingleShardDegeneratesToTodaysRouting) {
+  // Default-constructed and explicit 1-shard maps behave like the
+  // monolithic cluster: every id owned by the one group, every queue
+  // placed there, ids numbered from 1.
+  ShardMap def;
+  ShardMapConfig one;
+  one.shard_count = 1;
+  ShardMap explicit_one(one);
+  for (const ShardMap* map : {&def, &explicit_one}) {
+    EXPECT_EQ(map->shard_count(), 1u);
+    EXPECT_TRUE(map->single_shard());
+    EXPECT_FALSE(map->routes_by_queue());
+    EXPECT_EQ(map->first_id(0), 1u);
+    EXPECT_EQ(map->owner_of(1), 0u);
+    EXPECT_EQ(map->owner_of(123456789), 0u);
+    EXPECT_EQ(map->place("batch"), 0u);
+    EXPECT_EQ(map->place("anything", 77), 0u);
+  }
+  EXPECT_FALSE(def.owner_of(pbs::kInvalidJob).has_value());
+}
+
+TEST(ShardMap, OwnerOfMatchesIdBlocks) {
+  ShardMapConfig cfg;
+  cfg.shard_count = 4;
+  cfg.id_stride = 100;
+  ShardMap map(cfg);
+  EXPECT_EQ(map.first_id(0), 1u);
+  EXPECT_EQ(map.first_id(3), 301u);
+  EXPECT_EQ(map.owner_of(1), 0u);
+  EXPECT_EQ(map.owner_of(100), 0u);
+  EXPECT_EQ(map.owner_of(101), 1u);
+  EXPECT_EQ(map.owner_of(400), 3u);
+}
+
+TEST(ShardMap, UnknownIdsRejected) {
+  ShardMapConfig cfg;
+  cfg.shard_count = 4;
+  cfg.id_stride = 100;
+  ShardMap map(cfg);
+  // Beyond every shard's block: no shard can ever have issued these.
+  EXPECT_FALSE(map.owner_of(pbs::kInvalidJob).has_value());
+  EXPECT_FALSE(map.owner_of(401).has_value());
+  EXPECT_FALSE(map.owner_of(100000).has_value());
+}
+
+TEST(ShardMap, AgreesWithServerSideShardIdentity) {
+  // The router's owner_of and the server's owns() are the same partition
+  // evaluated at the two ends of the wire; they must never disagree.
+  ShardMapConfig cfg;
+  cfg.shard_count = 3;
+  cfg.id_stride = 50;
+  ShardMap map(cfg);
+  for (uint32_t s = 0; s < 3; ++s) {
+    joshua::ShardIdentity ident;
+    ident.shard = s;
+    ident.count = 3;
+    ident.id_stride = 50;
+    for (pbs::JobId id = 1; id <= 160; ++id)
+      EXPECT_EQ(map.owner_of(id) == std::optional<uint32_t>(s),
+                ident.owns(id))
+          << "id " << id << " shard " << s;
+  }
+}
+
+TEST(ShardMap, QueueGlobRouting) {
+  ShardMapConfig cfg;
+  cfg.shard_count = 3;
+  cfg.queue_globs = {{"batch*"}, {"debug", "interactive"}, {"*"}};
+  ShardMap map(cfg);
+  EXPECT_TRUE(map.routes_by_queue());
+  EXPECT_EQ(map.place("batch"), 0u);
+  EXPECT_EQ(map.place("batch_long"), 0u);
+  EXPECT_EQ(map.place("debug"), 1u);
+  EXPECT_EQ(map.place("interactive"), 1u);
+  EXPECT_EQ(map.place("gpu"), 2u) << "catch-all shard takes the rest";
+  // Salt must not perturb glob routing -- queue ownership is a contract.
+  EXPECT_EQ(map.place("batch", 999), 0u);
+}
+
+TEST(ShardMap, DeterministicHashPlacementProperty) {
+  // Property, 3 seeds: two maps built from the same config agree on every
+  // placement, the placement is within range, and spreading actually
+  // happens (no shard starves over a few hundred draws).
+  for (uint64_t seed : {7u, 19u, 23u}) {
+    jutil::Rng rng(seed);
+    ShardMapConfig cfg;
+    cfg.shard_count = static_cast<uint32_t>(rng.uniform(2, 8));
+    ShardMap a(cfg), b(cfg);
+    std::vector<uint64_t> hits(cfg.shard_count, 0);
+    for (int i = 0; i < 400; ++i) {
+      std::string queue = "q" + std::to_string(rng.next_u64(1u << 20));
+      uint64_t salt = rng.next_u64(1ull << 40);
+      uint32_t placed = a.place(queue, salt);
+      EXPECT_EQ(placed, b.place(queue, salt)) << "seed " << seed;
+      ASSERT_LT(placed, cfg.shard_count);
+      ++hits[placed];
+    }
+    for (uint32_t s = 0; s < cfg.shard_count; ++s)
+      EXPECT_GT(hits[s], 0u) << "seed " << seed << " starved shard " << s;
+  }
+}
+
+TEST(ShardMap, ValidationRejectsBadPartitions) {
+  ShardMapConfig zero_shards;
+  zero_shards.shard_count = 0;
+  EXPECT_THROW(ShardMap{zero_shards}, jutil::ConfigError);
+
+  ShardMapConfig zero_stride;
+  zero_stride.shard_count = 2;
+  zero_stride.id_stride = 0;
+  EXPECT_THROW(ShardMap{zero_stride}, jutil::ConfigError);
+
+  ShardMapConfig wrong_arity;
+  wrong_arity.shard_count = 3;
+  wrong_arity.queue_globs = {{"a"}, {"*"}};
+  EXPECT_THROW(ShardMap{wrong_arity}, jutil::ConfigError);
+
+  ShardMapConfig empty_list;
+  empty_list.shard_count = 2;
+  empty_list.queue_globs = {{"batch*"}, {}};
+  EXPECT_THROW(ShardMap{empty_list}, jutil::ConfigError);
+
+  ShardMapConfig duplicate;
+  duplicate.shard_count = 2;
+  duplicate.queue_globs = {{"batch"}, {"batch", "*"}};
+  EXPECT_THROW(ShardMap{duplicate}, jutil::ConfigError);
+
+  // A literal name one shard claims that another shard's glob also matches:
+  // both would accept submits to "batch9".
+  ShardMapConfig overlap;
+  overlap.shard_count = 2;
+  overlap.queue_globs = {{"batch*", "*"}, {"batch9"}};
+  EXPECT_THROW(ShardMap{overlap}, jutil::ConfigError);
+
+  // No catch-all: a queue matching no glob would have no owner.
+  ShardMapConfig uncovered;
+  uncovered.shard_count = 2;
+  uncovered.queue_globs = {{"batch*"}, {"debug*"}};
+  EXPECT_THROW(ShardMap{uncovered}, jutil::ConfigError);
+}
+
+}  // namespace

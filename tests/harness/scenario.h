@@ -37,6 +37,7 @@
 #include <tuple>
 #include <vector>
 
+#include "fed/federation.h"
 #include "ha/availability.h"
 #include "joshua/cluster.h"
 #include "telemetry/scenario_report.h"
@@ -60,6 +61,12 @@ struct ScenarioOptions {
   std::string name = "scenario";
   int heads = 3;
   int computes = 2;
+  /// Federated control plane: partition heads/computes into this many
+  /// independent ordering groups behind a fed::Router (heads must split
+  /// evenly). 1 = the monolithic cluster, today's behaviour. Campaigns read
+  /// JOSHUA_SHARDS (like JOSHUA_REPLICATION / JOSHUA_COMPUTES) so CI can
+  /// sweep the shard count without recompiling.
+  int shards = 1;
   uint64_t seed = 1;
   joshua::TransferMode transfer = joshua::TransferMode::kReplay;
   /// Total-order engine for the replication group.
@@ -180,23 +187,142 @@ struct ScenarioResult {
   bool ok() const { return violations.empty(); }
 };
 
+/// Either control plane behind the one accessor surface the runner needs:
+/// the monolithic joshua::Cluster (shards = 1) or a fed::Federation. The
+/// campaign logic -- workload, fault schedule, invariants, availability
+/// accounting -- is identical either way; only command entry (Client vs
+/// Router) and the convergence predicate differ.
+class Plane {
+ public:
+  explicit Plane(const ScenarioOptions& o) {
+    if (o.shards <= 1) {
+      joshua::ClusterOptions copt;
+      copt.head_count = o.heads;
+      copt.compute_count = o.computes;
+      copt.cal = sim::fast_calibration();
+      copt.seed = o.seed;
+      copt.transfer = o.transfer;
+      copt.gcs_heartbeat = o.gcs_heartbeat;
+      copt.gcs_suspect = o.gcs_suspect;
+      copt.gcs_flush = o.gcs_flush;
+      copt.ordering = o.ordering;
+      copt.mom_heartbeat = o.mom_heartbeat;
+      copt.heartbeat_miss_limit = o.heartbeat_miss_limit;
+      cluster_ = std::make_unique<joshua::Cluster>(copt);
+      return;
+    }
+    fed::FederationOptions fopt;
+    fopt.shard_count = o.shards;
+    fopt.heads_per_shard = std::max(1, o.heads / o.shards);
+    fopt.computes_per_shard = std::max(1, o.computes / o.shards);
+    fopt.cal = sim::fast_calibration();
+    fopt.seed = o.seed;
+    fopt.transfer = o.transfer;
+    fopt.gcs_heartbeat = o.gcs_heartbeat;
+    fopt.gcs_suspect = o.gcs_suspect;
+    fopt.gcs_flush = o.gcs_flush;
+    fopt.ordering = o.ordering;
+    fopt.mom_heartbeat = o.mom_heartbeat;
+    fopt.heartbeat_miss_limit = o.heartbeat_miss_limit;
+    fed_ = std::make_unique<fed::Federation>(std::move(fopt));
+  }
+
+  bool federated() const { return fed_ != nullptr; }
+  joshua::Cluster& cluster() { return *cluster_; }  ///< shards = 1 only
+
+  sim::Simulation& sim() {
+    return cluster_ ? cluster_->sim() : fed_->sim();
+  }
+  sim::Network& net() { return cluster_ ? cluster_->net() : fed_->net(); }
+  sim::FailureInjector& faults() {
+    return cluster_ ? cluster_->faults() : fed_->faults();
+  }
+  size_t head_count() const {
+    return cluster_ ? cluster_->head_count() : fed_->head_count();
+  }
+  size_t compute_count() const {
+    return cluster_ ? cluster_->compute_count() : fed_->compute_count();
+  }
+  const std::vector<sim::HostId>& head_hosts() const {
+    return cluster_ ? cluster_->head_hosts() : fed_->head_hosts();
+  }
+  const std::vector<sim::HostId>& compute_hosts() const {
+    return cluster_ ? cluster_->compute_hosts() : fed_->compute_hosts();
+  }
+  pbs::Server& pbs_server(size_t i) {
+    return cluster_ ? cluster_->pbs_server(i) : fed_->pbs_server(i);
+  }
+  joshua::Server& joshua_server(size_t i) {
+    return cluster_ ? cluster_->joshua_server(i) : fed_->joshua_server(i);
+  }
+  pbs::Mom& mom(size_t i) { return cluster_ ? cluster_->mom(i) : fed_->mom(i); }
+  /// Ordering group of a head: always 0 for the monolithic cluster, the
+  /// owning shard under federation. Replica-consistency invariants hold
+  /// within a group; across groups the job tables are disjoint by design.
+  uint32_t group_of_head(size_t i) const {
+    return cluster_ ? 0 : fed_->shard_of_head(i);
+  }
+
+  void start() { cluster_ ? cluster_->start() : fed_->start(); }
+  bool run_until_converged(sim::Duration deadline) {
+    return cluster_ ? cluster_->run_until_converged(deadline)
+                    : fed_->run_until_converged(deadline);
+  }
+  /// All live, in-service heads share one installed view (per ordering
+  /// group: the single group, or every shard's own).
+  bool converged_live() const {
+    if (fed_) return fed_->converged();
+    size_t live = 0;
+    for (size_t i = 0; i < cluster_->head_count(); ++i) {
+      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
+      if (cluster_->joshua_server(i).in_service()) ++live;
+    }
+    return live > 0 && cluster_->converged(live);
+  }
+
+  /// Command entry point: a joshua::Client on the login node (monolithic)
+  /// or a fed::Router fronting every shard. Same jsub/jstat/jdel surface.
+  struct Issuer {
+    joshua::Client* client = nullptr;
+    fed::Router* router = nullptr;
+    void jsub(pbs::JobSpec spec,
+              std::function<void(std::optional<pbs::SubmitResponse>)> done) {
+      client ? client->jsub(std::move(spec), std::move(done))
+             : router->jsub(std::move(spec), std::move(done));
+    }
+    void jstat(pbs::StatRequest req,
+               std::function<void(std::optional<pbs::StatResponse>)> done) {
+      client ? client->jstat(std::move(req), std::move(done))
+             : router->jstat(std::move(req), std::move(done));
+    }
+    void jdel(pbs::JobId id,
+              std::function<void(std::optional<pbs::SimpleResponse>)> done) {
+      client ? client->jdel(id, std::move(done))
+             : router->jdel(id, std::move(done));
+    }
+    uint64_t failovers() const {
+      return client ? client->failovers() : router->failovers();
+    }
+  };
+  Issuer make_issuer() {
+    Issuer issuer;
+    if (cluster_)
+      issuer.client = &cluster_->make_jclient();
+    else
+      issuer.router = &fed_->make_router();
+    return issuer;
+  }
+
+ private:
+  std::unique_ptr<joshua::Cluster> cluster_;
+  std::unique_ptr<fed::Federation> fed_;
+};
+
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(ScenarioOptions options)
       : options_(std::move(options)) {
-    joshua::ClusterOptions copt;
-    copt.head_count = options_.heads;
-    copt.compute_count = options_.computes;
-    copt.cal = sim::fast_calibration();
-    copt.seed = options_.seed;
-    copt.transfer = options_.transfer;
-    copt.gcs_heartbeat = options_.gcs_heartbeat;
-    copt.gcs_suspect = options_.gcs_suspect;
-    copt.gcs_flush = options_.gcs_flush;
-    copt.ordering = options_.ordering;
-    copt.mom_heartbeat = options_.mom_heartbeat;
-    copt.heartbeat_miss_limit = options_.heartbeat_miss_limit;
-    cluster_ = std::make_unique<joshua::Cluster>(copt);
+    cluster_ = std::make_unique<Plane>(options_);
     if (options_.trace_capacity != 0)
       cluster_->sim().telemetry().trace().set_capacity(options_.trace_capacity);
 
@@ -216,11 +342,13 @@ class ScenarioRunner {
     }
   }
 
-  joshua::Cluster& cluster() { return *cluster_; }
+  Plane& plane() { return *cluster_; }
+  /// The monolithic cluster (valid only when options.shards <= 1).
+  joshua::Cluster& cluster() { return cluster_->cluster(); }
 
   ScenarioResult run() {
     ScenarioResult result;
-    joshua::Cluster& cluster = *cluster_;
+    Plane& cluster = *cluster_;
     sim::Simulation& sim = cluster.sim();
 
     cluster.start();
@@ -245,7 +373,7 @@ class ScenarioRunner {
     }
     result.max_concurrent_down = max_concurrent_down();
 
-    client_ = &cluster.make_jclient();
+    issuer_ = cluster.make_issuer();
     schedule_next_command();
 
     // -- main campaign loop --------------------------------------------------
@@ -322,7 +450,7 @@ class ScenarioRunner {
     spec.run_time = sim::Duration{rng.uniform(options_.job_runtime_min.us,
                                               options_.job_runtime_max.us)};
     spec.walltime = spec.run_time * 4;
-    client_->jsub(std::move(spec),
+    issuer_.jsub(std::move(spec),
                   [this](std::optional<pbs::SubmitResponse> r) {
                     if (r && r->status == pbs::Status::kOk &&
                         r->job_id != pbs::kInvalidJob) {
@@ -342,7 +470,7 @@ class ScenarioRunner {
     size_t ix = static_cast<size_t>(rng.next_u64(live_ids_.size()));
     pbs::JobId id = live_ids_[ix];
     live_ids_.erase(live_ids_.begin() + static_cast<std::ptrdiff_t>(ix));
-    client_->jdel(id, [this](std::optional<pbs::SimpleResponse> r) {
+    issuer_.jdel(id, [this](std::optional<pbs::SimpleResponse> r) {
       if (r && r->status == pbs::Status::kOk)
         ++tally_.jdel_ok;
       else
@@ -355,7 +483,7 @@ class ScenarioRunner {
     jutil::Rng& rng = cluster_->sim().rng();
     pbs::StatRequest req;
     req.job_id = live_ids_[static_cast<size_t>(rng.next_u64(live_ids_.size()))];
-    client_->jstat(req, [this](std::optional<pbs::StatResponse> r) {
+    issuer_.jstat(req, [this](std::optional<pbs::StatResponse> r) {
       if (r)
         ++tally_.jstat_ok;
       else
@@ -396,14 +524,20 @@ class ScenarioRunner {
     });
   }
 
+  /// View-change detector: per ordering group the max epoch any in-service
+  /// member holds, summed across groups (each shard's membership advances
+  /// independently; a sum moves whenever any group reforms).
   uint64_t current_epoch() const {
-    uint64_t epoch = 0;
+    std::map<uint32_t, uint64_t> group_epoch;
     for (size_t i = 0; i < cluster_->head_count(); ++i) {
       const auto& server = cluster_->joshua_server(i);
       if (!server.in_service()) continue;
-      epoch = std::max(epoch, server.group().view().id.epoch);
+      uint64_t& e = group_epoch[cluster_->group_of_head(i)];
+      e = std::max(e, server.group().view().id.epoch);
     }
-    return epoch;
+    uint64_t sum = 0;
+    for (const auto& [g, e] : group_epoch) sum += e;
+    return sum;
   }
 
   bool all_heads_in_service() const {
@@ -491,15 +625,9 @@ class ScenarioRunner {
     check_exactly_r(result);
   }
 
-  /// All live, in-service heads share one view (no flush in flight).
-  bool group_stable() const {
-    size_t live = 0;
-    for (size_t i = 0; i < cluster_->head_count(); ++i) {
-      if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
-      if (cluster_->joshua_server(i).in_service()) ++live;
-    }
-    return live > 0 && cluster_->converged(live);
-  }
+  /// All live, in-service heads share one view (no flush in flight); with
+  /// shards, every ordering group independently.
+  bool group_stable() const { return cluster_->converged_live(); }
 
   /// joshuatest::heads_consistent, inlined so the harness has no dependency
   /// on the joshua test directory: identical live-job tables everywhere.
@@ -508,8 +636,11 @@ class ScenarioRunner {
     // vector without building per-head maps (job tables hold the full
     // completed history and get large over a multi-day campaign).
     using LiveRow = std::tuple<pbs::JobId, pbs::JobState, bool>;
-    std::optional<std::vector<LiveRow>> ref;
+    // One reference table per ordering group: shards hold disjoint job sets
+    // by design, so consistency is a within-group invariant.
+    std::map<uint32_t, std::vector<LiveRow>> ref;
     std::vector<LiveRow> live;
+    bool any = false;
     for (size_t i = 0; i < cluster_->head_count(); ++i) {
       if (!cluster_->net().host(cluster_->head_hosts()[i]).up()) continue;
       if (!cluster_->joshua_server(i).in_service()) continue;
@@ -517,13 +648,12 @@ class ScenarioRunner {
       for (const auto& [id, job] : cluster_->pbs_server(i).jobs()) {
         if (!job.terminal()) live.emplace_back(id, job.state, job.cancelled);
       }
-      if (!ref) {
-        ref = live;
-        continue;
-      }
-      if (live != *ref) return false;
+      auto [it, inserted] =
+          ref.emplace(cluster_->group_of_head(i), live);
+      any = true;
+      if (!inserted && live != it->second) return false;
     }
-    return ref.has_value();
+    return any;
   }
 
   /// Invariant 1, generalised from exactly-once to exactly-r: across all
@@ -720,7 +850,8 @@ class ScenarioRunner {
     result.jstat_attempted = tally_.jstat_attempted;
     result.jstat_ok = tally_.jstat_ok;
     result.commands_failed = tally_.commands_failed;
-    result.client_failovers = client_ ? client_->failovers() : 0;
+    result.client_failovers =
+        (issuer_.client || issuer_.router) ? issuer_.failovers() : 0;
     for (pbs::JobId id : accepted_order_) {
       if (completed_seen_.count(id) != 0) ++result.jobs_completed;
     }
@@ -753,6 +884,7 @@ class ScenarioRunner {
     r.set_meta("digest", std::to_string(result.digest));
     r.set("scenario.heads", options_.heads);
     r.set("scenario.computes", options_.computes);
+    r.set("scenario.shards", options_.shards);
     r.set("scenario.replication", static_cast<double>(options_.replication));
     r.set("scenario.mom_heartbeat_s",
           static_cast<double>(options_.mom_heartbeat.us) / 1e6);
@@ -787,8 +919,8 @@ class ScenarioRunner {
   }
 
   ScenarioOptions options_;
-  std::unique_ptr<joshua::Cluster> cluster_;
-  joshua::Client* client_ = nullptr;
+  std::unique_ptr<Plane> cluster_;
+  Plane::Issuer issuer_;
   bool workload_done_ = false;
 
   struct Tally {

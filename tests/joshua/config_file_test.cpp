@@ -90,6 +90,111 @@ TEST(ClusterConfig, RoundTrip) {
   EXPECT_EQ(back.gcs_suspect, sim::msec(400));
 }
 
+TEST(ClusterConfig, ShardsSectionParses) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      stride = 1000
+      shard 0 {
+        heads = {0, 1}
+        queues = {"batch*"}
+      }
+      shard 1 {
+        heads = {2, 3}
+        queues = {"*"}
+      }
+    }
+  )");
+  ASSERT_TRUE(options.shards.sharded());
+  EXPECT_EQ(options.shards.count, 2);
+  EXPECT_EQ(options.shards.id_stride, 1000u);
+  ASSERT_EQ(options.shards.heads.size(), 2u);
+  EXPECT_EQ(options.shards.heads[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(options.shards.heads[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(options.shards.queues[0], (std::vector<std::string>{"batch*"}));
+  EXPECT_EQ(options.shards.queues[1], (std::vector<std::string>{"*"}));
+}
+
+TEST(ClusterConfig, ShardsRoundTrip) {
+  joshua::ClusterOptions original;
+  original.head_count = 4;
+  original.shards.count = 2;
+  original.shards.id_stride = 500;
+  original.shards.heads = {{0, 1}, {2, 3}};
+  original.shards.queues = {{"batch*", "long"}, {"*"}};
+  joshua::ClusterOptions back =
+      cluster_options_from_config(cluster_options_to_config(original));
+  EXPECT_EQ(back.shards.count, 2);
+  EXPECT_EQ(back.shards.id_stride, 500u);
+  EXPECT_EQ(back.shards.heads, original.shards.heads);
+  EXPECT_EQ(back.shards.queues, original.shards.queues);
+}
+
+TEST(ClusterConfig, ShardsValidationErrors) {
+  // A head claimed by two shards.
+  EXPECT_THROW(cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      shard 0 { heads = {0, 1} }
+      shard 1 { heads = {1, 2, 3} }
+    }
+  )"),
+               jutil::ConfigError);
+  // A head assigned to no shard.
+  EXPECT_THROW(cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      shard 0 { heads = {0, 1} }
+      shard 1 { heads = {2} }
+    }
+  )"),
+               jutil::ConfigError);
+  // Overlapping queue globs: two shards both claim queue "batch".
+  EXPECT_THROW(cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      shard 0 {
+        heads = {0, 1}
+        queues = {"batch*", "*"}
+      }
+      shard 1 {
+        heads = {2, 3}
+        queues = {"batch"}
+      }
+    }
+  )"),
+               jutil::ConfigError);
+  // No catch-all: some queue would be unassigned.
+  EXPECT_THROW(cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      shard 0 {
+        heads = {0, 1}
+        queues = {"batch*"}
+      }
+      shard 1 {
+        heads = {2, 3}
+        queues = {"debug*"}
+      }
+    }
+  )"),
+               jutil::ConfigError);
+  // Missing per-shard section.
+  EXPECT_THROW(cluster_options_from_config(R"(
+    heads = 4
+    shards {
+      count = 2
+      shard 0 { heads = {0, 1, 2, 3} }
+    }
+  )"),
+               jutil::ConfigError);
+}
+
 TEST(ClusterConfig, ConfiguredClusterActuallyRuns) {
   joshua::ClusterOptions options = cluster_options_from_config(R"(
     heads = 2

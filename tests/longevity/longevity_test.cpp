@@ -22,6 +22,15 @@ ScenarioOptions campaign_options(sim::Duration duration, uint64_t seed) {
   options.name = "longevity";
   options.heads = 3;
   options.computes = 2;
+  // JOSHUA_SHARDS > 1 runs the same campaign against a federated control
+  // plane (scenario.h builds a fed::Federation behind the router). Each
+  // shard keeps a pair of heads so single-head losses never open a
+  // per-shard service gap.
+  options.shards = scenariotest::env_int("JOSHUA_SHARDS", 1, 1, 8);
+  if (options.shards > 1) {
+    options.heads = 2 * options.shards;
+    options.computes = 2 * options.shards;
+  }
   options.seed = seed;
   options.duration = duration;
   options.command_interval = sim::seconds(30);
