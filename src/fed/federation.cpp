@@ -21,6 +21,8 @@ FederationOptions federation_options_from(const joshua::ClusterOptions& co) {
   fo.gcs_suspect = co.gcs_suspect;
   fo.gcs_flush = co.gcs_flush;
   fo.ordering = co.ordering;
+  fo.order_batch = co.order_batch;
+  fo.order_window = co.order_window;
   if (co.shards.id_stride != 0) fo.id_stride = co.shards.id_stride;
   fo.queue_globs = co.shards.queues;
   bool any_globs = false;
@@ -133,6 +135,8 @@ Federation::Federation(FederationOptions options)
       if (options_.gcs_ctrl_proc.us > 0)
         cfg.group.ctrl_proc = options_.gcs_ctrl_proc;
       cfg.group.ordering = options_.ordering;
+      cfg.group.order_batch = options_.order_batch;
+      cfg.group.inflight_window = options_.order_window;
       cfg.transfer = options_.transfer;
       cfg.auto_rejoin = options_.auto_rejoin;
       cfg.jstat_local = options_.jstat_local;

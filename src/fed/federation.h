@@ -50,6 +50,9 @@ struct FederationOptions {
   sim::Duration gcs_hb_proc = sim::kDurationZero;
   sim::Duration gcs_ctrl_proc = sim::kDurationZero;
   gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
+  /// Ordering hot-path batching / sender window knobs (see ClusterOptions).
+  uint32_t order_batch = gcs::order_batch_from_env();
+  uint32_t order_window = gcs::order_window_from_env();
 };
 
 /// Build FederationOptions from a parsed deployment file's ClusterOptions.

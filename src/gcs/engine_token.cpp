@@ -151,24 +151,36 @@ EngineOut TokenRingEngine::take_token(int64_t now_us) {
 EngineOut TokenRingEngine::stamp_and_forward(int64_t now_us, bool may_defer) {
   EngineOut out;
   if (!my_unstamped_.empty()) {
-    // Assign consecutive globals to the whole backlog and announce the batch
-    // with one broadcast.
-    net::Writer w;
-    w.u8(kSubStamps);
-    w.u64(view_.id.epoch);
-    w.u64(token_id_seen_);
-    w.u64(next_global_);
-    w.u32(static_cast<uint32_t>(my_unstamped_.size()));
+    // Assign consecutive globals to the whole backlog and announce it in
+    // chunks of at most max_batch stamps each (0: the whole backlog in one
+    // announcement, the legacy wire behavior). A capped batch bounds the
+    // blast radius of one lost announcement: the NACK path re-requests one
+    // chunk-sized run instead of the entire hold's worth of stamps.
+    const size_t cap = tuning_.max_batch == 0
+                           ? my_unstamped_.size()
+                           : static_cast<size_t>(tuning_.max_batch);
     while (!my_unstamped_.empty()) {
-      MsgId id{self_, my_unstamped_.front()};
-      my_unstamped_.pop_front();
-      w.u32(id.sender);
-      w.u64(id.seq);
-      remember(next_global_++, Stamp{id, token_id_seen_});
+      const size_t n = std::min(my_unstamped_.size(), cap);
+      net::Writer w;
+      w.u8(kSubStamps);
+      w.u64(view_.id.epoch);
+      w.u64(token_id_seen_);
+      w.u64(next_global_);
+      w.u32(static_cast<uint32_t>(n));
+      for (size_t i = 0; i < n; ++i) {
+        MsgId id{self_, my_unstamped_.front()};
+        my_unstamped_.pop_front();
+        w.u32(id.sender);
+        w.u64(id.seq);
+        remember(next_global_++, Stamp{id, token_id_seen_});
+      }
+      if (view_.size() > 1) {
+        out.broadcasts.push_back(w.take());
+        out.batch_sizes.push_back(static_cast<uint32_t>(n));
+      }
     }
     idle_streak_ = 0;
     last_activity_us_ = now_us;
-    if (view_.size() > 1) out.broadcast = w.take();
   } else if (may_defer && view_.size() > 1) {
     // Nothing to stamp: hold the token briefly instead of spinning an idle
     // ring, backing off while consecutive laps stay idle.
@@ -327,7 +339,7 @@ EngineOut TokenRingEngine::on_tick(int64_t now_us) {
       // Round in flight: re-broadcast the query until everyone's reply
       // lands (queries and replies are lossy too).
       EngineOut out;
-      out.broadcast = encode_regen_query();
+      out.add_broadcast(encode_regen_query());
       return out;
     }
     if (now_us - last_activity_us_ > regen_timeout_us_) {
@@ -339,7 +351,7 @@ EngineOut TokenRingEngine::on_tick(int64_t now_us) {
       regen_pending_ = true;
       regen_replies_.clear();
       EngineOut out;
-      out.broadcast = encode_regen_query();
+      out.add_broadcast(encode_regen_query());
       return out;
     }
   }
@@ -360,7 +372,7 @@ EngineOut TokenRingEngine::on_tick(int64_t now_us) {
     // announcement costs the ring a trickle, not a storm.
     if (++nack_streak_ % 2 != 1) return {};
     EngineOut out;
-    out.broadcast = encode_stamp_nack(head);
+    out.add_broadcast(encode_stamp_nack(head));
     return out;
   }
   nack_head_ = 0;

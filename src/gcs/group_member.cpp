@@ -47,8 +47,11 @@ GroupMember::GroupMember(sim::Network& net, sim::HostId host,
   m_cuts_sent_ = m.counter("gcs.cuts_sent");
   m_engine_msgs_ = m.counter("gcs.engine_msgs_sent");
   m_token_rotations_ = m.counter("gcs.token.rotations");
+  m_window_stalls_ = m.counter("gcs.window_stalls");
+  m_pipeline_depth_ = m.gauge("gcs.pipeline_depth");
   m_order_latency_ = m.histogram("gcs.order_latency_us");
   m_token_hold_ = m.histogram("gcs.token.hold_us");
+  m_batch_size_ = m.histogram("gcs.batch_size");
   if (!config_.telemetry_scope.empty()) {
     m_scope_delivered_ =
         m.counter("gcs." + config_.telemetry_scope + ".delivered");
@@ -66,6 +69,7 @@ GroupMember::GroupMember(sim::Network& net, sim::HostId host,
   tuning.token_timeout = config_.token_timeout.us > 0
                              ? config_.token_timeout
                              : config_.heartbeat_interval * 4;
+  tuning.max_batch = config_.order_batch;
   engine_ = make_engine(config_.ordering, tuning);
   buffer_.attach_engine(engine_.get());
 }
@@ -106,6 +110,26 @@ void GroupMember::multicast(sim::Payload payload, Delivery level) {
     pending_sends_.emplace_back(std::move(payload), level);
     return;
   }
+  const bool ordered = level == Delivery::kAgreed || level == Delivery::kSafe;
+  if (ordered && config_.inflight_window > 0 &&
+      (inflight_ >= config_.inflight_window || !window_queue_.empty())) {
+    // Flow control: the window of own unordered sends is full (or earlier
+    // sends already wait behind it -- per-sender FIFO must hold). Queue
+    // locally instead of growing every receiver's unordered backlog; the
+    // window reopens as our own messages come back ordered.
+    ++stats_.window_stalls;
+    m_window_stalls_.add(1);
+    window_queue_.emplace_back(std::move(payload), level);
+    return;
+  }
+  if (ordered) {
+    ++inflight_;
+    m_pipeline_depth_.set(inflight_);
+  }
+  do_multicast(std::move(payload), level);
+}
+
+void GroupMember::do_multicast(sim::Payload payload, Delivery level) {
   DataMsg msg;
   msg.id = MsgId{id(), ++my_seq_};
   msg.lamport = ++lamport_;
@@ -130,6 +154,17 @@ void GroupMember::multicast(sim::Payload payload, Delivery level) {
     cast_to_members(buf);
     deliver_ready();
   });
+}
+
+void GroupMember::release_window() {
+  while (state_ == State::kMember && !window_queue_.empty() &&
+         inflight_ < config_.inflight_window) {
+    auto [payload, level] = std::move(window_queue_.front());
+    window_queue_.pop_front();
+    ++inflight_;
+    m_pipeline_depth_.set(inflight_);
+    do_multicast(std::move(payload), level);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -243,9 +278,10 @@ void GroupMember::handle_data(DataWire m) {
   }
   // Ack before handing anything to the application so the sender's AGREED
   // condition fires as soon as the protocol -- not the app -- is done;
-  // coalesced while the CPU is busy with a burst. Token mode skips these
-  // reactive cuts entirely (the stamp is the delivery evidence).
-  if (engine_->wants_ack_cuts()) send_cut(/*periodic=*/false);
+  // coalesced while the CPU is busy with a burst, and batched under one
+  // cumulative cut when order_batch > 1. Token mode skips these reactive
+  // cuts entirely (the stamp is the delivery evidence).
+  if (engine_->wants_ack_cuts()) schedule_ack_cut();
   deliver_ready();
   check_gaps();
 }
@@ -316,6 +352,15 @@ void GroupMember::deliver_to_app(const DataMsg& m) {
       m_order_latency_.record(sim().now().us - sent_us);
       m_scope_order_latency_.record(sim().now().us - sent_us);
     }
+    // An own ordered message coming back retires flow-control debt and may
+    // reopen the window for queued sends (no-op while flushing: install_view
+    // resets the debt and replays the queue through multicast()).
+    if ((m.level == Delivery::kAgreed || m.level == Delivery::kSafe) &&
+        inflight_ > 0) {
+      --inflight_;
+      m_pipeline_depth_.set(inflight_);
+      if (!window_queue_.empty()) release_window();
+    }
   }
   Delivered d{m.id.sender, m.id.seq, m.level, m.payload};
   if (awaiting_state_) {
@@ -338,10 +383,11 @@ void GroupMember::handle_engine(EngineWire m) {
 
 void GroupMember::apply_engine(EngineOut out) {
   if (out.token_hold_us >= 0) m_token_hold_.record(out.token_hold_us);
-  if (out.broadcast) {
+  for (uint32_t n : out.batch_sizes) m_batch_size_.record(n);
+  for (sim::Payload& body : out.broadcasts) {
     ++stats_.engine_sent;
     m_engine_msgs_.add(1);
-    EngineWire w{make_header(), std::move(*out.broadcast)};
+    EngineWire w{make_header(), std::move(body)};
     cast_to_members(encode(w));
   }
   if (out.unicast) {
@@ -359,10 +405,41 @@ void GroupMember::apply_engine(EngineOut out) {
   }
 }
 
+void GroupMember::schedule_ack_cut() {
+  if (config_.order_batch <= 1) {
+    // Legacy path: every data message reacts with a (coalesced) cut.
+    send_cut(/*periodic=*/false);
+    return;
+  }
+  ++unacked_data_;
+  if (unacked_data_ >= config_.order_batch) {
+    flush_ack_cut();
+    return;
+  }
+  if (ack_timer_ == 0) {
+    // Partial batch: bound the sender's wait for delivery evidence. The
+    // nack_delay cadence keeps the latency cost of batching one NACK-round
+    // small at low rates while a busy stream fills batches long before it.
+    ack_timer_ = set_timer(config_.nack_delay, [this] {
+      ack_timer_ = 0;
+      flush_ack_cut();
+    });
+  }
+}
+
+void GroupMember::flush_ack_cut() {
+  if (unacked_data_ == 0) return;
+  m_batch_size_.record(unacked_data_);
+  send_cut(/*periodic=*/false);
+}
+
 void GroupMember::send_cut(bool periodic) {
   if (!is_member()) return;
   if (view_.size() <= 1) return;
   if (periodic) {
+    // Any cut carries the full cumulative received vector, so it acks
+    // everything heard so far -- the batching counter restarts.
+    unacked_data_ = 0;
     CutWire m{make_header(), true};
     ++stats_.cuts_sent;
     m_cuts_sent_.add(1);
@@ -373,6 +450,7 @@ void GroupMember::send_cut(bool periodic) {
   cut_scheduled_ = true;
   execute(config_.send_proc, [this] {
     cut_scheduled_ = false;
+    unacked_data_ = 0;
     if (!is_member() || view_.size() <= 1) return;
     CutWire m{make_header(), false};
     ++stats_.cuts_sent;
@@ -792,9 +870,19 @@ void GroupMember::install_view(const VcCommitWire& commit) {
   // heartbeat.
   send_cut(/*periodic=*/false);
 
-  // Release sends queued during the flush.
+  // The flush delivered -- or identically discarded -- every message this
+  // member had in flight, so the flow-control debt resets with the view.
+  inflight_ = 0;
+  m_pipeline_depth_.set(0);
+
+  // Release queued sends through multicast() (which re-applies the window):
+  // window-stalled sends first -- they predate anything buffered during the
+  // flush -- then the flush-time buffer.
+  auto stalled = std::move(window_queue_);
+  window_queue_.clear();
   auto queued = std::move(pending_sends_);
   pending_sends_.clear();
+  for (auto& [payload, level] : stalled) multicast(std::move(payload), level);
   for (auto& [payload, level] : queued) multicast(std::move(payload), level);
 }
 
@@ -930,7 +1018,8 @@ void GroupMember::become_down() {
   if (join_timer_ != 0) cancel_timer(join_timer_);
   if (flush_timer_ != 0) cancel_timer(flush_timer_);
   if (state_timer_ != 0) cancel_timer(state_timer_);
-  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = 0;
+  if (ack_timer_ != 0) cancel_timer(ack_timer_);
+  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = ack_timer_ = 0;
   buffer_.clear_all();
   engine_->clear();
   view_ = View{};
@@ -948,6 +1037,10 @@ void GroupMember::become_down() {
   flush_membership_.clear();
   flush_started_us_ = -1;
   pending_sends_.clear();
+  inflight_ = 0;
+  m_pipeline_depth_.set(0);
+  window_queue_.clear();
+  unacked_data_ = 0;
   awaiting_state_ = false;
   held_deliveries_.clear();
   cached_state_.reset();
@@ -959,7 +1052,7 @@ void GroupMember::become_down() {
 
 void GroupMember::on_crash() {
   // Timers are already cancelled by the Process base; reset handles.
-  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = 0;
+  hb_timer_ = join_timer_ = flush_timer_ = state_timer_ = ack_timer_ = 0;
   become_down();
   JLOG(kInfo, "gcs") << name() << " crashed (state lost)";
 }

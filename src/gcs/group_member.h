@@ -79,6 +79,20 @@ struct GroupConfig {
   sim::Duration token_idle_cap = sim::kDurationZero;
   sim::Duration token_timeout = sim::kDurationZero;
 
+  /// Ordering hot-path batch size. Token mode: stamps per announcement
+  /// broadcast (a bigger backlog splits across several announcements in one
+  /// hold). All-ack mode: data messages coalesced under one cumulative ack
+  /// cut before it is forced out (a nack_delay timer bounds ack latency for
+  /// partial batches). 0 or 1: the legacy per-message behavior the
+  /// checked-in baselines gate. Defaults to JOSHUA_ORDER_BATCH.
+  uint32_t order_batch = order_batch_from_env();
+  /// Sender-side flow-control window: own AGREED/SAFE multicasts in flight
+  /// (sent, not yet ordered back to us). At the limit new sends queue
+  /// locally (gcs.window_stalls counts them) instead of growing every
+  /// receiver's unordered backlog. 0: unbounded, the legacy behavior.
+  /// Defaults to JOSHUA_ORDER_WINDOW.
+  uint32_t inflight_window = order_window_from_env();
+
   // CPU cost model (see sim::Calibration).
   sim::Duration send_proc = sim::msec(5);
   sim::Duration data_proc = sim::msec(38);
@@ -144,8 +158,11 @@ class GroupMember : public sim::Process {
     uint64_t delivered = 0;
     uint64_t views_installed = 0;
     uint64_t engine_sent = 0;  ///< ordering-engine control messages sent
+    uint64_t window_stalls = 0;  ///< sends queued at the flow-control window
   };
   const Stats& stats() const { return stats_; }
+  /// Own AGREED/SAFE multicasts currently in flight (flow-control debt).
+  uint32_t inflight() const { return inflight_; }
 
   // sim::Process:
   void on_packet(sim::Packet packet) override;
@@ -181,6 +198,10 @@ class GroupMember : public sim::Process {
   void note_alive(MemberId peer);
   void deliver_ready();
   void deliver_to_app(const DataMsg& m);
+  void do_multicast(sim::Payload payload, Delivery level);
+  void release_window();
+  void schedule_ack_cut();
+  void flush_ack_cut();
   void send_cut(bool periodic);
   void check_gaps();
   void heartbeat_tick();
@@ -224,6 +245,20 @@ class GroupMember : public sim::Process {
   sim::TimerId flush_timer_ = 0;
   std::deque<std::pair<sim::Payload, Delivery>> pending_sends_;
 
+  // Sender flow control (config_.inflight_window > 0): own AGREED/SAFE
+  // multicasts in flight, and sends queued while the window is full. The
+  // window drains as our own messages come back ordered (deliver_to_app);
+  // a view change resets the debt -- the flush delivered or dropped every
+  // in-flight message identically everywhere.
+  uint32_t inflight_ = 0;
+  std::deque<std::pair<sim::Payload, Delivery>> window_queue_;
+
+  // Cumulative-ack coalescing (all-ack engine, config_.order_batch > 1):
+  // data messages heard since our last cut; an ack cut goes out when a
+  // batch fills or the ack timer (nack_delay) fires, whichever is first.
+  uint32_t unacked_data_ = 0;
+  sim::TimerId ack_timer_ = 0;
+
   // Joiner state transfer.
   bool awaiting_state_ = false;
   MemberId state_source_ = sim::kInvalidHost;
@@ -252,8 +287,11 @@ class GroupMember : public sim::Process {
   telemetry::Counter m_cuts_sent_;
   telemetry::Counter m_engine_msgs_;
   telemetry::Counter m_token_rotations_;
+  telemetry::Counter m_window_stalls_;
+  telemetry::Gauge m_pipeline_depth_;
   telemetry::Histogram m_order_latency_;
   telemetry::Histogram m_token_hold_;
+  telemetry::Histogram m_batch_size_;
   /// Scoped duplicates ("gcs.<telemetry_scope>.*"); null cells when the
   /// scope is empty, so recording them is a no-op outside federations.
   telemetry::Counter m_scope_delivered_;

@@ -121,9 +121,11 @@ bool OrderingBuffer::causal_condition(const DataMsg& m) const {
 
 std::vector<DataMsg> OrderingBuffer::drain() {
   std::vector<DataMsg> out;
+  last_drain_passes_ = 0;
   bool progress = true;
   while (progress) {
     progress = false;
+    ++last_drain_passes_;
     // FIFO/CAUSAL messages deliver independently of the total order.
     for (auto it = pending_.begin(); it != pending_.end();) {
       const DataMsg& m = it->second;
@@ -143,16 +145,23 @@ std::vector<DataMsg> OrderingBuffer::drain() {
         ++it;
       }
     }
-    // AGREED/SAFE deliver strictly in the engine's total order: only the
-    // engine-chosen next message may go.
-    if (const DataMsg* next = engine().next_deliverable()) {
+    // AGREED/SAFE deliver strictly in the engine's total order. The whole
+    // ready run goes in one inner loop -- one message per outer pass made a
+    // run of R stamped messages rescan all of pending_ R times. Per-sender
+    // delivered counts accumulate locally and land once per run, not per
+    // message: no engine delivery condition reads them (all-ack reads
+    // lamports and watermarks, token reads its own delivered_global_), and
+    // the CAUSAL scan that does runs again on the next outer pass.
+    std::map<MemberId, uint64_t> run_counts;
+    while (const DataMsg* next = engine().next_deliverable()) {
       DataMsg m = *next;  // copy before the erase invalidates the pointer
       engine().on_delivered(m);
-      ++delivered_[m.id.sender];
+      ++run_counts[m.id.sender];
       erase_pending(pending_.find(order_key(m)));
       out.push_back(std::move(m));
       progress = true;
     }
+    for (const auto& [sender, n] : run_counts) delivered_[sender] += n;
   }
   return out;
 }

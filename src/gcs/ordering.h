@@ -110,6 +110,12 @@ class OrderingBuffer {
 
   size_t pending_count() const { return pending_.size() + out_of_order_.size(); }
 
+  /// Outer passes the last drain() took. A contiguous engine-deliverable run
+  /// of any length costs one pass (plus the final no-progress pass); tests
+  /// use this to pin the run-delivery path against regressing to the old
+  /// one-message-per-pass O(run x pending) shape.
+  int last_drain_passes() const { return last_drain_passes_; }
+
   /// Force the received/delivered counters of `sender`'s stream to `seq`.
   /// Used at view install: joiners align to the old view's baseline, and a
   /// fresh (restarted) member's stream is reset to zero everywhere.
@@ -153,6 +159,8 @@ class OrderingBuffer {
   /// Flat cached copy of received_upto_, invalidated on mutation.
   mutable CutVector cut_cache_;
   mutable bool cut_dirty_ = true;
+
+  int last_drain_passes_ = 0;
 
   /// The attached engine, or the lazily-created private fallback.
   OrderingEngine* engine_ = nullptr;

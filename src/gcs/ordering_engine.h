@@ -53,6 +53,16 @@ std::optional<OrderingMode> parse_ordering_mode(std::string_view name);
 /// runs the same test binaries under both engines.
 OrderingMode ordering_mode_from_env();
 
+/// Ordering hot-path batch knob: JOSHUA_ORDER_BATCH (messages per stamp
+/// announcement / per cumulative ack). 0 when unset: the legacy per-message
+/// behavior, which is what the checked-in baselines gate.
+uint32_t order_batch_from_env();
+
+/// Sender flow-control window: JOSHUA_ORDER_WINDOW (own AGREED/SAFE
+/// multicasts in flight before the sender queues locally). 0 when unset:
+/// unbounded, the legacy behavior.
+uint32_t order_window_from_env();
+
 /// Engine knobs resolved by the host GroupMember from its GroupConfig.
 struct EngineTuning {
   /// Token mode: forward delay when holding the token with nothing to
@@ -63,13 +73,21 @@ struct EngineTuning {
   /// Token mode: silence on the ring after which the lowest member
   /// regenerates a lost token.
   sim::Duration token_timeout = sim::msec(400);
+  /// Token mode: cap on stamps per announcement broadcast. A holder with a
+  /// bigger backlog emits several announcements in one hold. 0: unlimited
+  /// (the whole backlog in one announcement -- the legacy wire behavior).
+  uint32_t max_batch = 0;
 };
 
 /// What an engine hook wants transmitted / recorded. Engines cannot send;
 /// GroupMember applies this after every hook call.
 struct EngineOut {
-  /// Engine control payload for every other view member.
-  std::optional<sim::Payload> broadcast;
+  /// Engine control payloads for every other view member, sent in order.
+  /// A batching holder emits one element per stamp-announcement chunk.
+  std::vector<sim::Payload> broadcasts;
+  /// Stamp counts to record into the gcs.batch_size histogram (parallel to
+  /// the announcement broadcasts; non-announcement broadcasts add nothing).
+  std::vector<uint32_t> batch_sizes;
   /// Engine control payload for one member (token hand-off).
   std::optional<std::pair<MemberId, sim::Payload>> unicast;
   /// The unicast is a token hand-off: count a rotation.
@@ -80,8 +98,11 @@ struct EngineOut {
   /// throttling). Zero: no timer.
   sim::Duration forward_timer = sim::kDurationZero;
 
+  /// Append one broadcast payload (convenience for single-payload hooks).
+  void add_broadcast(sim::Payload p) { broadcasts.push_back(std::move(p)); }
+
   bool empty() const {
-    return !broadcast && !unicast && token_hold_us < 0 &&
+    return broadcasts.empty() && !unicast && token_hold_us < 0 &&
            forward_timer.us == 0;
   }
 };

@@ -57,6 +57,8 @@ Cluster::Cluster(ClusterOptions options)
     if (options_.gcs_flush.us > 0)
       cfg.group.flush_timeout = options_.gcs_flush;
     cfg.group.ordering = options_.ordering;
+    cfg.group.order_batch = options_.order_batch;
+    cfg.group.inflight_window = options_.order_window;
     cfg.transfer = options_.transfer;
     cfg.auto_rejoin = options_.auto_rejoin;
     joshua_servers_.push_back(std::make_unique<Server>(

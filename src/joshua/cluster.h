@@ -67,6 +67,14 @@ struct ClusterOptions {
   /// Total-order engine for the replication group (defaults to the
   /// JOSHUA_ORDERING environment variable, then all-ack).
   gcs::OrderingMode ordering = gcs::ordering_mode_from_env();
+  /// Ordering hot-path batching: max stamps per token announcement / data
+  /// messages coalesced per ack cut (0 = legacy unbatched). Defaults to the
+  /// JOSHUA_ORDER_BATCH environment variable, then 0.
+  uint32_t order_batch = gcs::order_batch_from_env();
+  /// Sender flow-control window: own undelivered AGREED/SAFE multicasts a
+  /// member may pipeline before further sends queue (0 = unbounded, the
+  /// legacy behaviour). Defaults to JOSHUA_ORDER_WINDOW, then 0.
+  uint32_t order_window = gcs::order_window_from_env();
   /// Federation layout; ignored by Cluster (see ShardLayout).
   ShardLayout shards{};
 };

@@ -156,6 +156,33 @@ ClusterOptions cluster_options_from_config(std::string_view text) {
     options.gcs_flush = sim::msec(gcs->get_int("flush_ms", 0));
   }
 
+  if (const jutil::Config* ordering = cfg.section("ordering", "")) {
+    std::string engine =
+        jutil::to_lower(ordering->get_string("engine", ""));
+    if (!engine.empty()) {
+      std::optional<gcs::OrderingMode> mode = gcs::parse_ordering_mode(engine);
+      if (!mode)
+        throw jutil::ConfigError(
+            "ordering engine must be 'allack' or 'token', got '" + engine +
+            "'");
+      options.ordering = *mode;
+    }
+    // Defaults keep whatever the environment knobs seeded so a file that
+    // only picks an engine does not silently reset a benchmark's env sweep.
+    int64_t batch = ordering->get_int(
+        "batch", static_cast<int64_t>(options.order_batch));
+    int64_t window = ordering->get_int(
+        "window", static_cast<int64_t>(options.order_window));
+    if (batch < 0)
+      throw jutil::ConfigError("ordering batch must be >= 0, got " +
+                               std::to_string(batch));
+    if (window < 0)
+      throw jutil::ConfigError("ordering window must be >= 0, got " +
+                               std::to_string(window));
+    options.order_batch = static_cast<uint32_t>(batch);
+    options.order_window = static_cast<uint32_t>(window);
+  }
+
   if (const jutil::Config* shards = cfg.section("shards", ""))
     options.shards = shard_layout_from(*shards, options.head_count);
   return options;
@@ -176,10 +203,17 @@ std::string cluster_options_to_config(const ClusterOptions& options) {
                           ? "fifo"
                           : "backfill");
   sched.set("exclusive", options.sched.exclusive_cluster ? "true" : "false");
+  // Resolve the engine name before the local `gcs` below shadows the
+  // namespace.
+  std::string engine_name{gcs::to_string(options.ordering)};
   jutil::Config& gcs = cfg.add_section("gcs", "");
   gcs.set("heartbeat_ms", std::to_string(options.gcs_heartbeat.us / 1000));
   gcs.set("suspect_ms", std::to_string(options.gcs_suspect.us / 1000));
   gcs.set("flush_ms", std::to_string(options.gcs_flush.us / 1000));
+  jutil::Config& ordering = cfg.add_section("ordering", "");
+  ordering.set("engine", engine_name);
+  ordering.set("batch", std::to_string(options.order_batch));
+  ordering.set("window", std::to_string(options.order_window));
   if (options.shards.sharded()) {
     jutil::Config& shards = cfg.add_section("shards", "");
     shards.set("count", std::to_string(options.shards.count));

@@ -651,19 +651,26 @@ void Server::apply_mutex_done(const GroupMutexDone& done) {
   // Ordered completion: apply the result to the local PBS here, at the same
   // point of the command stream on every head. The winner's own report then
   // only confirms (and survives the winner dying right after jdone).
+  // The injection defers through the same exec_proc stage as ordered
+  // commands (apply_group_command): local-apply RPCs leave in delivery
+  // order and loopback latency is fixed, so a completion delivered right
+  // behind a command (routine once ack cuts coalesce) cannot overtake its
+  // apply at the colocated PBS.
   if (local_pbs_ != nullptr) {
-    pbs::JobReport report;
-    report.job_id = done.job;
-    report.exit_code = done.exit_code;
-    report.mom_host = done.mom;
-    auto job = local_pbs_->find_job(done.job);
-    report.cancelled = job.has_value() ? job->cancelled : false;
     ++stats_.ordered_completions;
     m_ordered_completions_.add(1);
-    net::CallOptions options;
-    options.timeout = config_.local_rpc_timeout;
-    call(local_pbs_endpoint(), pbs::encode_request(report),
-         [](std::optional<sim::Payload>) {}, options);
+    execute(config_.exec_proc, [this, done] {
+      pbs::JobReport report;
+      report.job_id = done.job;
+      report.exit_code = done.exit_code;
+      report.mom_host = done.mom;
+      auto job = local_pbs_->find_job(done.job);
+      report.cancelled = job.has_value() ? job->cancelled : false;
+      net::CallOptions options;
+      options.timeout = config_.local_rpc_timeout;
+      call(local_pbs_endpoint(), pbs::encode_request(report),
+           [](std::optional<sim::Payload>) {}, options);
+    });
   }
 }
 

@@ -226,6 +226,42 @@ TEST(Federation, JstatLocalFastPathSkipsOrdering) {
       << "the read never entered the ordered path";
 }
 
+TEST(Federation, BatchedOrderingKeepsShardInvariants) {
+  // The batching/window knobs must reach every shard's group and must not
+  // disturb the per-shard replication invariants: every replica of a shard
+  // agrees on its job set, no job leaks across shards, all submits land.
+  fed::FederationOptions options = fast_fed(2, 2, 1);
+  options.order_batch = 64;
+  options.order_window = 16;
+  fed::Federation f(std::move(options));
+  f.start();
+  ASSERT_TRUE(f.run_until_converged());
+  for (size_t h = 0; h < f.head_count(); ++h) {
+    EXPECT_EQ(f.joshua_server(h).group().config().order_batch, 64u);
+    EXPECT_EQ(f.joshua_server(h).group().config().inflight_window, 16u);
+  }
+
+  fed::Router& router = f.make_router();
+  std::vector<pbs::JobId> ids;
+  for (int i = 0; i < 24; ++i) {
+    pbs::JobId id =
+        jsub_sync(f, router, queued_job("q" + std::to_string(i % 6)));
+    ASSERT_NE(id, pbs::kInvalidJob) << "submit " << i;
+    ids.push_back(id);
+  }
+  f.sim().run_for(sim::seconds(2));  // let the ordered commands settle
+
+  for (pbs::JobId id : ids) {
+    std::optional<uint32_t> owner = f.shard_map().owner_of(id);
+    ASSERT_TRUE(owner.has_value()) << "job " << id;
+    for (size_t h = 0; h < f.head_count(); ++h) {
+      EXPECT_EQ(f.pbs_server(h).find_job(id).has_value(),
+                f.shard_of_head(h) == owner)
+          << "job " << id << " at head " << h;
+    }
+  }
+}
+
 TEST(Federation, SurvivesHeadLossPerShard) {
   fed::FederationOptions options = fast_fed(2, 2, 1);
   fed::Federation f(std::move(options));

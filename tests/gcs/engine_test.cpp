@@ -156,7 +156,8 @@ struct RingNode {
 
 class TokenRig {
  public:
-  explicit TokenRig(int n) {
+  explicit TokenRig(int n, uint32_t max_batch = 0) {
+    tuning.max_batch = max_batch;
     view.id = {1, 1};
     for (int i = 1; i <= n; ++i)
       view.members.push_back(static_cast<gcs::MemberId>(i));
@@ -171,20 +172,31 @@ class TokenRig {
   RingNode& node(gcs::MemberId id) { return *nodes[id - 1]; }
 
   /// Route an EngineOut, recursively delivering to peers and draining.
-  /// Payloads sent by `drop_from` vanish (forward timers are kept).
+  /// Payloads sent by `drop_from` vanish (forward timers are kept), except
+  /// the first `pass_first` of them -- the knob that loses a token run
+  /// *mid-batch*, after part of its stamp announcements landed.
   void route(gcs::MemberId from, gcs::EngineOut out) {
     if (out.forward_timer.us > 0) timers.insert(from);
-    if (out.broadcast) {
-      sent.emplace_back((*out.broadcast)[0], true);
-      if (from != drop_from)
+    for (const sim::Payload& b : out.broadcasts) {
+      sent.emplace_back(b[0], true);
+      if (allow(from))
         for (auto& n : nodes)
-          if (n->id != from) deliver(*n, from, *out.broadcast);
+          if (n->id != from) deliver(*n, from, b);
     }
     if (out.unicast) {
       sent.emplace_back(out.unicast->second[0], false);
-      if (from != drop_from)
+      if (allow(from))
         deliver(node(out.unicast->first), from, out.unicast->second);
     }
+  }
+
+  bool allow(gcs::MemberId from) {
+    if (from != drop_from) return true;
+    if (pass_first > 0) {
+      --pass_first;
+      return true;
+    }
+    return false;
   }
 
   void deliver(RingNode& dst, gcs::MemberId from, const sim::Payload& p) {
@@ -227,6 +239,7 @@ class TokenRig {
   std::vector<std::unique_ptr<RingNode>> nodes;
   std::set<gcs::MemberId> timers;  ///< pending idle-forward timers (unfired)
   gcs::MemberId drop_from = sim::kInvalidHost;
+  int pass_first = 0;  ///< payloads from drop_from let through before dropping
   std::vector<std::pair<uint8_t, bool>> sent;  ///< (sub-type, was-broadcast)
   int64_t now = 0;
   uint64_t lamport = 0;
@@ -290,6 +303,90 @@ TEST(TokenRing, RegenRoundNeverReusesDeliveredGlobals) {
     ASSERT_EQ(log.size(), 2u) << "member " << m;
     EXPECT_EQ(log[0].id, (gcs::MsgId{2, 1})) << "member " << m;
     EXPECT_EQ(log[1].id, (gcs::MsgId{1, 1})) << "member " << m;
+  }
+}
+
+// Token loss *mid-batch*: a holder with a four-message backlog and
+// max_batch = 2 emits two stamp announcements in one hold; the first lands
+// everywhere, then the second AND the token hand-off vanish. Recovery (a
+// regeneration round seeded by the old holder's next_global, then the
+// stamp-NACK path for the orphaned second chunk) must neither re-stamp a
+// global from the lost chunk nor skip one.
+TEST(TokenRing, TokenLossMidBatchNeverRestampsOrSkips) {
+  TokenRig rig(3, /*max_batch=*/2);
+
+  // Kill the initial token: member 1 (idle holder) forwards on the first
+  // insert and the hand-off vanishes. Member 2's messages then pile up
+  // unstamped while the ring is dead.
+  rig.drop_from = 1;
+  rig.multicast(2, 1);
+  rig.drop_from = sim::kInvalidHost;
+  rig.multicast(2, 2);
+  rig.multicast(2, 3);
+  rig.multicast(2, 4);
+  for (gcs::MemberId m : rig.view.members)
+    ASSERT_TRUE(rig.node(m).delivered.empty());
+
+  // Silence past the loss timeout: member 1 regenerates (token id 2) and,
+  // with nothing of its own to stamp, idles with the replacement token.
+  rig.now += 2'000'000;
+  rig.tick();
+  ASSERT_FALSE(rig.node(1).eng.regen_pending());
+  ASSERT_TRUE(rig.node(1).eng.holding_token());
+  ASSERT_TRUE(rig.timers.count(1));
+
+  // Hand the token to member 2, which stamps its backlog of four as two
+  // announcements of two. The first chunk is delivered, then the ring goes
+  // dark: the second chunk and the onward token both vanish.
+  rig.drop_from = 2;
+  rig.pass_first = 1;
+  rig.route(1, rig.node(1).eng.on_forward_timer(rig.now));
+  rig.drop_from = sim::kInvalidHost;
+  rig.pass_first = 0;
+
+  EXPECT_EQ(rig.count_sent(kSubStamps, true), 2u)
+      << "a four-message hold at max_batch 2 must announce in two chunks";
+  // The holder delivered its whole batch; the peers only the first chunk.
+  ASSERT_EQ(rig.node(2).eng.delivered_global(), 4u);
+  ASSERT_EQ(rig.node(2).eng.next_global(), 5u);
+  for (gcs::MemberId m : {gcs::MemberId{1}, gcs::MemberId{3}}) {
+    ASSERT_EQ(rig.node(m).delivered.size(), 2u) << "member " << m;
+    ASSERT_EQ(rig.node(m).eng.delivered_global(), 2u) << "member " << m;
+  }
+
+  // Second regeneration round. The old holder's reply must seed next_global
+  // past its orphaned chunk, so the new token can never re-stamp globals 3-4
+  // under a different assignment.
+  rig.now += 2'000'000;
+  rig.tick();
+  EXPECT_FALSE(rig.node(1).eng.regen_pending());
+  EXPECT_EQ(rig.node(1).eng.next_global(), 5u)
+      << "regeneration re-used a global stamped in the lost chunk";
+
+  // Circulate the replacement token one lap (idle holders defer; fire their
+  // forward timers by hand) so every member learns next_global = 5 and sees
+  // it is stalled behind the global-3 gap.
+  ASSERT_TRUE(rig.node(1).eng.holding_token());
+  rig.route(1, rig.node(1).eng.on_forward_timer(rig.now));
+  rig.route(2, rig.node(2).eng.on_forward_timer(rig.now));
+  EXPECT_EQ(rig.node(3).eng.next_global(), 5u);
+
+  // The peers stall behind the gap; the NACK path (one tick of grace, then
+  // rate-limited NACKs) recovers the orphaned chunk from the old holder's
+  // stamp log.
+  rig.tick();
+  rig.tick();
+  rig.tick();
+
+  // No skip, no re-stamp: every member delivered exactly seq 1..4 from
+  // member 2, in stamp order, and agrees on where the sequence ends.
+  for (gcs::MemberId m : rig.view.members) {
+    const auto& log = rig.node(m).delivered;
+    ASSERT_EQ(log.size(), 4u) << "member " << m;
+    for (uint64_t i = 0; i < 4; ++i)
+      EXPECT_EQ(log[i].id, (gcs::MsgId{2, i + 1})) << "member " << m;
+    EXPECT_EQ(rig.node(m).eng.delivered_global(), 4u) << "member " << m;
+    EXPECT_EQ(rig.node(m).eng.next_global(), 5u) << "member " << m;
   }
 }
 

@@ -229,6 +229,26 @@ TEST_F(OrderingTest, ViewChangeDropsDepartedPeerFromConditions) {
                                "message delivers without member 2";
 }
 
+TEST_F(OrderingTest, DrainDeliversReadyRunInOnePass) {
+  // A long contiguous deliverable run must cost one outer pass (plus the
+  // final no-progress pass), with per-sender delivered counts still exact --
+  // the regression would be the old one-message-per-pass drain, which
+  // rescans all of pending_ once per delivered message.
+  constexpr uint64_t kRun = 16;
+  for (uint64_t s = 1; s <= kRun; ++s) buf_.insert(msg(1, s, 10 + s));
+  for (uint64_t s = 1; s <= kRun / 2; ++s) buf_.insert(msg(2, s, 100 + s));
+  buf_.observe(1, 1000, kRun, {});
+  buf_.observe(2, 1000, kRun / 2, {});
+  auto out = buf_.drain();
+  ASSERT_EQ(out.size(), kRun + kRun / 2);
+  EXPECT_LE(buf_.last_drain_passes(), 2);
+  EXPECT_EQ(buf_.delivered_count(1), kRun);
+  EXPECT_EQ(buf_.delivered_count(2), kRun / 2);
+  // The run came out in lamport order.
+  for (size_t i = 1; i < out.size(); ++i)
+    EXPECT_LT(out[i - 1].lamport, out[i].lamport);
+}
+
 TEST_F(OrderingTest, DeliveredVectorCountsPerSender) {
   buf_.insert(msg(1, 1, 10, Delivery::kFifo));
   buf_.insert(msg(1, 2, 11, Delivery::kFifo));

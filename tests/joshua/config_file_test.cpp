@@ -90,6 +90,55 @@ TEST(ClusterConfig, RoundTrip) {
   EXPECT_EQ(back.gcs_suspect, sim::msec(400));
 }
 
+TEST(ClusterConfig, OrderingSectionParsesAndRoundTrips) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    ordering {
+      engine = token
+      batch = 64
+      window = 16
+    }
+  )");
+  EXPECT_EQ(options.ordering, gcs::OrderingMode::kTokenRing);
+  EXPECT_EQ(options.order_batch, 64u);
+  EXPECT_EQ(options.order_window, 16u);
+
+  joshua::ClusterOptions back =
+      cluster_options_from_config(cluster_options_to_config(options));
+  EXPECT_EQ(back.ordering, gcs::OrderingMode::kTokenRing);
+  EXPECT_EQ(back.order_batch, 64u);
+  EXPECT_EQ(back.order_window, 16u);
+
+  // An engine-only section keeps the batch/window defaults.
+  joshua::ClusterOptions engine_only = cluster_options_from_config(R"(
+    ordering { engine = allack }
+  )");
+  EXPECT_EQ(engine_only.ordering, gcs::OrderingMode::kAllAck);
+
+  EXPECT_THROW(cluster_options_from_config("ordering { engine = raft }"),
+               jutil::ConfigError);
+  EXPECT_THROW(cluster_options_from_config("ordering { batch = -3 }"),
+               jutil::ConfigError);
+  EXPECT_THROW(cluster_options_from_config("ordering { window = -1 }"),
+               jutil::ConfigError);
+}
+
+TEST(ClusterConfig, OrderingKnobsReachTheGroup) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    heads = 2
+    computes = 1
+    ordering {
+      batch = 8
+      window = 4
+    }
+  )");
+  options.cal = sim::fast_calibration();
+  joshua::Cluster cluster(options);
+  cluster.start();
+  EXPECT_TRUE(cluster.run_until_converged());
+  EXPECT_EQ(cluster.joshua_server(0).group().config().order_batch, 8u);
+  EXPECT_EQ(cluster.joshua_server(0).group().config().inflight_window, 4u);
+}
+
 TEST(ClusterConfig, ShardsSectionParses) {
   joshua::ClusterOptions options = cluster_options_from_config(R"(
     heads = 4

@@ -102,6 +102,43 @@ TEST(JMutex, JdoneReleasesMutexGroupWide) {
   }
 }
 
+TEST(JMutex, OrderedCompletionCannotOvertakeCommandApplyUnderBatching) {
+  // Regression for the batched ordering hot path. Coalesced ack cuts delay
+  // a head's deliveries by up to nack_delay, so a jdel and the MutexDone
+  // its kill triggered at a faster head can drain in one bunch at the slow
+  // head. The MutexDone's local-PBS completion injection used to be sent
+  // inline while command applies defer through exec_proc, so the
+  // completion could overtake the delete at the colocated PBS: the delete
+  // then found a terminal job and answered kInvalidState. Both local
+  // applies now defer through the same exec_proc stage, which restores
+  // FIFO over the fixed-latency loopback.
+  joshua::ClusterOptions options = fast_options(2, 1);
+  options.order_batch = 64;
+  options.order_window = 16;
+  joshua::Cluster cluster(options);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_converged());
+  joshua::Client& client = cluster.make_jclient();
+  pbs::JobId id = jsub_sync(cluster, client, quick_job(sim::hours(1)));
+  ASSERT_NE(id, pbs::kInvalidJob);
+  ASSERT_TRUE(wait_state_everywhere(cluster, id, pbs::JobState::kRunning));
+
+  std::optional<pbs::SimpleResponse> del;
+  client.jdel(id, [&](std::optional<pbs::SimpleResponse> r) { del = r; });
+  ASSERT_TRUE(testutil::run_until(
+      cluster.sim(), [&] { return del.has_value(); }, sim::seconds(60)));
+  EXPECT_EQ(del->status, pbs::Status::kOk)
+      << "deleting a running job must order the delete before its own "
+         "kill-triggered completion on every head";
+  ASSERT_TRUE(wait_state_everywhere(cluster, id, pbs::JobState::kComplete));
+  EXPECT_TRUE(heads_consistent(cluster));
+  for (size_t i = 0; i < 2; ++i) {
+    auto job = cluster.pbs_server(i).find_job(id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_TRUE(job->cancelled) << "head " << i;
+  }
+}
+
 TEST(JMutex, SequentialJobsDifferentWinnersPossible) {
   // With deterministic FIFO both heads race each jmutex; the winner is
   // whoever's request is first in total order -- verify the mechanism
