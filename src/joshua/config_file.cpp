@@ -136,18 +136,43 @@ ClusterOptions cluster_options_from_config(std::string_view text) {
   options.require_majority = cfg.get_bool("require_majority", false);
   options.seed = static_cast<uint64_t>(cfg.get_int("seed", 1));
 
+  // Legacy section: the pre-plugin scheduler only knew fifo/backfill.
+  // Accepted unchanged so existing deployment files keep working.
   if (const jutil::Config* sched = cfg.section("scheduler", "")) {
     std::string policy =
         jutil::to_lower(sched->get_string("policy", "fifo"));
-    if (policy == "fifo") {
-      options.sched.policy = pbs::SchedPolicy::kFifo;
-    } else if (policy == "backfill") {
-      options.sched.policy = pbs::SchedPolicy::kFifoBackfill;
-    } else {
+    if (policy != "fifo" && policy != "backfill")
       throw jutil::ConfigError("scheduler policy must be 'fifo' or "
                                "'backfill', got '" + policy + "'");
-    }
+    options.sched.policy = policy;
     options.sched.exclusive_cluster = sched->get_bool("exclusive", true);
+  }
+
+  // Plugin-era section: any registered policy/selector pair, plus aging.
+  // Unknown names are a deployment mistake -- fail the parse, never fall
+  // back silently (heads running different policies would diverge).
+  if (const jutil::Config* sched = cfg.section("scheduling", "")) {
+    std::string policy = jutil::to_lower(
+        sched->get_string("policy", options.sched.policy));
+    if (pbs::find_sched_policy(policy) == nullptr)
+      throw jutil::ConfigError(
+          "scheduling policy '" + policy + "' is not registered (have: " +
+          jutil::join(pbs::sched_policy_names(), ", ") + ")");
+    options.sched.policy = policy;
+    std::string selector = jutil::to_lower(
+        sched->get_string("selector", options.sched.selector));
+    if (pbs::find_node_selector(selector) == nullptr)
+      throw jutil::ConfigError(
+          "scheduling selector '" + selector + "' is not registered (have: " +
+          jutil::join(pbs::node_selector_names(), ", ") + ")");
+    options.sched.selector = selector;
+    options.sched.exclusive_cluster =
+        sched->get_bool("exclusive", options.sched.exclusive_cluster);
+    int64_t aging_s = sched->get_int("aging_s", 0);
+    if (aging_s < 0)
+      throw jutil::ConfigError("scheduling aging_s must be >= 0, got " +
+                               std::to_string(aging_s));
+    options.sched.priority_aging = sim::seconds(aging_s);
   }
 
   if (const jutil::Config* gcs = cfg.section("gcs", "")) {
@@ -198,11 +223,12 @@ std::string cluster_options_to_config(const ClusterOptions& options) {
   cfg.set("quirk_mom", options.quirk_mom ? "true" : "false");
   cfg.set("require_majority", options.require_majority ? "true" : "false");
   cfg.set("seed", std::to_string(options.seed));
-  jutil::Config& sched = cfg.add_section("scheduler", "");
-  sched.set("policy", options.sched.policy == pbs::SchedPolicy::kFifo
-                          ? "fifo"
-                          : "backfill");
+  jutil::Config& sched = cfg.add_section("scheduling", "");
+  sched.set("policy", options.sched.policy);
+  sched.set("selector", options.sched.selector);
   sched.set("exclusive", options.sched.exclusive_cluster ? "true" : "false");
+  sched.set("aging_s",
+            std::to_string(options.sched.priority_aging.us / 1'000'000));
   // Resolve the engine name before the local `gcs` below shadows the
   // namespace.
   std::string engine_name{gcs::to_string(options.ordering)};

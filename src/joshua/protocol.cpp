@@ -91,6 +91,23 @@ GroupMutexRevoke decode_group_mutex_revoke(const sim::Payload& buf) {
   return m;
 }
 
+sim::Payload encode_group(const GroupPreempt& m) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(GroupOp::kPreempt));
+  w.u64(m.job);
+  return w.take();
+}
+
+GroupPreempt decode_group_preempt(const sim::Payload& buf) {
+  net::Reader r(buf);
+  if (static_cast<GroupOp>(r.u8()) != GroupOp::kPreempt)
+    throw net::WireError("joshua: not a group preempt");
+  GroupPreempt m;
+  m.job = r.u64();
+  r.expect_done();
+  return m;
+}
+
 sim::Payload encode_plugin(const JMutexRequest& m) {
   net::Writer w;
   w.u8(static_cast<uint8_t>(PluginOp::kJMutex));
@@ -167,19 +184,69 @@ CommandLog decode_command_log(const sim::Payload& buf) {
   return log;
 }
 
-sim::Payload wrap_transfer(TransferKind kind, sim::Payload body) {
+sim::Payload encode_mutex_table(const MutexTable& table) {
   net::Writer w;
-  w.u8(static_cast<uint8_t>(kind));
-  w.bytes(body);
+  w.vec(table.entries, [](net::Writer& w2, const MutexEntry& e) {
+    w2.u64(e.job);
+    w2.u32(e.max_real);
+    w2.boolean(e.done);
+    w2.u32(e.winner_mom);
+    w2.i64(e.exit_code);
+    w2.vec(e.claims, [](net::Writer& w3, const MutexClaim& c) {
+      w3.u32(c.mom);
+      w3.u32(c.head);
+    });
+  });
+  w.vec(table.terminal,
+        [](net::Writer& w2, pbs::JobId id) { w2.u64(id); });
+  w.vec(table.revoked,
+        [](net::Writer& w2, sim::HostId mom) { w2.u32(mom); });
   return w.take();
 }
 
-std::pair<TransferKind, sim::Payload> unwrap_transfer(const sim::Payload& buf) {
+MutexTable decode_mutex_table(const sim::Payload& buf) {
   net::Reader r(buf);
-  auto kind = static_cast<TransferKind>(r.u8());
-  sim::Payload body = r.bytes();
+  MutexTable table;
+  table.entries = r.vec<MutexEntry>([](net::Reader& r2) {
+    MutexEntry e;
+    e.job = r2.u64();
+    e.max_real = r2.u32();
+    e.done = r2.boolean();
+    e.winner_mom = r2.u32();
+    e.exit_code = static_cast<int32_t>(r2.i64());
+    e.claims = r2.vec<MutexClaim>([](net::Reader& r3) {
+      MutexClaim c;
+      c.mom = r3.u32();
+      c.head = r3.u32();
+      return c;
+    });
+    return e;
+  });
+  table.terminal =
+      r.vec<pbs::JobId>([](net::Reader& r2) { return r2.u64(); });
+  table.revoked =
+      r.vec<sim::HostId>([](net::Reader& r2) { return r2.u32(); });
   r.expect_done();
-  return {kind, std::move(body)};
+  return table;
+}
+
+sim::Payload wrap_transfer(TransferKind kind, sim::Payload body,
+                           sim::Payload mutexes) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(kind));
+  w.bytes(body);
+  w.bytes(mutexes);
+  return w.take();
+}
+
+TransferEnvelope unwrap_transfer(const sim::Payload& buf) {
+  net::Reader r(buf);
+  TransferEnvelope env;
+  env.kind = static_cast<TransferKind>(r.u8());
+  env.body = r.bytes();
+  env.mutexes = r.bytes();
+  r.expect_done();
+  return env;
 }
 
 }  // namespace joshua

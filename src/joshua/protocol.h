@@ -16,6 +16,7 @@ enum class GroupOp : uint8_t {
   kMutexReq = 2,     ///< jmutex: request to launch a job (replica) on a mom
   kMutexDone = 3,    ///< jdone: a real run finished (first in order wins)
   kMutexRevoke = 4,  ///< a mom died; release its undone launch claims
+  kPreempt = 5,      ///< requeue a running job at the same stream point
 };
 
 /// An intercepted PBS user command; replayed at every head in total order.
@@ -47,15 +48,25 @@ struct GroupMutexRevoke {
   sim::HostId mom = sim::kInvalidHost;
 };
 
+/// Multicast when a head's scheduler picks a preemption victim. Delivered
+/// in total order, so every head requeues the victim (and clears its jmutex
+/// state) at the same point of the command stream. Idempotent: once the
+/// victim is requeued, later deliveries for the same decision are no-ops.
+struct GroupPreempt {
+  pbs::JobId job = pbs::kInvalidJob;
+};
+
 GroupOp peek_group_op(const sim::Payload&);
 sim::Payload encode_group(const GroupCommand&);
 sim::Payload encode_group(const GroupMutexReq&);
 sim::Payload encode_group(const GroupMutexDone&);
 sim::Payload encode_group(const GroupMutexRevoke&);
+sim::Payload encode_group(const GroupPreempt&);
 GroupCommand decode_group_command(const sim::Payload&);
 GroupMutexReq decode_group_mutex_req(const sim::Payload&);
 GroupMutexDone decode_group_mutex_done(const sim::Payload&);
 GroupMutexRevoke decode_group_mutex_revoke(const sim::Payload&);
+GroupPreempt decode_group_preempt(const sim::Payload&);
 
 /// Mom-plugin RPC ops share the joshua server port with PBS user commands;
 /// the tag byte range is disjoint from pbs::Op.
@@ -99,10 +110,42 @@ struct CommandLog {
 sim::Payload encode_command_log(const CommandLog&);
 CommandLog decode_command_log(const sim::Payload&);
 
+/// jmutex arbitration state shipped alongside every state transfer. The
+/// claim table is part of the replicated decision state: a joiner that
+/// arbitrates from a blank slate would pin a fresh claim list for a job the
+/// group already placed, rank the stale relaunch's mom first, and grant a
+/// second real execution (the non-exclusive selectors can pick a different
+/// mom than the original run, so the mom-side instance dedup never fires).
+struct MutexClaim {
+  sim::HostId mom = sim::kInvalidHost;
+  gcs::MemberId head = sim::kInvalidHost;
+};
+struct MutexEntry {
+  pbs::JobId job = pbs::kInvalidJob;
+  uint32_t max_real = 1;
+  bool done = false;
+  sim::HostId winner_mom = sim::kInvalidHost;
+  int32_t exit_code = 0;
+  std::vector<MutexClaim> claims;  ///< delivered claims, in total order
+};
+struct MutexTable {
+  std::vector<MutexEntry> entries;   ///< one per arbitrated job, id order
+  std::vector<pbs::JobId> terminal;  ///< jobs past any terminal state
+  std::vector<sim::HostId> revoked;  ///< moms whose failure was revoked
+};
+sim::Payload encode_mutex_table(const MutexTable&);
+MutexTable decode_mutex_table(const sim::Payload&);
+
 /// State-transfer blob header: distinguishes replay logs from snapshots so
 /// a mixed-mode misconfiguration fails loudly instead of corrupting state.
 enum class TransferKind : uint8_t { kReplayLog = 1, kSnapshot = 2 };
-sim::Payload wrap_transfer(TransferKind kind, sim::Payload body);
-std::pair<TransferKind, sim::Payload> unwrap_transfer(const sim::Payload&);
+struct TransferEnvelope {
+  TransferKind kind = TransferKind::kReplayLog;
+  sim::Payload body;     ///< command log or PBS snapshot, per `kind`
+  sim::Payload mutexes;  ///< encoded MutexTable (may be empty: blank table)
+};
+sim::Payload wrap_transfer(TransferKind kind, sim::Payload body,
+                           sim::Payload mutexes = {});
+TransferEnvelope unwrap_transfer(const sim::Payload&);
 
 }  // namespace joshua

@@ -99,6 +99,16 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
       }
       if (prev_failed) prev_failed(mom);
     };
+    // Preemption decisions go through the ordered stream: every head's pure
+    // policy picks the same victim from the same replicated state, so each
+    // head multicasts it once (the PBS server damps re-emission) and the
+    // first delivery requeues the victim everywhere at the same point.
+    // Later deliveries are no-ops (apply_preempt ignores non-running jobs).
+    local_pbs_->request_preempt = [this](pbs::JobId victim) {
+      if (!group_.is_member()) return;
+      group_.multicast(encode_group(GroupPreempt{victim}),
+                       gcs::Delivery::kAgreed);
+    };
   }
   telemetry::Hub& hub = net.sim().telemetry();
   telemetry::Registry& m = hub.metrics();
@@ -110,6 +120,7 @@ Server::Server(sim::Network& net, sim::HostId host, JoshuaConfig config,
   m_mutex_revokes_ = m.counter("joshua.mutex_revokes");
   m_dup_done_suppressed_ = m.counter("joshua.dup_completions_suppressed");
   m_ordered_completions_ = m.counter("joshua.ordered_completions");
+  m_preempts_ordered_ = m.counter("joshua.preempts_ordered");
   m_reports_rejected_ = m.counter("joshua.reports_rejected");
   m_replay_divergence_ =
       m.counter("joshua.replay_divergence." + net.host(host).name());
@@ -305,6 +316,9 @@ void Server::on_deliver(const gcs::Delivered& msg) {
       case GroupOp::kMutexRevoke:
         apply_mutex_revoke(decode_group_mutex_revoke(msg.payload));
         break;
+      case GroupOp::kPreempt:
+        apply_group_preempt(decode_group_preempt(msg.payload));
+        break;
     }
   } catch (const net::WireError& e) {
     JLOG(kWarn, "joshua") << name() << ": bad group message: " << e.what();
@@ -403,9 +417,10 @@ void Server::note_command_result(const GroupCommand& cmd,
     try {
       pbs::SubmitResponse sub = pbs::decode_submit_response(response);
       if (sub.status == pbs::Status::kOk) {
-        if (max_job_id_seen_ == pbs::kInvalidJob ||
-            sub.job_id > max_job_id_seen_)
-          max_job_id_seen_ = sub.job_id;
+        // An array submit owns [job_id, job_id + count); track the top id.
+        pbs::JobId top = sub.job_id + (sub.count > 1 ? sub.count - 1 : 0);
+        if (max_job_id_seen_ == pbs::kInvalidJob || top > max_job_id_seen_)
+          max_job_id_seen_ = top;
         // Attach the job id to the newest submit entry lacking one.
         for (auto it = command_log_.rbegin(); it != command_log_.rend(); ++it) {
           if (it->job == pbs::kInvalidJob &&
@@ -426,10 +441,33 @@ void Server::note_command_result(const GroupCommand& cmd,
   }
 }
 
+sim::Payload Server::export_mutex_table() const {
+  // The arbitration table is replicated decision state, same as the job
+  // queue: a joiner must arbitrate stale relaunches (its replay rebuilds
+  // running jobs as queued) against the claims the group already delivered,
+  // or it grants a second real execution on a fresh mom.
+  MutexTable table;
+  for (const auto& [job, state] : mutexes_) {
+    MutexEntry e;
+    e.job = job;
+    e.max_real = state.max_real;
+    e.done = state.done;
+    e.winner_mom = state.winner_mom;
+    e.exit_code = state.exit_code;
+    for (const auto& [mom, head] : state.claims)
+      e.claims.push_back(MutexClaim{mom, head});
+    table.entries.push_back(std::move(e));
+  }
+  table.terminal.assign(terminal_jobs_.begin(), terminal_jobs_.end());
+  table.revoked.assign(revoked_moms_.begin(), revoked_moms_.end());
+  return encode_mutex_table(table);
+}
+
 sim::Payload Server::get_state() {
   ++stats_.state_transfers_served;
   if (config_.transfer == TransferMode::kSnapshot) {
-    return wrap_transfer(TransferKind::kSnapshot, local_pbs_->dump_state_blob());
+    return wrap_transfer(TransferKind::kSnapshot, local_pbs_->dump_state_blob(),
+                         export_mutex_table());
   }
   // Compacted command log: drop commands about jobs that already reached a
   // terminal state (replaying them would re-run finished work). Submits are
@@ -437,45 +475,95 @@ sim::Payload Server::get_state() {
   // identical queue.
   CommandLog log;
   for (const LogEntry& entry : command_log_) {
-    if (entry.job != pbs::kInvalidJob && terminal_jobs_.count(entry.job))
-      continue;
     try {
       if (pbs::peek_op(entry.request) == pbs::Op::kSubmit &&
           entry.job != pbs::kInvalidJob) {
         pbs::SubmitRequest submit = pbs::decode_submit(entry.request);
-        submit.forced_id = entry.job;
-        log.requests.push_back(pbs::encode_request(submit));
+        uint32_t count =
+            submit.spec.array_count > 1 ? submit.spec.array_count : 1;
+        if (count == 1) {
+          if (terminal_jobs_.count(entry.job)) continue;  // compacted away
+          submit.forced_id = entry.job;
+          log.requests.push_back(pbs::encode_request(submit));
+          continue;
+        }
+        // Array submit: sub-jobs reach terminal state independently, so the
+        // whole entry compacts only once every id in [base, base+count) is
+        // terminal. A partially finished array is rewritten as individual
+        // forced-id submits for the live sub-jobs -- replaying the original
+        // array would resurrect finished sub-jobs as queued phantoms (and
+        // re-execute them, breaking exactly-once).
+        for (uint32_t i = 0; i < count; ++i) {
+          pbs::JobId sub_id = entry.job + i;
+          if (terminal_jobs_.count(sub_id)) continue;
+          pbs::SubmitRequest one = submit;
+          one.forced_id = sub_id;
+          one.spec.array_count = 0;
+          one.spec.array_index = static_cast<int32_t>(i);
+          one.spec.name = submit.spec.name + "[" + std::to_string(i) + "]";
+          log.requests.push_back(pbs::encode_request(one));
+        }
         continue;
       }
     } catch (const net::WireError&) {
     }
+    if (entry.job != pbs::kInvalidJob && terminal_jobs_.count(entry.job))
+      continue;
     log.requests.push_back(entry.request);
   }
   if (max_job_id_seen_ != pbs::kInvalidJob)
     log.next_job_id = max_job_id_seen_ + 1;
   JLOG(kInfo, "joshua") << name() << ": serving state transfer ("
                         << log.requests.size() << " commands to replay)";
-  return wrap_transfer(TransferKind::kReplayLog, encode_command_log(log));
+  return wrap_transfer(TransferKind::kReplayLog, encode_command_log(log),
+                       export_mutex_table());
 }
 
-void Server::install_state(const sim::Payload& state) {
-  std::pair<TransferKind, sim::Payload> unwrapped;
-  try {
-    unwrapped = unwrap_transfer(state);
-  } catch (const net::WireError& e) {
-    JLOG(kError, "joshua") << name() << ": bad state blob: " << e.what();
-    return;
-  }
-  auto& [kind, body] = unwrapped;
-  // A joiner's arbitration state is stale by construction: MutexReq and
+void Server::install_mutex_table(const sim::Payload& blob) {
+  // A joiner's own arbitration state is stale by construction: MutexReq and
   // MutexDone messages delivered while it was out of the view are gone for
   // good, and a retained !done entry would reject the job's completion
-  // reports forever. Start clean; delivered claims rebuild live entries and
-  // a missing entry makes filter_report accept the mom's report directly.
+  // reports forever. Replace it wholesale with the donor's table, which is
+  // consistent with the stream position of the capture -- deliveries after
+  // it update joiner and donor identically.
   mutexes_.clear();
   mutex_waiters_.clear();  // the moms' pending RPCs time out and rotate
   mutex_cast_.clear();
   revoked_moms_.clear();
+  if (blob.empty()) return;
+  MutexTable table;
+  try {
+    table = decode_mutex_table(blob);
+  } catch (const net::WireError& e) {
+    JLOG(kError, "joshua") << name() << ": corrupt mutex table: " << e.what();
+    return;
+  }
+  for (const MutexEntry& e : table.entries) {
+    MutexState& state = mutexes_[e.job];
+    state.max_real = e.max_real;
+    state.done = e.done;
+    state.winner_mom = e.winner_mom;
+    state.exit_code = e.exit_code;
+    for (const MutexClaim& c : e.claims)
+      state.claims.emplace_back(c.mom, c.head);
+  }
+  terminal_jobs_.insert(table.terminal.begin(), table.terminal.end());
+  revoked_moms_.insert(table.revoked.begin(), table.revoked.end());
+  JLOG(kInfo, "joshua") << name() << ": installed mutex table ("
+                        << table.entries.size() << " entries, "
+                        << table.terminal.size() << " terminal)";
+}
+
+void Server::install_state(const sim::Payload& state) {
+  TransferEnvelope env;
+  try {
+    env = unwrap_transfer(state);
+  } catch (const net::WireError& e) {
+    JLOG(kError, "joshua") << name() << ": bad state blob: " << e.what();
+    return;
+  }
+  auto& [kind, body, mutex_blob] = env;
+  install_mutex_table(mutex_blob);
   if (kind == TransferKind::kSnapshot) {
     if (local_pbs_ == nullptr) {
       JLOG(kError, "joshua") << name()
@@ -629,8 +717,14 @@ void Server::apply_mutex_req(const GroupMutexReq& req) {
   for (const auto& claim : state.claims)
     if (claim.first == req.mom) known = true;
   if (!known) state.claims.emplace_back(req.mom, req.head);
-  // A fresh claim means the mom is (back) in service: re-arm revocation.
+  // A fresh claim means the mom is (back) in service: re-arm revocation,
+  // and return the node to service in the local PBS. The up-transition
+  // rides the ordered stream (mirroring note_node_failed in the revoke
+  // apply), so every head's node table converges even with the heartbeat
+  // detector disabled -- a head that never crashes would otherwise keep
+  // the node down forever and stop scheduling onto it.
   revoked_moms_.erase(req.mom);
+  if (local_pbs_ != nullptr) local_pbs_->note_node_recovered(req.mom);
   answer_mutex_waiters(req.job);
 }
 
@@ -708,6 +802,42 @@ void Server::apply_mutex_revoke(const GroupMutexRevoke& rev) {
   // down, drop its replicas and requeue jobs left without one. Idempotent,
   // so the head whose detector triggered the revoke is unaffected.
   if (local_pbs_ != nullptr) local_pbs_->note_node_failed(rev.mom);
+}
+
+void Server::apply_group_preempt(const GroupPreempt& pre) {
+  // Scrub the victim's arbitration state before requeueing it: the quiet
+  // kills erase the mom-side instances, so the relaunch must arbitrate from
+  // scratch. Pending waiters are answered "lost" (their launch attempt is
+  // moot -- the job is back in the queue); the dedup entries are dropped so
+  // the relaunch's fresh claims actually go out.
+  auto [begin, end] = mutex_waiters_.equal_range(pre.job);
+  for (auto w = begin; w != end; ++w) {
+    ++stats_.mutex_denials;
+    m_mutex_denials_.add(1);
+    respond(w->second.from, w->second.rpc_id,
+            encode_jmutex_response(JMutexResponse{false}));
+  }
+  mutex_waiters_.erase(pre.job);
+  mutexes_.erase(pre.job);
+  for (auto it = mutex_cast_.begin(); it != mutex_cast_.end();) {
+    if (it->first == pre.job)
+      it = mutex_cast_.erase(it);
+    else
+      ++it;
+  }
+  ++stats_.preempts_ordered;
+  m_preempts_ordered_.add(1);
+  // Inject the requeue into the local PBS through the same exec_proc stage
+  // as ordered commands, so it cannot overtake an in-flight apply.
+  if (local_pbs_ != nullptr) {
+    execute(config_.exec_proc, [this, job = pre.job] {
+      net::CallOptions options;
+      options.timeout = config_.local_rpc_timeout;
+      call(local_pbs_endpoint(),
+           pbs::encode_request(pbs::PreemptRequest{job}),
+           [](std::optional<sim::Payload>) {}, options);
+    });
+  }
 }
 
 void Server::answer_mutex_waiters(pbs::JobId job) {

@@ -116,6 +116,7 @@ class Server : public net::RpcNode {
     uint64_t mutex_revokes = 0;  ///< ordered compute-node revocations applied
     uint64_t dup_completions_suppressed = 0;  ///< extra MutexDones ignored
     uint64_t ordered_completions = 0;  ///< completions applied from MutexDone
+    uint64_t preempts_ordered = 0;     ///< ordered preemptions applied
     uint64_t state_transfers_served = 0;
     uint64_t replays_applied = 0;
     uint64_t jstat_local_served = 0;  ///< stats answered off the local replica
@@ -144,6 +145,7 @@ class Server : public net::RpcNode {
   void apply_mutex_req(const GroupMutexReq& req);
   void apply_mutex_done(const GroupMutexDone& done);
   void apply_mutex_revoke(const GroupMutexRevoke& rev);
+  void apply_group_preempt(const GroupPreempt& pre);
   void answer_mutex_waiters(pbs::JobId job);
   /// pbs::Server::accept_report hook: ordered duplicate-completion
   /// suppression for replicated jobs.
@@ -154,6 +156,10 @@ class Server : public net::RpcNode {
   void on_deliver(const gcs::Delivered& msg);
   sim::Payload get_state();
   void install_state(const sim::Payload& state);
+  /// Serialize / install the jmutex arbitration table that rides with every
+  /// state transfer (claims, terminal jobs, revoked moms).
+  sim::Payload export_mutex_table() const;
+  void install_mutex_table(const sim::Payload& blob);
 
   // Replay-mode machinery.
   void replay_next();
@@ -238,6 +244,7 @@ class Server : public net::RpcNode {
   telemetry::Counter m_mutex_revokes_;
   telemetry::Counter m_dup_done_suppressed_;
   telemetry::Counter m_ordered_completions_;
+  telemetry::Counter m_preempts_ordered_;
   telemetry::Counter m_reports_rejected_;
   /// Per-head ("joshua.replay_divergence.<host>"): replayed commands whose
   /// local PBS response disagreed with what the replayed log implies. Any

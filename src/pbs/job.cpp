@@ -40,6 +40,11 @@ void encode_job_spec(net::Writer& w, const JobSpec& spec) {
   w.i64(spec.priority);
   w.u32(spec.replicas);
   w.str(spec.script);
+  w.str(spec.node_type);
+  w.vec(spec.features,
+        [](net::Writer& w2, const std::string& f) { w2.str(f); });
+  w.u32(spec.array_count);
+  w.i64(spec.array_index);
 }
 
 JobSpec decode_job_spec(net::Reader& r) {
@@ -53,6 +58,10 @@ JobSpec decode_job_spec(net::Reader& r) {
   spec.priority = static_cast<int32_t>(r.i64());
   spec.replicas = r.u32();
   spec.script = r.str();
+  spec.node_type = r.str();
+  spec.features = r.vec<std::string>([](net::Reader& r2) { return r2.str(); });
+  spec.array_count = r.u32();
+  spec.array_index = static_cast<int32_t>(r.i64());
   return spec;
 }
 

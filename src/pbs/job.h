@@ -45,6 +45,17 @@ struct JobSpec {
   /// unreplicated compute plane.
   uint32_t replicas = 1;
   std::string script;           ///< payload carried for realism
+  /// Node type / feature requests (heterogeneous clusters). Empty = any
+  /// node; features are conjunctive ("gpu" AND "bigmem").
+  std::string node_type;
+  std::vector<std::string> features;
+  /// Job-array request (qsub -t 0-(N-1)): the server expands the submit
+  /// into `array_count` sub-jobs with consecutive ids and ranks, all
+  /// through the ordered stream. 0/1 = plain single job.
+  uint32_t array_count = 0;
+  /// Sub-job's index within its array; -1 on anything that is not an
+  /// expanded array member.
+  int32_t array_index = -1;
 };
 
 /// Server-side runtime record.

@@ -137,7 +137,8 @@ void Mom::start_job(Instance& inst) {
   });
 }
 
-void Mom::finish_job(JobId id, int32_t exit_code, bool cancelled) {
+void Mom::finish_job(JobId id, int32_t exit_code, bool cancelled,
+                     bool quiet) {
   auto it = instances_.find(id);
   if (it == instances_.end()) return;
   Instance& inst = it->second;
@@ -145,6 +146,15 @@ void Mom::finish_job(JobId id, int32_t exit_code, bool cancelled) {
   if (inst.run_timer != 0) {
     cancel_timer(inst.run_timer);
     inst.run_timer = 0;
+  }
+  if (quiet) {
+    // Preemption kill: drop the instance without any completion report, and
+    // without leaving a kComplete record that a relaunch of the requeued job
+    // would attach to (the late-launch path would echo the stale report).
+    JLOG(kDebug, "mom") << name() << ": job " << id << " preempted (quiet)";
+    if (inst.real_run_here) ++quiet_kill_log_[id];
+    instances_.erase(it);
+    return;
   }
   bool ran_here = inst.real_run_here;
   inst.state = InstanceState::kComplete;
@@ -208,12 +218,16 @@ void Mom::handle_kill(const MomKillRequest& req, sim::Endpoint from,
   auto it = instances_.find(req.job_id);
   if (it == instances_.end()) return;
   Instance& inst = it->second;
-  if (inst.state == InstanceState::kRunning) {
+  if (inst.state == InstanceState::kRunning ||
+      inst.state == InstanceState::kEmulated ||
+      inst.state == InstanceState::kStarting) {
     // 256 + SIGTERM, the TORQUE convention for signal death.
-    finish_job(req.job_id, 271, /*cancelled=*/true);
-  } else if (inst.state == InstanceState::kEmulated ||
-             inst.state == InstanceState::kStarting) {
-    finish_job(req.job_id, 271, /*cancelled=*/true);
+    finish_job(req.job_id, 271, /*cancelled=*/true, req.quiet);
+  } else if (inst.state == InstanceState::kComplete && req.quiet) {
+    // Preempt raced with completion: still scrub the record so a relaunch
+    // of the requeued job does not attach to the stale instance.
+    if (inst.real_run_here) ++quiet_kill_log_[req.job_id];
+    instances_.erase(it);
   }
 }
 

@@ -89,6 +89,14 @@ class Mom : public net::RpcNode {
   const std::map<JobId, uint32_t>& real_run_log() const {
     return real_run_log_;
   }
+  /// Per-job count of real executions on this node that a quiet kill
+  /// terminated (preemption, or fencing after a false-positive failure
+  /// declaration). Same durability as real_run_log_: each entry justifies
+  /// exactly one relaunch in the exactly-r accounting, regardless of which
+  /// heads survive to remember ordering the preempt/revoke.
+  const std::map<JobId, uint32_t>& quiet_kill_log() const {
+    return quiet_kill_log_;
+  }
 
   // net::RpcNode:
   void on_request(sim::Payload request, sim::Endpoint from,
@@ -108,7 +116,11 @@ class Mom : public net::RpcNode {
                     uint64_t rpc_id);
 
   void start_job(Instance& inst);
-  void finish_job(JobId id, int32_t exit_code, bool cancelled);
+  /// quiet: terminate without fanning completion reports out (preemption
+  /// kills -- the requeue is already known to every head via the ordered
+  /// stream, a death echo would complete the requeued job).
+  void finish_job(JobId id, int32_t exit_code, bool cancelled,
+                  bool quiet = false);
   void report_to(sim::HostId server, const Instance& inst, int attempt);
 
   MomConfig config_;
@@ -116,6 +128,7 @@ class Mom : public net::RpcNode {
   EpilogueHook epilogue_;
   std::map<JobId, Instance> instances_;
   std::map<JobId, uint32_t> real_run_log_;  ///< survives crashes (job records)
+  std::map<JobId, uint32_t> quiet_kill_log_;  ///< ditto, quiet real kills
   uint64_t jobs_executed_ = 0;
   uint64_t launches_emulated_ = 0;
   uint64_t reports_sent_ = 0;

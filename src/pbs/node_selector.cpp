@@ -1,0 +1,135 @@
+// Built-in NodeSelector plugins + the selector registry.
+//
+// "firstfit" reproduces the historical monolithic scheduler's placement
+// byte-for-byte: eligible free hosts in node-table order, replica sets
+// carved off the front. "replica" keeps the primary set at the front but
+// carves the extra anti-affinity sets off the *back* of the pool, so the
+// contiguous front stays free for backfill to flow around the replicas.
+#include <algorithm>
+#include <memory>
+
+#include "pbs/scheduler.h"
+
+namespace pbs {
+namespace {
+
+/// How many replicas of a `width`-node job fit in `eligible` hosts:
+/// at least 1 (the job itself), at most the requested factor. Matches the
+/// historical scheduler exactly.
+uint32_t fit_replicas(uint32_t requested, uint32_t width, size_t eligible) {
+  uint32_t want = requested == 0 ? 1 : requested;
+  if (width == 0) return 1;
+  uint32_t fit = static_cast<uint32_t>(eligible / width);
+  if (fit < 1) fit = 1;
+  return std::min(want, fit);
+}
+
+/// Pool indices of hosts with a free slot satisfying `spec`, in pool order.
+std::vector<size_t> eligible_indices(const FreePool& pool,
+                                     const JobSpec& spec) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].free > 0 && pool[i].node->satisfies(spec)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<sim::HostId> take(FreePool& pool, const std::vector<size_t>& ix,
+                              size_t begin, size_t width) {
+  std::vector<sim::HostId> set;
+  set.reserve(width);
+  for (size_t k = 0; k < width; ++k) {
+    size_t i = ix[begin + k];
+    set.push_back(pool[i].node->host);
+    --pool[i].free;
+  }
+  return set;
+}
+
+class FirstFitSelector : public NodeSelector {
+ public:
+  std::string_view name() const override { return "firstfit"; }
+
+  std::vector<std::vector<sim::HostId>> select(FreePool& pool,
+                                               const JobSpec& spec,
+                                               bool replicate) const override {
+    // A zero-width request takes no nodes; one empty set keeps the legacy
+    // behaviour (the server's launch() drops it, the queue moves on).
+    if (spec.nodes == 0) return {{}};
+    std::vector<size_t> ix = eligible_indices(pool, spec);
+    size_t width = spec.nodes;
+    if (ix.size() < width) return {};
+    uint32_t r =
+        replicate ? fit_replicas(spec.replicas, spec.nodes, ix.size()) : 1;
+    std::vector<std::vector<sim::HostId>> sets;
+    sets.reserve(r);
+    for (uint32_t k = 0; k < r; ++k)
+      sets.push_back(take(pool, ix, static_cast<size_t>(k) * width, width));
+    return sets;
+  }
+};
+
+class ReplicaSelector : public NodeSelector {
+ public:
+  std::string_view name() const override { return "replica"; }
+
+  std::vector<std::vector<sim::HostId>> select(FreePool& pool,
+                                               const JobSpec& spec,
+                                               bool replicate) const override {
+    if (spec.nodes == 0) return {{}};
+    std::vector<size_t> ix = eligible_indices(pool, spec);
+    size_t width = spec.nodes;
+    if (ix.size() < width) return {};
+    uint32_t r =
+        replicate ? fit_replicas(spec.replicas, spec.nodes, ix.size()) : 1;
+    std::vector<std::vector<sim::HostId>> sets;
+    sets.reserve(r);
+    sets.push_back(take(pool, ix, 0, width));
+    // Extra replica sets from the back of the pool: disjoint by
+    // construction, and they leave the low-index hosts contiguous so
+    // backfill packs around the replicas instead of between them.
+    size_t tail = ix.size();
+    for (uint32_t k = 1; k < r; ++k) {
+      tail -= width;
+      sets.push_back(take(pool, ix, tail, width));
+    }
+    return sets;
+  }
+};
+
+std::vector<std::unique_ptr<NodeSelector>>& registry() {
+  static std::vector<std::unique_ptr<NodeSelector>> selectors;
+  return selectors;
+}
+
+void ensure_builtins() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  registry().push_back(std::make_unique<FirstFitSelector>());
+  registry().push_back(std::make_unique<ReplicaSelector>());
+}
+
+}  // namespace
+
+const NodeSelector* find_node_selector(std::string_view name) {
+  ensure_builtins();
+  for (const auto& s : registry()) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+void register_node_selector(std::unique_ptr<NodeSelector> selector) {
+  ensure_builtins();
+  registry().push_back(std::move(selector));
+}
+
+std::vector<std::string> node_selector_names() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  for (const auto& s : registry()) names.emplace_back(s->name());
+  return names;
+}
+
+}  // namespace pbs

@@ -114,6 +114,18 @@ ReleaseRequest decode_release(const sim::Payload& buf) {
   return m;
 }
 
+sim::Payload encode_request(const PreemptRequest& m) {
+  net::Writer w = begin(Op::kPreempt);
+  w.u64(m.job_id);
+  return w.take();
+}
+PreemptRequest decode_preempt(const sim::Payload& buf) {
+  net::Reader r = open(buf, Op::kPreempt);
+  PreemptRequest m{r.u64()};
+  r.expect_done();
+  return m;
+}
+
 sim::Payload encode_request(const DumpStateRequest&) {
   return begin(Op::kDumpState).take();
 }
@@ -149,6 +161,7 @@ sim::Payload encode_request(const MomKillRequest& m) {
   net::Writer w = begin(Op::kMomKill);
   w.u64(m.job_id);
   w.u32(m.server_host);
+  w.boolean(m.quiet);
   return w.take();
 }
 MomKillRequest decode_mom_kill(const sim::Payload& buf) {
@@ -156,6 +169,7 @@ MomKillRequest decode_mom_kill(const sim::Payload& buf) {
   MomKillRequest m;
   m.job_id = r.u64();
   m.server_host = r.u32();
+  m.quiet = r.boolean();
   r.expect_done();
   return m;
 }
@@ -219,6 +233,7 @@ sim::Payload encode_response(const SubmitResponse& m) {
   net::Writer w;
   w.u8(static_cast<uint8_t>(m.status));
   w.u64(m.job_id);
+  w.u32(m.count);
   return w.take();
 }
 SubmitResponse decode_submit_response(const sim::Payload& buf) {
@@ -226,6 +241,7 @@ SubmitResponse decode_submit_response(const sim::Payload& buf) {
   SubmitResponse m;
   m.status = static_cast<Status>(r.u8());
   m.job_id = r.u64();
+  m.count = r.u32();
   r.expect_done();
   return m;
 }

@@ -23,6 +23,10 @@ enum class Op : uint8_t {
   kSignal = 4,   ///< qsig
   kHold = 5,     ///< qhold
   kRelease = 6,  ///< qrls
+  /// Requeue a running job so a higher-priority one can take its nodes.
+  /// Never issued by clients: JOSHUA injects it after an ordered kPreempt
+  /// group op so every head requeues the victim at the same stream point.
+  kPreempt = 7,
   // management (state transfer support)
   kDumpState = 10,
   kLoadState = 11,
@@ -56,7 +60,9 @@ struct SubmitRequest {
 };
 struct SubmitResponse {
   Status status = Status::kOk;
+  /// First id assigned; an array submit owns [job_id, job_id + count).
   JobId job_id = kInvalidJob;
+  uint32_t count = 1;  ///< sub-jobs created (1 for a plain submit)
 };
 
 struct StatRequest {
@@ -108,6 +114,14 @@ struct MomLaunchResponse {
 struct MomKillRequest {
   JobId job_id = kInvalidJob;
   sim::HostId server_host = sim::kInvalidHost;
+  /// Preemption kill: terminate the instance without emitting a completion
+  /// report. The requeued job must not be completed by its own death echo;
+  /// every head already knows about the requeue from the ordered stream.
+  bool quiet = false;
+};
+
+struct PreemptRequest {
+  JobId job_id = kInvalidJob;
 };
 
 struct MomEmuCompleteRequest {
@@ -145,6 +159,7 @@ sim::Payload encode_request(const DeleteRequest&);
 sim::Payload encode_request(const SignalRequest&);
 sim::Payload encode_request(const HoldRequest&);
 sim::Payload encode_request(const ReleaseRequest&);
+sim::Payload encode_request(const PreemptRequest&);
 sim::Payload encode_request(const DumpStateRequest&);
 sim::Payload encode_request(const LoadStateRequest&);
 sim::Payload encode_request(const MomLaunchRequest&);
@@ -159,6 +174,7 @@ DeleteRequest decode_delete(const sim::Payload&);
 SignalRequest decode_signal(const sim::Payload&);
 HoldRequest decode_hold(const sim::Payload&);
 ReleaseRequest decode_release(const sim::Payload&);
+PreemptRequest decode_preempt(const sim::Payload&);
 LoadStateRequest decode_load_state(const sim::Payload&);
 MomLaunchRequest decode_mom_launch(const sim::Payload&);
 MomKillRequest decode_mom_kill(const sim::Payload&);

@@ -1,155 +1,86 @@
 #include "pbs/scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
 
 namespace pbs {
-namespace {
 
-/// Queued jobs in FIFO order (queue_rank, then id for total determinism).
-std::vector<const Job*> eligible_fifo(const std::map<JobId, Job>& jobs) {
-  std::vector<const Job*> out;
-  for (const auto& [id, job] : jobs) {
-    (void)id;
-    if (job.state == JobState::kQueued) out.push_back(&job);
-  }
-  std::sort(out.begin(), out.end(), [](const Job* a, const Job* b) {
-    if (a->queue_rank != b->queue_rank) return a->queue_rank < b->queue_rank;
-    return a->id < b->id;
-  });
-  return out;
+bool NodeState::has(JobId id) const {
+  return std::find(running.begin(), running.end(), id) != running.end();
 }
 
-std::vector<sim::HostId> free_nodes(const std::vector<NodeState>& nodes) {
-  std::vector<sim::HostId> out;
+void NodeState::assign(JobId id) { running.push_back(id); }
+
+void NodeState::release(JobId id) {
+  running.erase(std::remove(running.begin(), running.end(), id),
+                running.end());
+}
+
+bool NodeState::satisfies(const JobSpec& spec) const {
+  if (!spec.node_type.empty() && spec.node_type != attrs.type) return false;
+  for (const std::string& f : spec.features) {
+    if (std::find(attrs.features.begin(), attrs.features.end(), f) ==
+        attrs.features.end())
+      return false;
+  }
+  return true;
+}
+
+FreePool make_free_pool(const std::vector<NodeState>& nodes) {
+  FreePool pool;
   for (const NodeState& n : nodes) {
-    if (n.up && n.running == kInvalidJob) out.push_back(n.host);
+    if (n.up && n.free_slots() > 0) pool.push_back(FreeSlot{&n, n.free_slots()});
   }
-  return out;
+  return pool;
 }
 
-size_t up_nodes(const std::vector<NodeState>& nodes) {
+size_t eligible_hosts(const FreePool& pool, const JobSpec& spec) {
   size_t count = 0;
-  for (const NodeState& n : nodes)
-    if (n.up) ++count;
+  for (const FreeSlot& s : pool) {
+    if (s.free > 0 && s.node->satisfies(spec)) ++count;
+  }
   return count;
 }
 
-/// Carve `count` disjoint sets of `width` nodes off the front of `free`
-/// (anti-affinity by construction). Assumes free.size() >= width * count.
-std::vector<std::vector<sim::HostId>> take_sets(std::vector<sim::HostId>& free,
-                                                uint32_t width,
-                                                uint32_t count) {
-  std::vector<std::vector<sim::HostId>> sets;
-  sets.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    sets.emplace_back(free.begin(),
-                      free.begin() + static_cast<ptrdiff_t>(width));
-    free.erase(free.begin(), free.begin() + static_cast<ptrdiff_t>(width));
-  }
-  return sets;
+namespace {
+std::string env_or(const char* var, const char* fallback) {
+  const char* v = std::getenv(var);
+  return (v != nullptr && *v != '\0') ? std::string(v) : std::string(fallback);
 }
-
-/// How many replicas of a `width`-node job fit in `free_count` nodes:
-/// at least 1 (the job itself), at most the requested factor.
-uint32_t fit_replicas(uint32_t requested, uint32_t width, size_t free_count) {
-  uint32_t want = requested == 0 ? 1 : requested;
-  if (width == 0) return 1;
-  uint32_t fit = static_cast<uint32_t>(free_count / width);
-  if (fit < 1) fit = 1;
-  return std::min(want, fit);
-}
-
 }  // namespace
 
-std::vector<LaunchDecision> Scheduler::cycle(
-    const std::map<JobId, Job>& jobs, const std::vector<NodeState>& nodes,
-    sim::Time now) const {
-  std::vector<LaunchDecision> decisions;
-  // With no free node nothing can launch (every branch below needs at least
-  // one); skip the O(queued log queued) FIFO projection entirely. A deep
-  // backlog -- millions of queued jobs on a busy or compute-less shard --
-  // would otherwise pay that sort on every cycle for nothing.
-  std::vector<sim::HostId> free = free_nodes(nodes);
-  if (free.empty()) return decisions;
+std::string SchedulerConfig::sched_policy_from_env() {
+  return env_or("JOSHUA_SCHED", "fifo");
+}
 
-  std::vector<const Job*> queue = eligible_fifo(jobs);
-  if (queue.empty()) return decisions;
+std::string SchedulerConfig::node_selector_from_env() {
+  return env_or("JOSHUA_SELECT", "firstfit");
+}
 
-  if (config_.exclusive_cluster) {
-    // One job at a time on the whole cluster. Exclusive access leaves no
-    // disjoint node set for a second replica: r clamps to 1.
-    if (free.size() != up_nodes(nodes) || free.empty()) return decisions;
-    LaunchDecision d{queue.front()->id, free, {}};
-    d.replica_sets.push_back(d.nodes);
-    decisions.push_back(std::move(d));
-    return decisions;
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
+  policy_ = find_sched_policy(config_.policy);
+  if (policy_ == nullptr) {
+    JLOG(kWarn, "pbs") << "unknown scheduling policy '" << config_.policy
+                       << "', falling back to fifo";
+    config_.policy = "fifo";
+    policy_ = find_sched_policy("fifo");
   }
+  selector_ = find_node_selector(config_.selector);
+  if (selector_ == nullptr) {
+    JLOG(kWarn, "pbs") << "unknown node selector '" << config_.selector
+                       << "', falling back to firstfit";
+    config_.selector = "firstfit";
+    selector_ = find_node_selector("firstfit");
+  }
+}
 
-  size_t next = 0;
-  // Strict FIFO: launch from the head while nodes suffice. Replication is
-  // best-effort: the primary set only needs spec.nodes free; additional
-  // disjoint replica sets are carved out of whatever else is free.
-  while (next < queue.size() && queue[next]->spec.nodes <= free.size()) {
-    const Job* job = queue[next];
-    uint32_t r = fit_replicas(job->spec.replicas, job->spec.nodes, free.size());
-    LaunchDecision d;
-    d.job = job->id;
-    d.replica_sets = take_sets(free, job->spec.nodes, r);
-    d.nodes = d.replica_sets.front();
-    decisions.push_back(std::move(d));
-    ++next;
-  }
-  if (next >= queue.size() || config_.policy != SchedPolicy::kFifoBackfill)
-    return decisions;
-
-  // EASY backfill: the head job `queue[next]` blocks. Compute its shadow
-  // time (earliest instant enough nodes free up, by walltime estimates) and
-  // let later jobs run iff they fit in the hole without delaying it.
-  const Job* blocked = queue[next];
-  std::vector<std::pair<sim::Time, uint32_t>> releases;  // (when, node count)
-  for (const auto& [id, job] : jobs) {
-    (void)id;
-    if (job.state != JobState::kRunning) continue;
-    sim::Time release = job.start_time + job.spec.walltime;
-    if (release < now) release = now;
-    releases.emplace_back(release, job.spec.nodes);
-  }
-  std::sort(releases.begin(), releases.end());
-  size_t avail = free.size();
-  sim::Time shadow = sim::kTimeInfinity;
-  for (const auto& [when, count] : releases) {
-    avail += count;
-    if (avail >= blocked->spec.nodes) {
-      shadow = when;
-      break;
-    }
-  }
-  // Nodes free at the shadow instant that the blocked job will NOT need.
-  size_t spare_at_shadow =
-      avail >= blocked->spec.nodes ? avail - blocked->spec.nodes : 0;
-
-  for (size_t i = next + 1; i < queue.size() && !free.empty(); ++i) {
-    const Job* candidate = queue[i];
-    if (candidate->spec.nodes > free.size()) continue;
-    bool fits_before_shadow = now + candidate->spec.walltime <= shadow;
-    bool fits_spare = candidate->spec.nodes <= spare_at_shadow;
-    if (!fits_before_shadow && !fits_spare) continue;
-    LaunchDecision d;
-    d.job = candidate->id;
-    d.nodes.assign(free.begin(),
-                   free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
-    free.erase(free.begin(),
-               free.begin() + static_cast<ptrdiff_t>(candidate->spec.nodes));
-    // Backfilled jobs run unreplicated: extra replica sets would eat into
-    // the shadow-time budget and delay the blocked head job.
-    d.replica_sets.push_back(d.nodes);
-    if (!fits_before_shadow && fits_spare) {
-      // Runs past the shadow but on nodes the blocked job will not use.
-      spare_at_shadow -= candidate->spec.nodes;
-    }
-    decisions.push_back(std::move(d));
-  }
-  return decisions;
+SchedDecisions Scheduler::cycle(const std::map<JobId, Job>& jobs,
+                                const std::vector<NodeState>& nodes,
+                                sim::Time now) const {
+  SchedContext ctx{jobs, nodes, now, config_, *selector_};
+  return policy_->cycle(ctx);
 }
 
 }  // namespace pbs

@@ -23,7 +23,11 @@ Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
       scheduler_(config_.sched) {
   next_job_id_ = config_.job_id_base;
   for (const sim::Endpoint& mom : config_.moms) {
-    nodes_.push_back(NodeState{mom.host, true, kInvalidJob});
+    NodeState n;
+    n.host = mom.host;
+    auto attrs = config_.node_attrs.find(mom.host);
+    if (attrs != config_.node_attrs.end()) n.attrs = attrs->second;
+    nodes_.push_back(std::move(n));
   }
   telemetry::Hub& hub = net.sim().telemetry();
   telemetry::Registry& m = hub.metrics();
@@ -40,6 +44,13 @@ Server::Server(sim::Network& net, sim::HostId host, ServerConfig config)
   m_node_recoveries_ = m.counter("pbs.node_recoveries");
   m_queue_wait_ = m.histogram("pbs.queue_wait_us");
   m_failover_detect_ = m.histogram("pbs.failover_detect_us");
+  m_preemptions_ = m.counter("pbs.sched.preemptions");
+  m_backfilled_ = m.counter("pbs.sched.backfilled");
+  m_array_expansions_ = m.counter("pbs.sched.array_expansions");
+  m_utilization_ = m.gauge("pbs.sched.utilization_pct");
+  m_policy_queue_wait_ = m.histogram("pbs.sched.queue_wait_us." +
+                                     scheduler_.config().policy);
+  tc_preempt_ = hub.trace().intern("pbs.preempt");
   tc_sched_ = hub.trace().intern("pbs.sched_cycle");
   tc_job_start_ = hub.trace().intern("pbs.job_start");
   tc_job_complete_ = hub.trace().intern("pbs.job_complete");
@@ -88,7 +99,8 @@ void Server::on_request(sim::Payload request, sim::Endpoint from,
     case Op::kDelete:
     case Op::kSignal:
     case Op::kHold:
-    case Op::kRelease: cost = config_.del_proc; break;
+    case Op::kRelease:
+    case Op::kPreempt: cost = config_.del_proc; break;
     case Op::kJobReport: cost = config_.del_proc; break;
     case Op::kDumpState:
     case Op::kLoadState: cost = config_.submit_proc; break;
@@ -117,6 +129,9 @@ void Server::on_request(sim::Payload request, sim::Endpoint from,
         case Op::kRelease:
           handle_release(decode_release(request), from, rpc_id);
           break;
+        case Op::kPreempt:
+          handle_preempt(decode_preempt(request), from, rpc_id);
+          break;
         case Op::kJobReport:
           handle_report(decode_job_report(request), from, rpc_id);
           break;
@@ -138,30 +153,53 @@ void Server::on_request(sim::Payload request, sim::Endpoint from,
 
 void Server::handle_submit(const SubmitRequest& req, sim::Endpoint from,
                            uint64_t rpc_id) {
-  Job job;
-  if (req.forced_id != kInvalidJob) {
-    if (jobs_.count(req.forced_id)) {
-      respond(from, rpc_id,
-              encode_response(SubmitResponse{Status::kInvalidState,
-                                             req.forced_id}));
-      return;
-    }
-    job.id = req.forced_id;
-    next_job_id_ = std::max(next_job_id_, req.forced_id + 1);
-  } else {
-    job.id = next_job_id_++;
+  // A job-array request expands into `count` sub-jobs with consecutive ids
+  // and FIFO ranks. Expansion happens here, inside the ordered command, so
+  // every replica derives the identical sub-job set from one submit.
+  uint32_t count = req.spec.array_count > 1 ? req.spec.array_count : 1;
+  if (count > config_.max_array_size) {
+    respond(from, rpc_id,
+            encode_response(SubmitResponse{Status::kUnsupported, kInvalidJob,
+                                           0}));
+    return;
   }
-  job.spec = req.spec;
-  job.state = JobState::kQueued;
-  job.submit_time = sim().now();
-  job.queue_rank = next_rank_++;
-  jobs_.emplace(job.id, job);
-  ++submissions_;
-  m_jobs_queued_.add(1);
+  JobId base;
+  if (req.forced_id != kInvalidJob) {
+    for (JobId id = req.forced_id; id < req.forced_id + count; ++id) {
+      if (jobs_.count(id)) {
+        respond(from, rpc_id,
+                encode_response(SubmitResponse{Status::kInvalidState,
+                                               req.forced_id, 0}));
+        return;
+      }
+    }
+    base = req.forced_id;
+    next_job_id_ = std::max(next_job_id_, req.forced_id + count);
+  } else {
+    base = next_job_id_;
+    next_job_id_ += count;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    Job job;
+    job.id = base + i;
+    job.spec = req.spec;
+    if (count > 1) {
+      job.spec.array_index = static_cast<int32_t>(i);
+      job.spec.name = req.spec.name + "[" + std::to_string(i) + "]";
+    }
+    job.state = JobState::kQueued;
+    job.submit_time = sim().now();
+    job.queue_rank = next_rank_++;
+    jobs_.emplace(job.id, std::move(job));
+    ++submissions_;
+  }
+  m_jobs_queued_.add(count);
+  if (count > 1) m_array_expansions_.add(count);
   persist();
-  JLOG(kDebug, "pbs") << name() << ": queued job " << job.id << " ("
-                      << job.spec.name << ")";
-  respond(from, rpc_id, encode_response(SubmitResponse{Status::kOk, job.id}));
+  JLOG(kDebug, "pbs") << name() << ": queued job " << base << " ("
+                      << req.spec.name << (count > 1 ? ", array" : "") << ")";
+  respond(from, rpc_id,
+          encode_response(SubmitResponse{Status::kOk, base, count}));
   request_sched_cycle();
 }
 
@@ -281,6 +319,46 @@ void Server::handle_release(const ReleaseRequest& req, sim::Endpoint from,
   request_sched_cycle();
 }
 
+void Server::handle_preempt(const PreemptRequest& req, sim::Endpoint from,
+                            uint64_t rpc_id) {
+  respond(from, rpc_id, encode_response(SimpleResponse{Status::kOk}));
+  apply_preempt(req.job_id);
+}
+
+void Server::apply_preempt(JobId id) {
+  preempt_inflight_.erase(id);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.state != JobState::kRunning) return;
+  // Quiet kills: the requeued job's own death must not echo back as a
+  // completion report (the quiet flag drops the report at the mom).
+  if (job.replica_hosts.empty()) {
+    kill_on(job.exec_host, job.id, /*quiet=*/true);
+  } else {
+    for (sim::HostId h : job.replica_hosts) kill_on(h, job.id, /*quiet=*/true);
+  }
+  free_nodes_of(job.id);
+  job.state = JobState::kQueued;
+  job.exec_host = sim::kInvalidHost;
+  job.replica_hosts.clear();
+  ++preempt_counts_[id];
+  ++preempts_applied_;
+  m_preemptions_.add(1);
+  sim().telemetry().trace().instant(sim().now().us, host_id(), tc_preempt_,
+                                    job.id, 0);
+  JLOG(kInfo, "pbs") << name() << ": job " << id
+                     << " preempted and requeued (rank " << job.queue_rank
+                     << ")";
+  persist();
+  request_sched_cycle();
+}
+
+uint32_t Server::preempt_count(JobId id) const {
+  auto it = preempt_counts_.find(id);
+  return it == preempt_counts_.end() ? 0 : it->second;
+}
+
 void Server::handle_report(const JobReport& report, sim::Endpoint from,
                            uint64_t rpc_id) {
   // Always ack: the mom retries otherwise.
@@ -339,7 +417,8 @@ void Server::run_sched_cycle() {
   m_sched_cycles_.add(1);
   sim().telemetry().trace().instant(sim().now().us, host_id(), tc_sched_,
                                     jobs_.size(), nodes_.size());
-  for (const LaunchDecision& d : scheduler_.cycle(jobs_, nodes_, sim().now())) {
+  SchedDecisions decisions = scheduler_.cycle(jobs_, nodes_, sim().now());
+  for (const LaunchDecision& d : decisions.launches) {
     auto it = jobs_.find(d.job);
     if (it == jobs_.end()) continue;
     if (d.replica_sets.empty()) {
@@ -348,6 +427,18 @@ void Server::run_sched_cycle() {
       launch(it->second, d.replica_sets);
     }
   }
+  if (decisions.backfilled > 0) m_backfilled_.add(decisions.backfilled);
+  for (JobId victim : decisions.preemptions) {
+    // Damping: the pure policy re-emits the victim every cycle until the
+    // ordered requeue lands; multicast (or apply) it once.
+    if (!preempt_inflight_.insert(victim).second) continue;
+    if (request_preempt) {
+      request_preempt(victim);
+    } else {
+      apply_preempt(victim);
+    }
+  }
+  update_utilization();
   if (sched_timer_ == 0) {
     sched_timer_ = set_timer(config_.sched_interval, [this] {
       sched_timer_ = 0;
@@ -367,12 +458,13 @@ void Server::launch(Job& job,
   for (const std::vector<sim::HostId>& set : sets) {
     job.replica_hosts.push_back(set.front());
     for (sim::HostId h : set) {
-      if (NodeState* n = node_by_host(h)) n->running = job.id;
+      if (NodeState* n = node_by_host(h)) n->assign(job.id);
     }
   }
   m_jobs_launched_.add(1);
   m_replicas_dispatched_.add(sets.size());
   m_queue_wait_.record((job.start_time - job.submit_time).us);
+  m_policy_queue_wait_.record((job.start_time - job.submit_time).us);
   sim().telemetry().trace().instant(job.start_time.us, host_id(),
                                     tc_job_start_, job.id, job.exec_host);
   if (sets.size() > 1) {
@@ -422,9 +514,7 @@ void Server::replica_launch_failed(JobId id, sim::HostId mom_host) {
   if (!job.active()) return;
   auto& reps = job.replica_hosts;
   reps.erase(std::remove(reps.begin(), reps.end(), mom_host), reps.end());
-  if (NodeState* n = node_by_host(mom_host)) {
-    if (n->running == id) n->running = kInvalidJob;
-  }
+  if (NodeState* n = node_by_host(mom_host)) n->release(id);
   if (!reps.empty()) {
     if (job.exec_host == mom_host) job.exec_host = reps.front();
     persist();
@@ -470,8 +560,8 @@ void Server::reap_losers(const Job& job, sim::HostId winner) {
   }
 }
 
-void Server::kill_on(sim::HostId mom_host, JobId id) {
-  MomKillRequest kill{id, host_id()};
+void Server::kill_on(sim::HostId mom_host, JobId id, bool quiet) {
+  MomKillRequest kill{id, host_id(), quiet};
   call(mom_endpoint(mom_host), encode_request(kill),
        [](std::optional<sim::Payload>) {});
 }
@@ -480,7 +570,7 @@ void Server::note_node_failed(sim::HostId host) {
   NodeState* n = node_by_host(host);
   if (n == nullptr || !n->up) return;
   n->up = false;
-  n->running = kInvalidJob;
+  n->running.clear();
   m_node_failovers_.add(1);
   sim().telemetry().trace().instant(sim().now().us, host_id(), tc_node_fail_,
                                     host, 0);
@@ -500,6 +590,13 @@ void Server::note_node_failed(sim::HostId host) {
     bool on_dead = job.exec_host == host ||
                    std::find(reps.begin(), reps.end(), host) != reps.end();
     if (!on_dead) continue;
+    // Fence the declared-dead node: failure detection is only a presumption,
+    // and a falsely-accused mom still runs its instance to completion --
+    // which, with the job requeued and relaunched elsewhere, is a second
+    // real execution. The quiet kill terminates the orphan without a death
+    // echo (same idiom as preemption); if the node really is down the RPC
+    // just drops.
+    kill_on(host, id, /*quiet=*/true);
     reps.erase(std::remove(reps.begin(), reps.end(), host), reps.end());
     if (!reps.empty()) {
       if (job.exec_host == host) job.exec_host = reps.front();
@@ -528,10 +625,32 @@ void Server::note_node_failed(sim::HostId host) {
   if (requeued) request_sched_cycle();
 }
 
+void Server::note_node_recovered(sim::HostId host) {
+  NodeState* n = node_by_host(host);
+  if (n == nullptr || n->up) return;
+  n->up = true;
+  hb_misses_[host] = 0;
+  hb_first_miss_.erase(host);
+  m_node_recoveries_.add(1);
+  JLOG(kInfo, "pbs") << name() << ": compute node " << host
+                     << " back in service";
+  request_sched_cycle();
+}
+
 void Server::free_nodes_of(JobId id) {
-  for (NodeState& n : nodes_) {
-    if (n.running == id) n.running = kInvalidJob;
+  for (NodeState& n : nodes_) n.release(id);
+}
+
+void Server::update_utilization() {
+  uint64_t total = 0;
+  uint64_t busy = 0;
+  for (const NodeState& n : nodes_) {
+    if (!n.up) continue;
+    total += n.attrs.slots;
+    busy += std::min<uint64_t>(n.used_slots(), n.attrs.slots);
   }
+  m_utilization_.set(total == 0 ? 0
+                                : static_cast<int64_t>(busy * 100 / total));
 }
 
 NodeState* Server::node_by_host(sim::HostId host) {
@@ -575,14 +694,7 @@ void Server::run_heartbeat_round() {
            if (resp.has_value()) {
              hb_misses_[h] = 0;
              hb_first_miss_.erase(h);
-             if (!n->up) {
-               // The mom answers again: return the node to service.
-               n->up = true;
-               m_node_recoveries_.add(1);
-               JLOG(kInfo, "pbs") << name() << ": compute node " << h
-                                  << " back in service";
-               request_sched_cycle();
-             }
+             note_node_recovered(h);
              return;
            }
            m_heartbeat_misses_.add(1);
@@ -619,7 +731,8 @@ void Server::apply_state(const sim::Payload& state) {
   submissions_ = r.u64();
   uint32_t n = r.u32();
   jobs_.clear();
-  for (NodeState& node : nodes_) node.running = kInvalidJob;
+  preempt_inflight_.clear();
+  for (NodeState& node : nodes_) node.running.clear();
   for (uint32_t i = 0; i < n; ++i) {
     Job job = decode_job(r);
     // Jobs that were running when the state was captured lost their parent
@@ -693,7 +806,9 @@ void Server::reset_state() {
   next_job_id_ = config_.job_id_base;
   next_rank_ = 1;
   submissions_ = 0;
-  for (NodeState& n : nodes_) n.running = kInvalidJob;
+  preempt_inflight_.clear();
+  preempt_counts_.clear();
+  for (NodeState& n : nodes_) n.running.clear();
   persist();
 }
 
@@ -705,6 +820,7 @@ void Server::on_crash() {
   sched_pending_ = false;
   hb_misses_.clear();
   hb_first_miss_.clear();
+  preempt_inflight_.clear();
 }
 
 void Server::on_restart() {
@@ -713,9 +829,11 @@ void Server::on_restart() {
   next_job_id_ = config_.job_id_base;
   next_rank_ = 1;
   submissions_ = 0;
+  preempt_inflight_.clear();
+  preempt_counts_.clear();
   for (NodeState& n : nodes_) {
     n.up = true;
-    n.running = kInvalidJob;
+    n.running.clear();
   }
   recover();
   arm_checkpoint_timer();

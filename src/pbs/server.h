@@ -30,7 +30,13 @@ struct ServerConfig {
   std::string server_suffix = "cluster";
   /// Compute-node mom endpoints.
   std::vector<sim::Endpoint> moms;
+  /// Static attributes per mom host (type / features / slots) for
+  /// heterogeneous clusters; hosts not listed get the defaults.
+  std::map<sim::HostId, NodeAttrs> node_attrs;
   SchedulerConfig sched;
+  /// Largest job array one submit may expand to (larger requests are
+  /// rejected, they would flood the ordered stream).
+  uint32_t max_array_size = 4096;
   /// Periodic scheduling interval (Maui iteration).
   sim::Duration sched_interval = sim::msec(500);
 
@@ -97,12 +103,37 @@ class Server : public net::RpcNode {
   /// counted, not applied). JOSHUA installs its ordered duplicate-completion
   /// suppression here; unset = accept everything (plain TORQUE behaviour).
   std::function<bool(const JobReport&)> accept_report;
+  /// Preemption interceptor. When set (JOSHUA), a preempt decision is
+  /// multicast as an ordered kPreempt group op instead of being applied
+  /// locally, so every head requeues the victim at the same point of the
+  /// command stream; unset = apply immediately (plain TORQUE behaviour).
+  std::function<void(JobId)> request_preempt;
+
+  /// Requeue a running job (quiet-killing its instances, preserving its
+  /// queue_rank). Called on ordered kPreempt delivery, or directly when no
+  /// interceptor is installed. Idempotent: no-op unless the job is running.
+  void apply_preempt(JobId id);
+
+  /// Times `id` was preempted on this server (harness: each preemption
+  /// legitimately re-runs the job, so exactly-r audits excuse r more runs).
+  uint32_t preempt_count(JobId id) const;
+  uint64_t preempts_applied() const { return preempts_applied_; }
 
   /// Declare a compute node dead: mark it down, drop its replicas from
   /// running jobs, and requeue jobs left without a live replica. Idempotent.
   /// Called by heartbeat misses, launch timeouts, and by JOSHUA when an
   /// ordered mutex revoke is delivered (so every head converges).
   void note_node_failed(sim::HostId host);
+
+  /// Return a compute node to service: mark it up and kick a sched cycle.
+  /// Idempotent. Called by an answered heartbeat, and by JOSHUA when an
+  /// ordered mutex claim arrives from a previously revoked mom -- the claim
+  /// proves the mom serves launches again, and routing the up-transition
+  /// through the ordered stream keeps every head's node table (and hence
+  /// its scheduling decisions) convergent even with heartbeats disabled.
+  /// Without it, a head that never crashes keeps the node down forever and
+  /// its live-job table permanently trails the rest of the group.
+  void note_node_recovered(sim::HostId host);
 
   /// Force a recovery from persistent storage (also runs on host restart).
   void recover();
@@ -156,6 +187,8 @@ class Server : public net::RpcNode {
                    uint64_t rpc_id);
   void handle_release(const ReleaseRequest& req, sim::Endpoint from,
                       uint64_t rpc_id);
+  void handle_preempt(const PreemptRequest& req, sim::Endpoint from,
+                      uint64_t rpc_id);
   void handle_report(const JobReport& report, sim::Endpoint from,
                      uint64_t rpc_id);
   void handle_dump_state(sim::Endpoint from, uint64_t rpc_id);
@@ -169,8 +202,9 @@ class Server : public net::RpcNode {
   void replica_launch_failed(JobId id, sim::HostId mom_host);
   void complete_job(Job& job, const JobReport& report);
   void reap_losers(const Job& job, sim::HostId winner);
-  void kill_on(sim::HostId mom_host, JobId id);
+  void kill_on(sim::HostId mom_host, JobId id, bool quiet = false);
   void free_nodes_of(JobId id);
+  void update_utilization();
   NodeState* node_by_host(sim::HostId host);
   sim::Endpoint mom_endpoint(sim::HostId host) const;
 
@@ -200,6 +234,12 @@ class Server : public net::RpcNode {
   std::map<sim::HostId, uint32_t> hb_misses_;
   std::map<sim::HostId, sim::Time> hb_first_miss_;
 
+  /// Victims whose ordered preempt is in flight (damping: the pure policy
+  /// re-emits the same victim every cycle until the requeue applies).
+  std::set<JobId> preempt_inflight_;
+  std::map<JobId, uint32_t> preempt_counts_;
+  uint64_t preempts_applied_ = 0;
+
   // Telemetry ("pbs.*" metrics; registered in the ctor body).
   telemetry::Counter m_jobs_queued_;
   telemetry::Counter m_jobs_launched_;
@@ -214,6 +254,13 @@ class Server : public net::RpcNode {
   telemetry::Counter m_node_recoveries_;
   telemetry::Histogram m_queue_wait_;
   telemetry::Histogram m_failover_detect_;
+  // "pbs.sched.*" policy-layer metrics.
+  telemetry::Counter m_preemptions_;
+  telemetry::Counter m_backfilled_;
+  telemetry::Counter m_array_expansions_;
+  telemetry::Gauge m_utilization_;
+  telemetry::Histogram m_policy_queue_wait_;  ///< per-policy wait histogram
+  uint16_t tc_preempt_ = 0;       ///< trace category "pbs.preempt"
   uint16_t tc_sched_ = 0;         ///< trace category "pbs.sched_cycle"
   uint16_t tc_job_start_ = 0;     ///< trace category "pbs.job_start"
   uint16_t tc_job_complete_ = 0;  ///< trace category "pbs.job_complete"

@@ -1,0 +1,152 @@
+#include "pbs/workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace pbs {
+
+std::string_view to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSteady: return "steady";
+    case TraceKind::kBursty: return "bursty";
+    case TraceKind::kStatFlood: return "statflood";
+    case TraceKind::kMassCancel: return "masscancel";
+    case TraceKind::kMixedPriority: return "mixedpriority";
+  }
+  return "?";
+}
+
+namespace {
+
+sim::Duration uniform_duration(jutil::Rng& rng, sim::Duration lo,
+                               sim::Duration hi) {
+  if (hi.us <= lo.us) return lo;
+  return sim::Duration{rng.uniform(lo.us, hi.us)};
+}
+
+JobSpec draw_spec(jutil::Rng& rng, const WorkloadProfile& p, int64_t index) {
+  JobSpec spec;
+  spec.name = "trace-" + std::to_string(index);
+  spec.nodes = static_cast<uint32_t>(
+      rng.uniform(p.min_nodes, std::max(p.min_nodes, p.max_nodes)));
+  spec.run_time = uniform_duration(rng, p.min_run, p.max_run);
+  spec.walltime = sim::Duration{static_cast<int64_t>(
+      static_cast<double>(spec.run_time.us) * p.walltime_factor)};
+  if (p.kind == TraceKind::kMixedPriority && p.priority_levels > 1)
+    spec.priority = static_cast<int32_t>(rng.next_u64(p.priority_levels));
+  if (p.array_fraction > 0.0 && rng.chance(p.array_fraction) &&
+      p.max_array > 1) {
+    spec.array_count = static_cast<uint32_t>(rng.uniform(2, p.max_array));
+  }
+  return spec;
+}
+
+sim::Duration next_gap(jutil::Rng& rng, sim::Duration mean) {
+  double gap = rng.exponential(static_cast<double>(std::max<int64_t>(
+      mean.us, 1)));
+  return sim::Duration{std::max<int64_t>(1, static_cast<int64_t>(gap))};
+}
+
+}  // namespace
+
+std::vector<TraceOp> make_trace(const WorkloadProfile& profile,
+                                uint64_t seed) {
+  jutil::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<TraceOp> ops;
+  int64_t submits = 0;
+  sim::Duration t = sim::kDurationZero;
+
+  auto submit_at = [&](sim::Duration at) {
+    TraceOp op;
+    op.kind = TraceOp::Kind::kSubmit;
+    op.at = at;
+    op.spec = draw_spec(rng, profile, submits);
+    op.target = submits++;
+    ops.push_back(std::move(op));
+  };
+
+  switch (profile.kind) {
+    case TraceKind::kSteady:
+    case TraceKind::kMixedPriority: {
+      while (t.us < profile.duration.us) {
+        submit_at(t);
+        t = t + next_gap(rng, profile.mean_interarrival);
+      }
+      break;
+    }
+    case TraceKind::kBursty: {
+      // Submit storms: `burst_size` near-simultaneous submits (spread over a
+      // few mean inter-arrivals), then a quiet gap. Stresses queue depth and
+      // gives backfill real holes to fill.
+      while (t.us < profile.duration.us) {
+        sim::Duration storm = t;
+        for (uint32_t i = 0; i < profile.burst_size; ++i) {
+          submit_at(storm);
+          storm = storm + next_gap(rng, sim::Duration{std::max<int64_t>(
+                                       profile.mean_interarrival.us / 8, 1)});
+        }
+        t = storm + profile.burst_gap;
+      }
+      break;
+    }
+    case TraceKind::kStatFlood: {
+      while (t.us < profile.duration.us) {
+        submit_at(t);
+        // A flood of reads follows each submit (the "millions of users
+        // watching qstat" axis); each stats a random earlier job.
+        sim::Duration read_t = t;
+        for (uint32_t i = 0; i < profile.stats_per_submit; ++i) {
+          read_t = read_t + next_gap(rng, sim::Duration{std::max<int64_t>(
+                                         profile.mean_interarrival.us / 16,
+                                         1)});
+          TraceOp op;
+          op.kind = TraceOp::Kind::kStat;
+          op.at = read_t;
+          op.target = static_cast<int64_t>(rng.next_u64(
+              static_cast<uint64_t>(submits)));
+          ops.push_back(std::move(op));
+        }
+        t = t + next_gap(rng, profile.mean_interarrival);
+      }
+      break;
+    }
+    case TraceKind::kMassCancel: {
+      // Waves: submit a batch, then jdel a fraction of everything still
+      // presumed live, repeatedly. Stresses delete-path ordering and the
+      // command-log compaction.
+      std::vector<int64_t> live;
+      while (t.us < profile.duration.us) {
+        for (uint32_t i = 0; i < profile.burst_size &&
+                             t.us < profile.duration.us;
+             ++i) {
+          live.push_back(submits);
+          submit_at(t);
+          t = t + next_gap(rng, profile.mean_interarrival);
+        }
+        size_t kill = static_cast<size_t>(
+            static_cast<double>(live.size()) * profile.cancel_fraction);
+        for (size_t i = 0; i < kill && !live.empty(); ++i) {
+          size_t pick = rng.next_u64(live.size());
+          TraceOp op;
+          op.kind = TraceOp::Kind::kCancel;
+          op.at = t;
+          op.target = live[pick];
+          ops.push_back(std::move(op));
+          live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+          t = t + next_gap(rng, sim::Duration{std::max<int64_t>(
+                               profile.mean_interarrival.us / 4, 1)});
+        }
+      }
+      break;
+    }
+  }
+
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const TraceOp& a, const TraceOp& b) {
+                     return a.at.us < b.at.us;
+                   });
+  return ops;
+}
+
+}  // namespace pbs

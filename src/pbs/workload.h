@@ -1,0 +1,72 @@
+// Trace-driven workload engine: deterministic synthetic traces of PBS user
+// activity (submits, stat read floods, mass cancels, mixed priorities).
+//
+// A trace is a pure function of (profile, seed): benches, longevity
+// campaigns and the scheduler conformance suite all replay the same
+// operation sequences, so a policy comparison measures the policy and a
+// cross-head divergence can only come from the system under test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pbs/job.h"
+
+namespace pbs {
+
+/// Shapes of synthetic user behaviour.
+enum class TraceKind : uint8_t {
+  kSteady = 0,        ///< Poisson-ish submit arrivals, uniform widths
+  kBursty = 1,        ///< storms of submits separated by quiet gaps
+  kStatFlood = 2,     ///< steady submits + a heavy jstat read flood
+  kMassCancel = 3,    ///< submits followed by waves of jdel
+  kMixedPriority = 4, ///< steady arrivals over several priority levels
+};
+
+std::string_view to_string(TraceKind k);
+
+/// One operation of a trace, to be issued `at` after campaign start.
+struct TraceOp {
+  enum class Kind : uint8_t { kSubmit = 0, kStat = 1, kCancel = 2 };
+  Kind kind = Kind::kSubmit;
+  sim::Duration at = sim::kDurationZero;
+  JobSpec spec;        ///< kSubmit only
+  /// kCancel/kStat: index into the trace's submit sequence (the issuer maps
+  /// it to the real job id the submit produced). kStat with no target stats
+  /// the whole queue.
+  int64_t target = -1;
+};
+
+struct WorkloadProfile {
+  TraceKind kind = TraceKind::kSteady;
+  sim::Duration duration = sim::minutes(10);
+  /// Mean submit inter-arrival in the active phases.
+  sim::Duration mean_interarrival = sim::seconds(20);
+  /// Job shape ranges (uniform).
+  uint32_t min_nodes = 1;
+  uint32_t max_nodes = 4;
+  sim::Duration min_run = sim::seconds(30);
+  sim::Duration max_run = sim::minutes(5);
+  /// Walltime estimate = run_time * walltime_factor (backfill plans against
+  /// the estimate, not the truth, as real sites do).
+  double walltime_factor = 1.5;
+  /// Priority levels 0..priority_levels-1, drawn uniformly (kMixedPriority;
+  /// other kinds submit at priority 0).
+  uint32_t priority_levels = 3;
+  /// Fraction of submits that are job arrays, and their width range.
+  double array_fraction = 0.0;
+  uint32_t max_array = 8;
+  /// kBursty: storm size and the quiet gap between storms.
+  uint32_t burst_size = 12;
+  sim::Duration burst_gap = sim::minutes(2);
+  /// kStatFlood: reads per submit.
+  uint32_t stats_per_submit = 8;
+  /// kMassCancel: fraction of submitted jobs later cancelled in waves.
+  double cancel_fraction = 0.4;
+};
+
+/// Build the deterministic operation sequence for (profile, seed), sorted
+/// by issue time (ties keep generation order).
+std::vector<TraceOp> make_trace(const WorkloadProfile& profile, uint64_t seed);
+
+}  // namespace pbs

@@ -40,6 +40,7 @@
 #include "fed/federation.h"
 #include "ha/availability.h"
 #include "joshua/cluster.h"
+#include "pbs/workload.h"
 #include "telemetry/scenario_report.h"
 #include "testutil.h"
 
@@ -88,6 +89,25 @@ struct ScenarioOptions {
   /// grows without bound.
   sim::Duration job_runtime_min = sim::seconds(5);
   sim::Duration job_runtime_max = sim::seconds(60);
+
+  // -- scheduling ------------------------------------------------------------
+  /// Policy/selector plugin pair, driven identically through every head (the
+  /// determinism contract). The SchedulerConfig defaults honour
+  /// JOSHUA_SCHED / JOSHUA_SELECT, so campaigns sweep policies from the
+  /// environment without recompiling (like JOSHUA_REPLICATION).
+  pbs::SchedulerConfig sched{};
+  /// Mixed-priority workload: jsub draws a priority uniformly from
+  /// [0, priority_levels). <= 1 submits everything at the default priority.
+  uint32_t priority_levels = 1;
+  /// Fraction of jsubs submitted as job arrays, and the width range.
+  double array_fraction = 0.0;
+  uint32_t max_array = 4;
+  /// When set, the workload is a pre-generated trace from the workload
+  /// engine (pbs::make_trace(*trace, seed)) instead of the RNG-scheduled
+  /// command mix above: the exact same operation sequence replays under
+  /// every (policy, selector) combination, so a sweep compares schedulers,
+  /// not workloads. The trace's own duration is clamped to `duration`.
+  std::optional<pbs::WorkloadProfile> trace;
 
   // -- fault schedule --------------------------------------------------------
   /// Drive every head through an exponential fail/repair process. Computes
@@ -208,6 +228,7 @@ class Plane {
       copt.ordering = o.ordering;
       copt.mom_heartbeat = o.mom_heartbeat;
       copt.heartbeat_miss_limit = o.heartbeat_miss_limit;
+      copt.sched = o.sched;
       cluster_ = std::make_unique<joshua::Cluster>(copt);
       return;
     }
@@ -224,6 +245,7 @@ class Plane {
     fopt.ordering = o.ordering;
     fopt.mom_heartbeat = o.mom_heartbeat;
     fopt.heartbeat_miss_limit = o.heartbeat_miss_limit;
+    fopt.sched = o.sched;
     fed_ = std::make_unique<fed::Federation>(std::move(fopt));
   }
 
@@ -374,7 +396,14 @@ class ScenarioRunner {
     result.max_concurrent_down = max_concurrent_down();
 
     issuer_ = cluster.make_issuer();
-    schedule_next_command();
+    if (options_.trace.has_value()) {
+      pbs::WorkloadProfile profile = *options_.trace;
+      profile.duration = std::min(profile.duration, options_.duration);
+      for (const pbs::TraceOp& op : pbs::make_trace(profile, options_.seed))
+        sim.schedule(op.at, [this, op] { issue_trace_op(op); });
+    } else {
+      schedule_next_command();
+    }
 
     // -- main campaign loop --------------------------------------------------
     sim::Time end = sim.now() + options_.duration;
@@ -450,18 +479,82 @@ class ScenarioRunner {
     spec.run_time = sim::Duration{rng.uniform(options_.job_runtime_min.us,
                                               options_.job_runtime_max.us)};
     spec.walltime = spec.run_time * 4;
+    if (options_.priority_levels > 1)
+      spec.priority =
+          static_cast<int32_t>(rng.next_u64(options_.priority_levels));
+    if (options_.array_fraction > 0.0 && options_.max_array > 1 &&
+        rng.chance(options_.array_fraction))
+      spec.array_count =
+          static_cast<uint32_t>(rng.uniform(2, options_.max_array));
     issuer_.jsub(std::move(spec),
                   [this](std::optional<pbs::SubmitResponse> r) {
-                    if (r && r->status == pbs::Status::kOk &&
-                        r->job_id != pbs::kInvalidJob) {
-                      ++tally_.jsub_accepted;
-                      accepted_order_.push_back(r->job_id);
-                      accepted_.insert(r->job_id);
-                      live_ids_.push_back(r->job_id);
-                    } else {
-                      ++tally_.commands_failed;
-                    }
+                    note_submit_response(r, /*trace_index=*/-1);
                   });
+  }
+
+  /// Shared jsub bookkeeping. One accepted array submit enters `count`
+  /// consecutive ids: every sub-job owes the accepted-then-lost audit a
+  /// terminal state of its own. `trace_index` maps a trace submit to its
+  /// base job id so later trace stats/cancels can target it.
+  void note_submit_response(const std::optional<pbs::SubmitResponse>& r,
+                            int64_t trace_index) {
+    if (r && r->status == pbs::Status::kOk &&
+        r->job_id != pbs::kInvalidJob) {
+      ++tally_.jsub_accepted;
+      if (trace_index >= 0) trace_ids_[trace_index] = r->job_id;
+      uint32_t n = r->count > 1 ? r->count : 1;
+      for (uint32_t k = 0; k < n; ++k) {
+        accepted_order_.push_back(r->job_id + k);
+        accepted_.insert(r->job_id + k);
+        live_ids_.push_back(r->job_id + k);
+      }
+    } else {
+      ++tally_.commands_failed;
+    }
+  }
+
+  /// Trace playback: the op stream is fixed up front; only the mapping from
+  /// trace submit index to real job id is discovered at run time.
+  void issue_trace_op(const pbs::TraceOp& op) {
+    if (workload_done_) return;
+    switch (op.kind) {
+      case pbs::TraceOp::Kind::kSubmit: {
+        ++tally_.jsub_attempted;
+        pbs::JobSpec spec = op.spec;
+        spec.replicas = options_.replication;
+        int64_t index = op.target;
+        issuer_.jsub(std::move(spec),
+                     [this, index](std::optional<pbs::SubmitResponse> r) {
+                       note_submit_response(r, index);
+                     });
+        break;
+      }
+      case pbs::TraceOp::Kind::kStat: {
+        ++tally_.jstat_attempted;
+        pbs::StatRequest req;  // default: the whole queue
+        if (auto it = trace_ids_.find(op.target); it != trace_ids_.end())
+          req = pbs::StatRequest{it->second, true};
+        issuer_.jstat(req, [this](std::optional<pbs::StatResponse> r) {
+          if (r)
+            ++tally_.jstat_ok;
+          else
+            ++tally_.commands_failed;
+        });
+        break;
+      }
+      case pbs::TraceOp::Kind::kCancel: {
+        auto it = trace_ids_.find(op.target);
+        if (it == trace_ids_.end()) return;  // submit never acknowledged
+        ++tally_.jdel_attempted;
+        issuer_.jdel(it->second, [this](std::optional<pbs::SimpleResponse> r) {
+          if (r && r->status == pbs::Status::kOk)
+            ++tally_.jdel_ok;
+          else
+            ++tally_.commands_failed;
+        });
+        break;
+      }
+    }
   }
 
   void issue_jdel() {
@@ -658,17 +751,22 @@ class ScenarioRunner {
 
   /// Invariant 1, generalised from exactly-once to exactly-r: across all
   /// moms, no job id has more real executions than its replication factor
-  /// -- except that each compute fault on a host that really ran the job
-  /// excuses one failover re-run (the fault killed that run, so requeueing
-  /// it elsewhere is the feature, not a violation). The mom's real_run_log
-  /// is its on-disk job records, so the count survives node crashes. With
-  /// r = 1 and no compute faults this is exactly the old invariant.
+  /// -- except that each real run a quiet preempt kill terminated and each
+  /// compute fault on a host that really ran the job excuse one relaunch
+  /// (the kill/fault ended that run, so requeueing it is the feature, not a
+  /// violation). All three counts are mom-side "on-disk job records"
+  /// (real_run_log / preempt_kill_log), so the accounting survives both
+  /// node crashes and head churn -- a head that ordered a preemption and
+  /// then crashed forgets its preempt_count, the mom that performed the
+  /// kill does not. With r = 1, no preemption and no compute faults this
+  /// is exactly the old exactly-once invariant.
   void check_exactly_r(ScenarioResult& result) {
     std::map<sim::HostId, uint32_t> faults_by_host;
     for (const auto& f : cluster_->faults().compute_faults())
       ++faults_by_host[f.host];
     std::map<pbs::JobId, uint32_t> real_runs;
     std::map<pbs::JobId, uint32_t> excused;
+    std::map<pbs::JobId, uint32_t> quiet_kills;
     for (size_t m = 0; m < cluster_->compute_count(); ++m) {
       sim::HostId host = cluster_->compute_hosts()[m];
       auto fit = faults_by_host.find(host);
@@ -677,14 +775,18 @@ class ScenarioRunner {
         real_runs[id] += runs;
         excused[id] += host_faults;
       }
+      for (const auto& [id, kills] : cluster_->mom(m).quiet_kill_log())
+        quiet_kills[id] += kills;
     }
     for (const auto& [id, runs] : real_runs) {
-      uint32_t cap = options_.replication + excused[id];
+      uint32_t cap =
+          options_.replication + quiet_kills[id] + excused[id];
       if (runs > cap && double_launched_.insert(id).second) {
         result.violations.push_back(
             "job " + std::to_string(id) + " really launched " +
             std::to_string(runs) + " times (cap " + std::to_string(cap) +
-            " = r " + std::to_string(options_.replication) + " + excused " +
+            " = r " + std::to_string(options_.replication) + " + " +
+            std::to_string(quiet_kills[id]) + " quiet kills + excused " +
             std::to_string(excused[id]) + ")");
       }
     }
@@ -882,6 +984,8 @@ class ScenarioRunner {
     r.set_meta("scenario", options_.name);
     r.set_meta("seed", std::to_string(options_.seed));
     r.set_meta("digest", std::to_string(result.digest));
+    r.set_meta("sched", options_.sched.policy);
+    r.set_meta("selector", options_.sched.selector);
     r.set("scenario.heads", options_.heads);
     r.set("scenario.computes", options_.computes);
     r.set("scenario.shards", options_.shards);
@@ -932,6 +1036,7 @@ class ScenarioRunner {
 
   std::vector<pbs::JobId> accepted_order_;
   std::set<pbs::JobId> accepted_;
+  std::map<int64_t, pbs::JobId> trace_ids_;  ///< trace submit index -> base id
   std::vector<pbs::JobId> live_ids_;  ///< accepted, not yet seen terminal
   std::set<pbs::JobId> completed_seen_;
   std::set<pbs::JobId> double_launched_;

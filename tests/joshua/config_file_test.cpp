@@ -43,7 +43,7 @@ TEST(ClusterConfig, FullFileParses) {
   EXPECT_TRUE(options.quirk_mom);
   EXPECT_TRUE(options.require_majority);
   EXPECT_EQ(options.seed, 99u);
-  EXPECT_EQ(options.sched.policy, pbs::SchedPolicy::kFifoBackfill);
+  EXPECT_EQ(options.sched.policy, "backfill");
   EXPECT_FALSE(options.sched.exclusive_cluster);
   EXPECT_EQ(options.gcs_heartbeat, sim::msec(50));
   EXPECT_EQ(options.gcs_suspect, sim::msec(300));
@@ -74,8 +74,10 @@ TEST(ClusterConfig, RoundTrip) {
   original.transfer = TransferMode::kSnapshot;
   original.quirk_mom = true;
   original.seed = 5;
-  original.sched.policy = pbs::SchedPolicy::kFifoBackfill;
+  original.sched.policy = "backfill";
+  original.sched.selector = "replica";
   original.sched.exclusive_cluster = false;
+  original.sched.priority_aging = sim::seconds(30);
   original.gcs_suspect = sim::msec(400);
 
   joshua::ClusterOptions back =
@@ -85,9 +87,38 @@ TEST(ClusterConfig, RoundTrip) {
   EXPECT_EQ(back.transfer, TransferMode::kSnapshot);
   EXPECT_TRUE(back.quirk_mom);
   EXPECT_EQ(back.seed, 5u);
-  EXPECT_EQ(back.sched.policy, pbs::SchedPolicy::kFifoBackfill);
+  EXPECT_EQ(back.sched.policy, "backfill");
+  EXPECT_EQ(back.sched.selector, "replica");
   EXPECT_FALSE(back.sched.exclusive_cluster);
+  EXPECT_EQ(back.sched.priority_aging, sim::seconds(30));
   EXPECT_EQ(back.gcs_suspect, sim::msec(400));
+}
+
+TEST(ClusterConfig, SchedulingSectionParses) {
+  joshua::ClusterOptions options = cluster_options_from_config(R"(
+    scheduling {
+      policy = preempt
+      selector = replica
+      exclusive = false
+      aging_s = 120
+    }
+  )");
+  EXPECT_EQ(options.sched.policy, "preempt");
+  EXPECT_EQ(options.sched.selector, "replica");
+  EXPECT_FALSE(options.sched.exclusive_cluster);
+  EXPECT_EQ(options.sched.priority_aging, sim::seconds(120));
+
+  // Unknown plugin names are deployment mistakes: hard parse errors, never
+  // a silent fallback (heads running different policies would diverge).
+  EXPECT_THROW(
+      cluster_options_from_config("scheduling {\n policy = random\n}"),
+      jutil::ConfigError);
+  EXPECT_THROW(
+      cluster_options_from_config("scheduling {\n selector = wormhole\n}"),
+      jutil::ConfigError);
+  EXPECT_THROW(
+      cluster_options_from_config("scheduling {\n aging_s = -5\n}"),
+      jutil::ConfigError);
 }
 
 TEST(ClusterConfig, OrderingSectionParsesAndRoundTrips) {

@@ -68,14 +68,52 @@ TEST(JoshuaProtocol, CommandLogRoundTrip) {
 
 TEST(JoshuaProtocol, TransferWrapperDistinguishesKinds) {
   sim::Payload body{9, 8, 7};
-  auto [kind, back] =
-      unwrap_transfer(wrap_transfer(TransferKind::kSnapshot, body));
-  EXPECT_EQ(kind, TransferKind::kSnapshot);
-  EXPECT_EQ(back, body);
-  auto [kind2, back2] =
-      unwrap_transfer(wrap_transfer(TransferKind::kReplayLog, body));
-  EXPECT_EQ(kind2, TransferKind::kReplayLog);
-  EXPECT_EQ(back2, body);
+  TransferEnvelope env = unwrap_transfer(wrap_transfer(TransferKind::kSnapshot, body));
+  EXPECT_EQ(env.kind, TransferKind::kSnapshot);
+  EXPECT_EQ(env.body, body);
+  EXPECT_TRUE(env.mutexes.empty());
+  sim::Payload mutexes{4, 2};
+  TransferEnvelope env2 =
+      unwrap_transfer(wrap_transfer(TransferKind::kReplayLog, body, mutexes));
+  EXPECT_EQ(env2.kind, TransferKind::kReplayLog);
+  EXPECT_EQ(env2.body, body);
+  EXPECT_EQ(env2.mutexes, mutexes);
+}
+
+TEST(JoshuaProtocol, MutexTableRoundTrip) {
+  MutexTable table;
+  MutexEntry running;
+  running.job = 7;
+  running.max_real = 2;
+  running.claims = {MutexClaim{31, 3}, MutexClaim{32, 4}};
+  MutexEntry finished;
+  finished.job = 9;
+  finished.done = true;
+  finished.winner_mom = 33;
+  finished.exit_code = -11;
+  table.entries = {running, finished};
+  table.terminal = {2, 9};
+  table.revoked = {34};
+
+  MutexTable back = decode_mutex_table(encode_mutex_table(table));
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].job, 7u);
+  EXPECT_EQ(back.entries[0].max_real, 2u);
+  EXPECT_FALSE(back.entries[0].done);
+  ASSERT_EQ(back.entries[0].claims.size(), 2u);
+  EXPECT_EQ(back.entries[0].claims[0].mom, 31u);
+  EXPECT_EQ(back.entries[0].claims[0].head, 3u);
+  EXPECT_EQ(back.entries[1].job, 9u);
+  EXPECT_TRUE(back.entries[1].done);
+  EXPECT_EQ(back.entries[1].winner_mom, 33u);
+  EXPECT_EQ(back.entries[1].exit_code, -11);
+  EXPECT_TRUE(back.entries[1].claims.empty());
+  EXPECT_EQ(back.terminal, (std::vector<pbs::JobId>{2, 9}));
+  EXPECT_EQ(back.revoked, (std::vector<sim::HostId>{34}));
+
+  MutexTable empty = decode_mutex_table(encode_mutex_table(MutexTable{}));
+  EXPECT_TRUE(empty.entries.empty());
+  EXPECT_TRUE(empty.terminal.empty());
 }
 
 TEST(JoshuaProtocol, MalformedInputsThrow) {

@@ -17,6 +17,19 @@ using scenariotest::ScenarioOptions;
 using scenariotest::ScenarioResult;
 using scenariotest::ScenarioRunner;
 
+/// JOSHUA_SCHED / JOSHUA_SELECT already flow in through the SchedulerConfig
+/// defaults (scenario.h); what a non-FIFO leg additionally needs is the
+/// paper's exclusive-cluster restriction lifted (sharing nodes is the whole
+/// point of the other policies) and a workload with priorities and job
+/// arrays worth scheduling. Aging keeps preemption victims from starving.
+void apply_sched_env(ScenarioOptions& options) {
+  if (options.sched.policy == "fifo") return;
+  options.sched.exclusive_cluster = false;
+  options.sched.priority_aging = sim::minutes(5);
+  options.priority_levels = 3;
+  options.array_fraction = 0.15;
+}
+
 ScenarioOptions campaign_options(sim::Duration duration, uint64_t seed) {
   ScenarioOptions options;
   options.name = "longevity";
@@ -43,6 +56,7 @@ ScenarioOptions campaign_options(sim::Duration duration, uint64_t seed) {
   // Back-to-back outages can overlap a flush/merge already in progress;
   // give reconvergence two minutes before calling it a violation.
   options.settle_deadline = sim::seconds(120);
+  apply_sched_env(options);
   return options;
 }
 
@@ -167,6 +181,7 @@ ScenarioOptions compute_campaign_options(sim::Duration duration,
   // Heartbeat failover on by default; the baseline leg switches it off.
   options.mom_heartbeat = sim::seconds(5);
   options.heartbeat_miss_limit = 3;
+  apply_sched_env(options);
   return options;
 }
 

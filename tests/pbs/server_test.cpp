@@ -193,11 +193,103 @@ TEST(PbsServer, MultiNodeJobAllocatesRequestedNodes) {
   ASSERT_TRUE(h.wait_state(id, JobState::kRunning));
   int busy = 0;
   for (const NodeState& n : h.server->nodes())
-    if (n.running == id) ++busy;
+    if (n.has(id)) ++busy;
   EXPECT_EQ(busy, 2);
   ASSERT_TRUE(h.wait_state(id, JobState::kComplete));
-  for (const NodeState& n : h.server->nodes())
-    EXPECT_EQ(n.running, kInvalidJob);
+  for (const NodeState& n : h.server->nodes()) EXPECT_TRUE(n.idle());
+}
+
+// Mom-failover regression: a job requeued by heartbeat failover keeps its
+// original queue_rank, so the FIFO policy relaunches it ahead of everything
+// submitted after it (requeue is recovery, not a trip to the back of the
+// line).
+TEST(PbsServer, MomFailoverRequeuePreservesQueueRank) {
+  auto tweak = [](ServerConfig& cfg) {
+    cfg.heartbeat_interval = sim::msec(500);
+    cfg.heartbeat_miss_limit = 2;
+    cfg.heartbeat_timeout = sim::msec(300);
+  };
+  PbsHarness h(2, 1, tweak);
+  Client& client = h.make_client();
+  JobId victim = h.submit(client, h.quick_job(sim::seconds(60)));
+  JobId later = h.submit(client, h.quick_job(sim::seconds(1)));
+  ASSERT_TRUE(h.wait_state(victim, JobState::kRunning));
+  uint64_t victim_rank = h.server->find_job(victim)->queue_rank;
+  uint64_t later_rank = h.server->find_job(later)->queue_rank;
+  ASSERT_LT(victim_rank, later_rank);
+
+  sim::HostId exec = h.server->find_job(victim)->exec_host;
+  h.net.crash_host(exec);
+  ASSERT_TRUE(h.wait_state(victim, JobState::kQueued, sim::seconds(30)));
+  EXPECT_EQ(h.server->find_job(victim)->queue_rank, victim_rank)
+      << "requeue must not re-rank the job";
+
+  // FIFO honours the preserved rank: the victim relaunches on the surviving
+  // node before the later submission gets its turn.
+  ASSERT_TRUE(h.wait_state(victim, JobState::kComplete, sim::seconds(200)));
+  ASSERT_TRUE(h.wait_state(later, JobState::kComplete, sim::seconds(200)));
+  EXPECT_GE(h.server->find_job(later)->start_time,
+            h.server->find_job(victim)->start_time);
+}
+
+// One array submit expands into array_count independent sub-jobs with
+// consecutive ids and indexed names; each runs and completes on its own.
+TEST(PbsServer, ArraySubmitExpandsToSubJobs) {
+  PbsHarness h;
+  Client& client = h.make_client();
+  JobSpec spec = h.quick_job(sim::msec(200));
+  spec.name = "arr";
+  spec.array_count = 3;
+  std::optional<SubmitResponse> resp;
+  client.qsub(spec, [&](auto r) { resp = r; });
+  testutil::run_until(h.sim, [&] { return resp.has_value(); });
+  ASSERT_EQ(resp->status, Status::kOk);
+  EXPECT_EQ(resp->count, 3u);
+  EXPECT_EQ(h.server->submissions(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto job = h.server->find_job(resp->job_id + i);
+    ASSERT_TRUE(job.has_value()) << "sub-job " << i;
+    EXPECT_EQ(job->spec.name, "arr[" + std::to_string(i) + "]");
+    EXPECT_EQ(job->spec.array_index, static_cast<int32_t>(i));
+    EXPECT_TRUE(h.wait_state(job->id, JobState::kComplete, sim::seconds(60)));
+  }
+}
+
+// End-to-end preemption with the quiet kill: the victim is requeued for an
+// urgent job, its killed first incarnation must NOT echo a completion
+// report back (that would mark the requeued job cancelled-complete), and it
+// finishes cleanly after relaunch -- exactly one completion ever.
+TEST(PbsServer, PreemptedJobRelaunchesWithoutStaleCompletion) {
+  auto tweak = [](ServerConfig& cfg) {
+    cfg.sched.policy = "preempt";
+    cfg.sched.exclusive_cluster = false;
+  };
+  PbsHarness h(2, 1, tweak);
+  int victim_completions = 0;
+  Client& client = h.make_client();
+  JobSpec low = h.quick_job(sim::seconds(10));
+  low.nodes = 2;
+  low.priority = 0;
+  JobId victim = h.submit(client, low);
+  h.server->on_job_complete = [&](const Job& job) {
+    if (job.id == victim) ++victim_completions;
+  };
+  ASSERT_TRUE(h.wait_state(victim, JobState::kRunning));
+
+  JobSpec urgent = h.quick_job(sim::seconds(1));
+  urgent.nodes = 2;
+  urgent.priority = 5;
+  JobId high = h.submit(client, urgent);
+  ASSERT_TRUE(h.wait_state(high, JobState::kComplete, sim::seconds(60)));
+  EXPECT_EQ(h.server->preempt_count(victim), 1u);
+
+  ASSERT_TRUE(h.wait_state(victim, JobState::kComplete, sim::seconds(120)));
+  Job done = *h.server->find_job(victim);
+  EXPECT_FALSE(done.cancelled) << "stale kill report echoed into the requeue";
+  EXPECT_EQ(done.exit_code, 0);
+  EXPECT_EQ(victim_completions, 1);
+  EXPECT_GE(done.start_time, h.server->find_job(high)->end_time)
+      << "the urgent job ran on the freed nodes first";
 }
 
 TEST(PbsServer, RestartRecoversQueueAndRequeuesRunning) {
